@@ -1,0 +1,62 @@
+"""Benchmark ABL-FANOUT: the SEARS ε trade-off (Section 4).
+
+Theorem 7 parameterizes SEARS by ε: time O((n/(ε(n−f)))·(d+δ)) against
+messages O((n^{2+ε}/(ε(n−f)))·log n·(d+δ)). Sweeping ε shows the knob
+working: higher ε buys (slightly) faster completion for polynomially more
+messages, and the degenerate fanout-1 case is EARS-like dissemination.
+"""
+
+from __future__ import annotations
+
+from repro.api import run_gossip
+from repro.core.params import SearsParams
+
+N, F = 96, 24
+SEEDS = range(3)
+
+
+def test_fanout_eps_tradeoff(benchmark):
+    def sweep():
+        out = {}
+        for eps in (0.2, 0.4, 0.6, 0.8):
+            runs = [
+                run_gossip(
+                    "sears", n=N, f=F, d=1, delta=1, seed=seed, crashes=F,
+                    params=SearsParams(eps=eps),
+                )
+                for seed in SEEDS
+            ]
+            assert all(r.completed for r in runs)
+            out[eps] = {
+                "time": sum(r.completion_time for r in runs) / len(runs),
+                "messages": sum(r.messages for r in runs) / len(runs),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {
+        str(k): {kk: round(vv, 1) for kk, vv in v.items()}
+        for k, v in results.items()
+    }
+
+    eps_values = sorted(results)
+    messages = [results[e]["messages"] for e in eps_values]
+    times = [results[e]["time"] for e in eps_values]
+
+    # Message cost strictly increases with ε (polynomial fanout growth)…
+    assert messages == sorted(messages)
+    assert messages[-1] > 3 * messages[0]
+    # …while completion time does not get worse (and trends down).
+    assert times[-1] <= times[0]
+
+
+def test_fanout_one_degenerates_to_ears_speed(benchmark):
+    def measure():
+        ears = run_gossip("ears", n=N, f=0, seed=2)
+        spam = run_gossip("sears", n=N, f=0, seed=2,
+                          params=SearsParams(eps=0.5))
+        return ears, spam
+
+    ears, spam = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # The whole point of spamming: dissemination rounds collapse.
+    assert spam.completion_time < ears.completion_time / 2

@@ -1,0 +1,72 @@
+"""Benchmark ABL-SHUTDOWN: why EARS needs its Θ((n/(n−f)) log n) shut-down.
+
+Two ablations of Section 3's stopping machinery:
+
+1. **Shut-down length.** Sweeping the shut-down constant: longer phases
+   spend more messages; the paper-scale constant completes reliably, and
+   message cost grows linearly with the constant beyond it.
+2. **No informed-list at all** (the naive epidemic): rumors gather just as
+   fast, but the protocol never quiesces — its message bill grows without
+   bound, which is the problem EARS's I(p)/L(p) machinery solves.
+"""
+
+from __future__ import annotations
+
+from repro.api import run_gossip
+from repro.core.params import EarsParams
+
+N, F = 64, 16
+SEEDS = range(3)
+
+
+def test_shutdown_constant_sweep(benchmark):
+    def sweep():
+        out = {}
+        for constant in (0.25, 1.0, 2.0, 6.0):
+            runs = [
+                run_gossip(
+                    "ears", n=N, f=F, d=2, delta=2, seed=seed, crashes=F,
+                    params=EarsParams(shutdown_constant=constant),
+                )
+                for seed in SEEDS
+            ]
+            out[constant] = {
+                "completion_rate": sum(r.completed for r in runs) / len(runs),
+                "messages": sum(r.messages for r in runs) / len(runs),
+                "shutdown_messages": sum(
+                    r.messages_by_kind.get("shutdown", 0) for r in runs
+                ) / len(runs),
+            }
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    benchmark.extra_info["sweep"] = {
+        str(k): {kk: round(vv, 1) for kk, vv in v.items()}
+        for k, v in results.items()
+    }
+
+    # The paper-scale constant completes reliably.
+    assert results[2.0]["completion_rate"] == 1.0
+    # Longer shut-down phases cost more shutdown traffic, monotonically.
+    assert (results[6.0]["shutdown_messages"]
+            > results[2.0]["shutdown_messages"]
+            > results[0.25]["shutdown_messages"])
+
+
+def test_no_stopping_rule_costs_unbounded_messages(benchmark):
+    def measure():
+        ears = run_gossip("ears", n=N, f=0, seed=1)
+        naive = run_gossip("uniform", n=N, f=0, seed=1)
+        # Let the naive epidemic keep running well past gathering — its
+        # bill keeps growing linearly forever.
+        naive.sim.run_for(max(200, 4 * ears.completion_time))
+        return ears, naive
+
+    ears, naive = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert ears.completed and naive.completed
+    # Similar gathering speed (same epidemic dynamics)…
+    assert naive.gathering_time <= 2 * ears.gathering_time + 4
+    # …but the naive protocol's bill keeps running after EARS has stopped.
+    assert naive.sim.metrics.messages_sent > 2 * ears.messages
+    benchmark.extra_info["ears_total"] = ears.messages
+    benchmark.extra_info["naive_total"] = naive.sim.metrics.messages_sent

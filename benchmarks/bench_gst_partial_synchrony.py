@@ -1,0 +1,83 @@
+"""Benchmark GST: partially synchronous complexity in the DLS regime.
+
+The paper frames its results as "low partially synchronous complexity
+[12]": asynchronous algorithms whose cost, in executions where the bounds
+eventually hold, matches the bounds. Under a chaotic prefix of unknown
+length (the DLS Global Stabilization Time):
+
+* completion happens within each algorithm's Table 1 time *of GST* — the
+  span after stabilization matches the plain (d, δ) run within a small
+  factor;
+* the prefix's message bill separates step-driven from arrival-driven
+  designs: EARS pays per chaotic local step (bill grows with GST), TEARS
+  pays one burst (bill flat in GST).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.gst import GstAdversary
+from repro.api import run_gossip
+from repro.core.base import make_processes
+from repro.core.ears import Ears
+from repro.core.tears import Tears
+from repro.core.trivial import TrivialGossip
+from repro.sim.engine import Simulation
+from repro.sim.monitor import GossipCompletionMonitor
+
+N, F, D, DELTA = 32, 8, 2, 2
+
+
+def run_with_gst(algorithm_class, gst, majority=False, seed=2,
+                 until=None):
+    adversary = GstAdversary(gst=gst, d=D, delta=DELTA, seed=seed)
+    sim = Simulation(
+        n=N, f=F, algorithms=make_processes(N, F, algorithm_class),
+        adversary=adversary,
+        monitor=GossipCompletionMonitor(majority=majority), seed=seed,
+    )
+    if until is not None:
+        sim.run_for(until)
+        return None, sim
+    return sim.run(max_steps=20_000), sim
+
+
+@pytest.mark.parametrize("name,cls,majority", [
+    ("trivial", TrivialGossip, False),
+    ("ears", Ears, False),
+    ("tears", Tears, True),
+])
+def test_post_gst_span_matches_plain_run(benchmark, name, cls, majority):
+    gst = 80
+
+    def measure():
+        result, _ = run_with_gst(cls, gst, majority=majority)
+        plain = run_gossip(name, n=N, f=F, d=D, delta=DELTA, seed=2,
+                           majority=majority)
+        return result, plain
+
+    result, plain = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert result.completed and plain.completed
+    span = result.completion_time - gst
+    benchmark.extra_info["post_gst_span"] = span
+    benchmark.extra_info["plain_time"] = plain.completion_time
+    assert result.completion_time > gst  # chaos really blocked completion
+    assert span <= 3 * plain.completion_time + 4
+
+
+def test_prefix_bill_step_driven_vs_arrival_driven(benchmark):
+    def measure():
+        out = {}
+        for gst in (40, 160):
+            for name, cls in (("ears", Ears), ("tears", Tears)):
+                _, sim = run_with_gst(cls, gst, until=gst)
+                out[(name, gst)] = sim.metrics.messages_sent
+        return out
+
+    bills = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["prefix_bills"] = {
+        f"{k[0]}@gst={k[1]}": v for k, v in bills.items()
+    }
+    assert bills[("ears", 160)] >= 3 * bills[("ears", 40)]
+    assert bills[("tears", 160)] == bills[("tears", 40)]

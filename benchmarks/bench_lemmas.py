@@ -1,0 +1,65 @@
+"""Benchmark LEMMAS: empirical validation of the paper's proof internals.
+
+The PODC version sketches its proofs; this bench measures the lemmas'
+statements on live executions (see repro.experiments.lemmas):
+
+* EARS (Section 3.2): the milestone sequence gathering → shooting →
+  first-sleep → all-asleep appears in proof order, each span scaling
+  linearly with (d+δ) and polylogarithmically with n;
+* TEARS (Section 5.2): Lemma 8 (send batches in {0} ∪ [a−κ, a+κ]),
+  Lemma 9 (≥ n/2 − n/log n well-distributed rumors), Lemma 10 (every
+  well-distributed rumor delivered everywhere), Lemma 11 (majority at
+  every correct process).
+"""
+
+from __future__ import annotations
+
+from repro.adversary.crash_plans import random_crashes
+from repro.experiments.lemmas import (
+    measure_ears_milestones,
+    measure_tears_lemmas,
+)
+
+
+def test_ears_milestone_structure(benchmark):
+    def measure():
+        return {
+            (d, delta): measure_ears_milestones(
+                n=64, f=16, d=d, delta=delta, seed=1,
+                crashes=random_crashes(64, 16, 8, seed=1),
+            )
+            for d, delta in ((1, 1), (4, 4))
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for key, m in results.items():
+        assert m.completed, key
+        assert m.gathering <= m.shooting <= m.first_sleep <= m.all_asleep
+        benchmark.extra_info[f"d,delta={key}"] = {
+            "gathering": m.gathering,
+            "shooting": m.shooting,
+            "first_sleep": m.first_sleep,
+            "all_asleep": m.all_asleep,
+        }
+    # Stage spans scale with (d+δ).
+    assert results[(4, 4)].all_asleep >= 2 * results[(1, 1)].all_asleep
+
+
+def test_tears_safe_epoch_lemmas(benchmark):
+    report = benchmark.pedantic(
+        measure_tears_lemmas,
+        kwargs=dict(n=128, seed=1,
+                    crashes=random_crashes(128, 63, 3, seed=1)),
+        rounds=1, iterations=1,
+    )
+    assert report.completed
+    assert report.lemma8_violations == 0
+    assert report.well_distributed >= report.lemma9_floor
+    assert report.lemma10_missing == 0
+    assert report.min_rumors >= report.majority_needed
+    benchmark.extra_info.update(
+        well_distributed=report.well_distributed,
+        lemma9_floor=round(report.lemma9_floor, 1),
+        min_rumors=report.min_rumors,
+        majority_needed=report.majority_needed,
+    )

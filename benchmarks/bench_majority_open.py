@@ -1,0 +1,72 @@
+"""Benchmark MAJ-OPEN: is deterministic majority gossip possible? (§7)
+
+The paper's open question, made executable. A natural derandomization of
+TEARS (fixed arithmetic-progression neighbourhoods, Θ(√n·log n) degree):
+
+* succeeds at majority gossip with sub-quadratic messages when the f < n/2
+  crashes are random — determinism is fine against an unaimed adversary;
+* is defeated by a *targeted* oblivious plan (a contiguous crashed arc)
+  that an adversary can fix in advance precisely because the
+  neighbourhoods are deterministic and public — while randomized TEARS
+  survives the identical plan with exactly the majority.
+
+This is empirical evidence for why the question is open: the randomness in
+TEARS is doing real adversarial work, not just simplifying the analysis.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.crash_plans import random_crashes
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.core.base import make_processes
+from repro.core.majority import (
+    DeterministicMajorityGossip,
+    targeted_arc_crash_plan,
+)
+from repro.core.tears import Tears
+from repro.sim.engine import Simulation
+from repro.sim.monitor import GossipCompletionMonitor
+
+N = 128
+F = 63
+
+
+def run(cls, crashes, seed=1):
+    adversary = ObliviousAdversary.uniform(1, 1, seed=seed, crashes=crashes)
+    sim = Simulation(
+        n=N, f=F, algorithms=make_processes(N, F, cls),
+        adversary=adversary,
+        monitor=GossipCompletionMonitor(majority=True), seed=seed,
+    )
+    return sim.run(max_steps=5000)
+
+
+def test_deterministic_vs_randomized_under_aimed_crashes(benchmark):
+    def measure():
+        return {
+            "det-random": run(
+                DeterministicMajorityGossip,
+                random_crashes(N, F, 4, seed=2),
+            ),
+            "det-arc": run(
+                DeterministicMajorityGossip, targeted_arc_crash_plan(N, F)
+            ),
+            "tears-arc": run(Tears, targeted_arc_crash_plan(N, F)),
+        }
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["outcomes"] = {
+        name: {"completed": r.completed, "messages": r.messages}
+        for name, r in results.items()
+    }
+
+    # Random crashes: the deterministic scheme works within its
+    # Θ(n^{3/2} log n) budget (measured growth exponent ≈ 1.6; absolute
+    # counts beat n² only at large n, as with TEARS).
+    assert results["det-random"].completed
+    import math
+
+    assert results["det-random"].messages <= 4 * N ** 1.5 * math.log(N)
+    # Aimed crashes: deterministic fails where randomized survives.
+    assert not results["det-arc"].completed
+    assert results["tears-arc"].completed

@@ -1,0 +1,46 @@
+"""Benchmark FIG-SCALE-M: message-complexity scaling exponents.
+
+Table 1's message column as measured growth rates: fit messages ≈ c·nᵉ per
+algorithm over a geometric n sweep and compare with the paper's exponents.
+Expected ordering (f = n/4, ε = 1/4, reduced-constant TEARS per DESIGN.md
+§5.4):
+
+    trivial (≈2) > tears (≈7/4) > sears (≈1+ε) > ears (≈1 plus logs)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import (
+    format_scaling,
+    message_shapes,
+    ordering_is_correct,
+    run_message_scaling,
+)
+
+
+def test_message_scaling_exponents(benchmark):
+    rows = benchmark.pedantic(
+        run_message_scaling,
+        kwargs=dict(ns=[32, 64, 128, 256], seeds=range(2)),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_scaling(rows))
+
+    fits = {row.algorithm: row.raw_fit.exponent for row in rows}
+    benchmark.extra_info["fitted_exponents"] = {
+        k: round(v, 3) for k, v in fits.items()
+    }
+
+    # The headline ordering of Table 1's message column.
+    assert ordering_is_correct(rows)
+
+    # Each fit is clean and within a log-factor-sized band of prediction.
+    shapes = message_shapes()
+    for row in rows:
+        assert row.raw_fit.r_squared > 0.97
+        predicted = shapes[row.algorithm]["exponent"]
+        assert predicted - 0.2 <= row.raw_fit.exponent <= predicted + 0.45
+
+    # Trivial is exactly quadratic — tightest assertion available.
+    assert abs(fits["trivial"] - 2.0) < 0.05

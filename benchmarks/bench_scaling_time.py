@@ -1,0 +1,85 @@
+"""Benchmark FIG-SCALE-T: time-complexity scaling shapes.
+
+Table 1's time column: ears grows polylogarithmically with n; sears and
+tears stay flat in n (constant-time gossip); everything grows roughly
+linearly in (d + δ).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.fitting import fit_power_law
+from repro.experiments.scaling import (
+    failure_scaling_ratio,
+    run_time_scaling,
+    run_time_vs_failure_fraction,
+    run_time_vs_latency,
+)
+
+NS = [32, 64, 128, 256]
+
+
+def test_time_flat_or_polylog_in_n(benchmark):
+    curves = benchmark.pedantic(
+        run_time_scaling,
+        kwargs=dict(ns=NS, seeds=range(2)),
+        rounds=1, iterations=1,
+    )
+    times = {
+        name: [p.time.mean for p in points]
+        for name, points in curves.items()
+    }
+    benchmark.extra_info["time_curves"] = {
+        k: [round(t, 1) for t in v] for k, v in times.items()
+    }
+
+    # Constant-time rows: an 8x population increase must not even double
+    # completion time for trivial, sears, tears.
+    for name in ("trivial", "sears", "tears"):
+        assert times[name][-1] <= 2 * times[name][0] + 2, name
+
+    # ears grows (polylogarithmically) — visibly more than the flat rows,
+    # but far slower than linearly: 8x population, well under 8x time.
+    assert times["ears"][-1] > times["ears"][0]
+    assert times["ears"][-1] <= 4 * times["ears"][0]
+
+
+def test_time_linear_in_latency(benchmark):
+    def measure():
+        out = {}
+        for algorithm in ("trivial", "ears", "tears"):
+            points = run_time_vs_latency(
+                algorithm, n=48,
+                d_delta_pairs=((1, 1), (2, 2), (4, 4), (8, 8)),
+                seeds=range(2),
+            )
+            out[algorithm] = (
+                [float(p.d + p.delta) for p in points],
+                [p.time.mean for p in points],
+            )
+        return out
+
+    curves = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for algorithm, (xs, ys) in curves.items():
+        fit = fit_power_law(xs, ys)
+        benchmark.extra_info[algorithm] = round(fit.exponent, 3)
+        # Time ∝ (d+δ)^e with e ≈ 1: allow a generous band around linear.
+        assert 0.6 <= fit.exponent <= 1.4, (algorithm, fit.exponent)
+
+
+def test_ears_time_grows_with_failure_fraction(benchmark):
+    """The n/(n−f) factor of EARS' time bound, isolated: with n, d, δ
+    fixed and f processes actually crashing, completion time must grow
+    monotonically with f/n, reaching a multiple of the failure-free time
+    at f = 3n/4 (predicted factor 4; measured ≈ 2.7 — the shut-down tail
+    scales fully with n/(n−f) while the gathering prefix only partly)."""
+    points = benchmark.pedantic(
+        run_time_vs_failure_fraction,
+        kwargs=dict(n=96, seeds=range(3)),
+        rounds=1, iterations=1,
+    )
+    times = [points[fraction].time.mean
+             for fraction in (0.0, 0.25, 0.5, 0.75)]
+    benchmark.extra_info["times"] = [round(t, 1) for t in times]
+    assert all(points[f].completion_rate == 1.0 for f in points)
+    assert times == sorted(times)  # monotone in f/n
+    assert failure_scaling_ratio(points, 0.0, 0.75) >= 2.0

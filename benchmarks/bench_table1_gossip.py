@@ -1,0 +1,69 @@
+"""Benchmark T1 (async rows): regenerate Table 1's gossip trade-offs.
+
+Paper's Table 1 (partially synchronous, oblivious adversary):
+
+    Trivial   O(d+δ)                    Θ(n²)
+    ears      O((n/(n−f))·log²n·(d+δ))  O(n·log³n·(d+δ))
+    sears     O((n/(ε(n−f)))·(d+δ))     O((n^{2+ε}/(ε(n−f)))·log n·(d+δ))
+    tears     O(d+δ)                    O(n^{7/4}·log² n)
+
+Each row is measured at n = 96, f = n/4 random crashes, (d, δ) = (2, 2),
+aggregated over seeds; the cross-row assertions check who wins each column.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table1 import format_table1, run_table1
+
+N = 96
+SEEDS = range(3)
+
+_cache = {}
+
+
+def table1_rows():
+    if "rows" not in _cache:
+        _cache["rows"] = {
+            row.algorithm: row
+            for row in run_table1(n=N, d=2, delta=2, seeds=SEEDS)
+        }
+    return _cache["rows"]
+
+
+@pytest.mark.parametrize(
+    "algorithm", ["trivial", "ears", "sears", "tears"]
+)
+def test_table1_row(benchmark, algorithm):
+    rows = table1_rows()
+    row = benchmark.pedantic(
+        lambda: rows[algorithm], rounds=1, iterations=1
+    )
+    assert row.completion_rate == 1.0
+    benchmark.extra_info["time_steps"] = row.time.mean
+    benchmark.extra_info["messages"] = row.messages.mean
+    benchmark.extra_info["bound_time"] = row.bound_time
+    benchmark.extra_info["bound_messages"] = row.bound_messages
+
+
+def test_table1_cross_row_claims(benchmark):
+    """The who-wins structure of Table 1's async rows."""
+    rows = benchmark.pedantic(table1_rows, rounds=1, iterations=1)
+    trivial, ears = rows["trivial"], rows["ears"]
+    sears, tears = rows["sears"], rows["tears"]
+
+    # Message column: ears is the frugal one; trivial is quadratic.
+    assert ears.messages.mean < sears.messages.mean
+    assert ears.messages.mean < trivial.messages.mean
+    assert ears.messages.mean < tears.messages.mean
+
+    # Time column: trivial/tears are O(d+δ); ears pays polylog·(n/(n−f)).
+    assert trivial.time.mean <= 3 * (trivial.d + trivial.delta)
+    assert tears.time.mean <= 6 * (tears.d + tears.delta)
+    assert ears.time.mean > 4 * trivial.time.mean
+    # sears sits between: much faster than ears.
+    assert sears.time.mean < ears.time.mean / 2
+
+    print()
+    print(format_table1(sorted(rows.values(), key=lambda r: r.algorithm)))

@@ -1,0 +1,121 @@
+"""Benchmark T2: regenerate Table 2 (consensus under an oblivious adversary).
+
+    Canetti-Rabin  O(d+δ)           O(n²)
+    CR-ears        O(log²n·(d+δ))   O(n·log³n·(d+δ))
+    CR-sears       O((1/ε)(d+δ))    O((1/ε)·n^{1+ε}·log n·(d+δ))
+    CR-tears       O(d+δ)           O(n^{7/4}·log² n)
+
+Measured at n = 48, f = (n−1)/2 with f random crashes and a near-even
+input split — the adversarial regime for randomized consensus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import format_table2, run_table2
+
+N = 48
+SEEDS = range(3)
+
+_cache = {}
+
+
+def table2_rows():
+    if "rows" not in _cache:
+        _cache["rows"] = {
+            row.protocol: row
+            for row in run_table2(n=N, d=2, delta=2, seeds=SEEDS)
+        }
+    return _cache["rows"]
+
+
+@pytest.mark.parametrize(
+    "protocol",
+    ["CR (all-to-all)", "CR-ears", "CR-sears", "CR-tears"],
+)
+def test_table2_row(benchmark, protocol):
+    rows = table2_rows()
+    row = benchmark.pedantic(lambda: rows[protocol], rounds=1, iterations=1)
+    assert row.completion_rate == 1.0
+    assert row.agreement_rate == 1.0
+    benchmark.extra_info["decision_time"] = row.time.mean
+    benchmark.extra_info["messages"] = row.messages.mean
+    benchmark.extra_info["rounds"] = row.rounds.mean
+
+
+def test_table2_cross_row_claims(benchmark):
+    rows = benchmark.pedantic(table2_rows, rounds=1, iterations=1)
+    baseline = rows["CR (all-to-all)"]
+    ears, tears = rows["CR-ears"], rows["CR-tears"]
+
+    # The paper's point: gossip-based get-core beats the quadratic baseline
+    # on messages, with ears the most frugal.
+    assert ears.messages.mean < baseline.messages.mean
+    assert ears.messages.mean < tears.messages.mean
+
+    # All decide within a handful of shared-coin rounds.
+    for row in rows.values():
+        assert row.rounds.mean <= 6
+
+    print()
+    print(format_table2(list(rows.values())))
+
+
+def test_cr_tears_subquadratic_trend(benchmark):
+    """CR-tears' headline: message growth strictly below quadratic.
+
+    Fitted exponent of messages vs n must sit clearly under the all-to-all
+    baseline's (≈2) — the 'first strictly subquadratic constant-time
+    randomized consensus' claim, at simulation scale.
+    """
+    from repro.analysis.fitting import fit_power_law
+    from repro.consensus import run_consensus
+    from repro.core.params import TearsParams
+
+    def measure():
+        ns = [16, 32, 64, 128]
+        out = {}
+        for name in ("all-to-all", "tears"):
+            # With the paper's constants, Π1/Π2 are the whole population at
+            # these n (a ≥ n), so the documented reduced-constant TEARS
+            # parameters are used for the trend (DESIGN.md §5.4).
+            params = TearsParams.scaled(0.25) if name == "tears" else None
+            ys = []
+            for n in ns:
+                runs = [
+                    run_consensus(name, n=n, f=(n - 1) // 2, seed=seed,
+                                  params=params)
+                    for seed in range(2)
+                ]
+                assert all(r.completed for r in runs)
+                ys.append(sum(r.messages for r in runs) / len(runs))
+            out[name] = fit_power_law([float(n) for n in ns], ys)
+        return out
+
+    fits = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["exponents"] = {
+        k: round(v.exponent, 3) for k, v in fits.items()
+    }
+    assert fits["tears"].exponent < fits["all-to-all"].exponent - 0.1
+
+
+def test_multivalued_extension_row(benchmark):
+    """Extension beyond the paper's binary protocols: the rotating-candidate
+    multivalued reduction over the same framework, at Table 2 scale."""
+    from repro.consensus.multivalued import run_multivalued_consensus
+
+    def measure():
+        return [
+            run_multivalued_consensus("ears", n=24, f=11, d=2, delta=2,
+                                      seed=seed, crashes=11)
+            for seed in range(3)
+        ]
+
+    runs = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for run in runs:
+        assert run.completed, run.reason
+        assert run.agreement and run.validity
+        assert run.rounds_used <= 6
+    benchmark.extra_info["messages"] = sum(r.messages for r in runs) / 3
+    benchmark.extra_info["mv_rounds"] = max(r.rounds_used for r in runs)

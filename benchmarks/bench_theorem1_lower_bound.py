@@ -1,0 +1,90 @@
+"""Benchmark THM1: regenerate Theorem 1 / Figure 1 (the lower bound).
+
+For every strategy in the portfolio, the adaptive adversary must force
+Ω(n + f²) messages or Ω(f(d+δ)) time:
+
+* trivial / sears / tears — promiscuous senders → Case 1 message blow-up;
+* ears — its quiescence alone takes Ω(f) time at these scales → time cost;
+* uniform epidemic — never quiescent → unbounded time;
+* sparse cascading gossip — Case 2: the adversary finds and isolates a
+  mutually-silent pair (the Figure 1 construction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.lower_bound import run_lower_bound
+from repro.experiments.theorem1 import (
+    PORTFOLIO,
+    format_theorem1,
+    run_theorem1,
+)
+
+_cache = {}
+
+
+def theorem1_rows():
+    if "rows" not in _cache:
+        _cache["rows"] = {
+            row.algorithm: row
+            for row in run_theorem1(n=64, f=16, seeds=range(3),
+                                    phase1_cap=1200)
+        }
+    return _cache["rows"]
+
+
+@pytest.mark.parametrize(
+    "algorithm,expected_case",
+    [
+        ("trivial", "message-blowup"),
+        ("sears", "message-blowup"),
+        ("tears", "message-blowup"),
+        ("ears", "slow-quiesce"),
+        ("uniform", "non-quiescent"),
+    ],
+)
+def test_adversary_forces_cost(benchmark, algorithm, expected_case):
+    rows = theorem1_rows()
+    row = benchmark.pedantic(
+        lambda: rows[algorithm], rounds=1, iterations=1
+    )
+    assert row.dominant_case == expected_case
+    assert row.bound_satisfied
+    benchmark.extra_info["case"] = row.dominant_case
+    benchmark.extra_info["forced_time"] = row.time_forced
+    benchmark.extra_info["forced_messages"] = row.messages_forced
+
+
+def test_case2_isolation_of_frugal_gossip(benchmark):
+    """The Figure 1 construction proper: non-promiscuous processes p, q are
+    found via the sampling argument and isolated for (d+δ)·f/2 time."""
+    def run():
+        return [
+            run_lower_bound(
+                PORTFOLIO["sparse"], n=128, f=32, seed=seed, samples=3,
+                promiscuity_factor=8.0,
+            )
+            for seed in range(3)
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Every run is an adversary win on the time branch: either the pair is
+    # isolated (Case 2), or the algorithm's own quiescence already took
+    # Ω(f) steps (Case 0 — a legitimate outcome of the same strategy).
+    assert all(r.case in ("isolation", "slow-quiesce") for r in reports)
+    successes = [r for r in reports if r.isolation_success]
+    # The proof guarantees probability >= 1/8 per isolation attempt;
+    # empirically sparse gossip is isolated nearly always.
+    assert len(successes) >= 2
+    for report in successes:
+        assert report.measured_time >= report.time_bound
+        assert report.crashes_used <= report.requested_f
+    benchmark.extra_info["isolation_successes"] = len(successes)
+
+
+def test_render_theorem1_table(benchmark):
+    rows = benchmark.pedantic(theorem1_rows, rounds=1, iterations=1)
+    print()
+    print(format_theorem1(list(rows.values())))
+    assert all(row.bound_satisfied for row in rows.values())

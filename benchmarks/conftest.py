@@ -1,0 +1,30 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact (a Table 1/2 row, the
+Theorem 1 construction, a scaling figure) via ``benchmark.pedantic`` with a
+single round: the interesting output is the *measured complexity* (steps,
+messages), which is deterministic, not the wall-clock time. Rendered tables
+are printed so ``pytest benchmarks/ --benchmark-only -s`` reproduces the
+paper's tables on the terminal, and every bench asserts the qualitative
+claim it reproduces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(
+        fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )
+
+
+@pytest.fixture
+def once(benchmark):
+    def _once(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return _once

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""A fault-tolerant decision service built on CR-tears consensus.
+
+A cluster must agree on which of two candidate configurations to activate
+while nodes crash and the network misbehaves. The demo runs the paper's
+headline protocol — Canetti–Rabin consensus over TEARS majority gossip, the
+first constant-time randomized consensus with strictly sub-quadratic
+message complexity — and contrasts its message bill with the classic
+all-to-all implementation and the Ben-Or local-coin baseline.
+
+Run:  python examples/consensus_service.py
+"""
+
+from repro.analysis import render_table
+from repro.consensus import run_consensus
+
+N, F, D, DELTA, SEED = 32, 15, 2, 2, 5
+
+
+def main() -> None:
+    # Nodes 0..15 prefer config A (=0); nodes 16..31 prefer config B (=1):
+    # the adversarial near-even split for binary consensus.
+    preferences = [0 if pid < N // 2 else 1 for pid in range(N)]
+
+    rows = []
+    for protocol in ("all-to-all", "ears", "sears", "tears", "ben-or"):
+        # Ben-Or's local coins make its expected round count exponential
+        # when f = Θ(n) crashes actually happen; cap its budget and let it
+        # show its nature honestly.
+        max_steps = 3000 if protocol == "ben-or" else None
+        run = run_consensus(
+            protocol, n=N, f=F, d=D, delta=DELTA, seed=SEED,
+            values=preferences, crashes=F, max_steps=max_steps,
+        )
+        decision = sorted(set(run.decisions.values()))
+        rows.append([
+            protocol, run.completed, run.agreement and run.validity,
+            decision[0] if len(decision) == 1 else "(none)",
+            run.rounds_used, run.decision_time, run.messages,
+        ])
+        assert run.agreement and run.validity
+
+    print(render_table(
+        ["get-core transport", "completed", "safe", "decision", "rounds",
+         "time (steps)", "messages"],
+        rows,
+        title=f"Randomized consensus, n={N}, f={F} (all {F} crash), "
+              f"d<={D}, delta<={DELTA}, split inputs",
+    ))
+    print()
+    print("Every protocol that decided agreed on a single valid value.")
+    print("The gossip-based get-core implementations trade the all-to-all")
+    print("O(n^2) message bill for the Table 2 complexities. Ben-Or's")
+    print("local coins typically blow its step budget here: with exactly")
+    print("n-f survivors an absolute majority needs all coins to agree —")
+    print("the exponential gap the shared-coin framework closes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Quickstart: run every gossip algorithm from the paper once and compare.
+
+Spins up n = 64 crash-prone processes under an oblivious adversary with
+message delays up to d = 2, scheduling gaps up to δ = 2 and f = 16 random
+crashes, then prints each algorithm's measured time and message complexity
+— a miniature of the paper's Table 1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_gossip
+from repro.analysis import render_table
+
+N, F, D, DELTA, SEED = 64, 16, 2, 2, 7
+
+
+def main() -> None:
+    rows = []
+    for algorithm in ("trivial", "ears", "sears", "tears"):
+        run = run_gossip(
+            algorithm, n=N, f=F, d=D, delta=DELTA, seed=SEED, crashes=F
+        )
+        problem = "majority gossip" if algorithm == "tears" else "gossip"
+        rows.append([
+            algorithm, problem, run.completed, run.completion_time,
+            run.messages, run.realized_d, run.realized_delta, run.crashes,
+        ])
+    print(render_table(
+        ["algorithm", "problem", "completed", "time (steps)", "messages",
+         "d", "delta", "crashes"],
+        rows,
+        title=f"Asynchronous gossip, n={N}, f={F}, oblivious adversary "
+              f"(d<={D}, delta<={DELTA})",
+    ))
+    print()
+    print("Reading the table: trivial is fast but quadratic in messages;")
+    print("ears is frugal but pays polylog time; sears buys constant time")
+    print("with extra messages; tears solves majority gossip in O(d+delta)")
+    print("time with delay-independent message complexity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Explore partially-synchronous complexity across synchrony regimes.
+
+The paper's model charges algorithms for the *realized* synchrony of each
+execution: d (max message delay) and δ (max scheduling gap) are properties
+of the run, unknown to the algorithm. This explorer sweeps synchrony
+regimes along two axes:
+
+* scaling d and δ together (latency grows, relative speeds stay even);
+* skewing d against δ (fast processes waiting on a slow network, and
+  vice versa).
+
+Completion times track d + δ for every algorithm — Table 1's (d+δ)
+factors. Message bills tell the finer story: an epidemic sender's cost
+follows its *local step count*, so it balloons when processes spin fast
+while messages crawl (d ≫ δ), while TEARS' arrival-driven sends never
+depend on how long it spent waiting.
+
+Run:  python examples/tradeoff_explorer.py
+"""
+
+from repro import run_gossip
+from repro.analysis import render_table
+
+N, F = 48, 12
+REGIMES = [(1, 1), (4, 4), (8, 8), (8, 1), (1, 8)]
+ALGORITHMS = ("trivial", "ears", "sears", "tears")
+
+
+def measure(algorithm: str, d: int, delta: int):
+    runs = [
+        run_gossip(algorithm, n=N, f=F, d=d, delta=delta, seed=seed,
+                   crashes=F)
+        for seed in range(3)
+    ]
+    assert all(r.completed for r in runs), algorithm
+    time = sum(r.completion_time for r in runs) / len(runs)
+    messages = sum(r.messages for r in runs) / len(runs)
+    return time, messages
+
+
+def main() -> None:
+    time_rows, message_rows = [], []
+    for algorithm in ALGORITHMS:
+        times, messages = [], []
+        for d, delta in REGIMES:
+            time, msgs = measure(algorithm, d, delta)
+            times.append(time)
+            messages.append(msgs)
+        time_rows.append([algorithm] + times)
+        message_rows.append([algorithm] + messages)
+
+    headers = ["algorithm"] + [f"d={d},δ={x}" for d, x in REGIMES]
+    print(render_table(headers, time_rows,
+                       title=f"completion time (steps), n={N}, f={F}"))
+    print()
+    print(render_table(headers, message_rows,
+                       title=f"messages sent, n={N}, f={F}"))
+    print()
+
+    # TEARS' headline is that its *message bound* carries no d or δ factor:
+    # sends are triggered by arrivals, never by waiting. Raw counts still
+    # vary with arrival batching, but every regime sits under one
+    # regime-independent ceiling (the Theorem 12 accounting).
+    import math
+    from repro.core.params import DEFAULT_TEARS
+
+    a, kappa = DEFAULT_TEARS.a(N), DEFAULT_TEARS.kappa(N)
+    fan_in = 40 * math.sqrt(N) * math.log(N)
+    tears_bound = N * (a + kappa) * (2 * kappa + 2 + fan_in / kappa)
+    tears_measured = message_rows[ALGORITHMS.index("tears")][1:]
+    assert all(m <= tears_bound for m in tears_measured)
+
+    print("Time column: every algorithm's completion time grows with d+δ.")
+    print("Message columns: compare d=8,δ=1 against d=1,δ=8 —")
+    print("  · ears sends one message per LOCAL step: fast processes on a")
+    print("    slow network (d=8,δ=1) take more steps before quiescing and")
+    print("    burn visibly more messages; slow processes (δ=8) don't;")
+    print("  · tears sends only when first-level messages ARRIVE. Raw")
+    print("    counts shift with arrival batching, but every regime stays")
+    print(f"    under the one d/δ-free ceiling of Theorem 12's accounting")
+    print(f"    ({tears_bound:,.0f} for n={N}) — no waiting-time term at")
+    print("    all, unlike every step-driven epidemic.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The reference environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which build a wheel) fail; ``python setup.py develop`` or
+``pip install -e . --no-build-isolation`` with a modern setuptools both work
+through this shim. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

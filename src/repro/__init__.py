@@ -1,0 +1,44 @@
+"""repro — a reproduction of "On the Complexity of Asynchronous Gossip"
+(Georgiou, Gilbert, Guerraoui, Kowalski; PODC 2008).
+
+The package provides:
+
+* :mod:`repro.sim` — the paper's asynchronous system model as a
+  deterministic discrete-step simulator with measured per-execution
+  synchrony parameters (d, δ);
+* :mod:`repro.adversary` — oblivious and adaptive adversaries, including
+  the executable Theorem 1 lower-bound strategy;
+* :mod:`repro.core` — the gossip algorithms: Trivial, EARS, SEARS, TEARS;
+* :mod:`repro.sync` — synchronous baselines (lock-step rounds);
+* :mod:`repro.consensus` — the Canetti–Rabin-based randomized consensus
+  protocols built on each gossip algorithm (Section 6);
+* :mod:`repro.analysis` — complexity bound formulas, scaling-exponent
+  fits, and cost-of-asynchrony ratios;
+* :mod:`repro.experiments` — the per-table/figure reproduction drivers.
+
+Quickstart::
+
+    from repro import run_gossip
+    result = run_gossip("ears", n=64, f=16, d=2, delta=2, seed=1)
+    print(result.completion_time, result.messages)
+"""
+
+from .api import GossipRun, run_consensus, run_gossip
+from .core import Ears, Sears, Tears, TrivialGossip, UniformEpidemicGossip
+from .sim import RunResult, Simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Ears",
+    "GossipRun",
+    "RunResult",
+    "Sears",
+    "Simulation",
+    "Tears",
+    "TrivialGossip",
+    "UniformEpidemicGossip",
+    "__version__",
+    "run_consensus",
+    "run_gossip",
+]

@@ -1,0 +1,44 @@
+"""Small shared helpers used across subpackages."""
+
+from __future__ import annotations
+
+import math
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in a non-negative int (rumor-set cardinality)."""
+    try:
+        return mask.bit_count()  # Python >= 3.10
+    except AttributeError:  # pragma: no cover - legacy interpreter
+        return bin(mask).count("1")
+
+
+def iter_bits(mask: int):
+    """Yield the indices of set bits of ``mask`` in increasing order."""
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def full_mask(n: int) -> int:
+    """Mask with bits ``0..n-1`` set."""
+    return (1 << n) - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Smallest k with 2**k >= n (and 1 for n <= 2, convenient for bounds)."""
+    if n <= 2:
+        return 1
+    return int(math.ceil(math.log2(n)))
+
+
+def ln(n: float) -> float:
+    """Natural log clamped below at 1.0, the form used by threshold formulas.
+
+    Complexity thresholds like Θ(log n) must stay positive for tiny n; the
+    clamp keeps algorithm parameters well-defined in unit tests with n = 2.
+    """
+    return max(1.0, math.log(max(2.0, float(n))))

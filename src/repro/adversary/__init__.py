@@ -1,0 +1,60 @@
+"""Adversaries: the other player in the paper's complexity game.
+
+Oblivious adversaries fix schedule, delays and crashes before the execution;
+adaptive adversaries react to it. The executable Theorem 1 strategy lives in
+:mod:`repro.adversary.lower_bound`.
+"""
+
+from .adaptive import (
+    AdaptiveAdversary,
+    CrashEagerSendersAdversary,
+    ScriptedAdversary,
+    TargetedDelayAdversary,
+)
+from .base import Adversary
+from .crash_plans import (
+    CrashPlan,
+    crash_at,
+    no_crashes,
+    random_crashes,
+    staggered_halving,
+    wave_crashes,
+)
+from .delay_plans import (
+    DelayPlan,
+    FixedDelay,
+    HashDelay,
+    MutableDelay,
+    SlowLinksDelay,
+)
+from .gst import GstAdversary
+from .lower_bound import (
+    LowerBoundExperiment,
+    LowerBoundReport,
+    run_lower_bound,
+)
+from .oblivious import ObliviousAdversary
+
+__all__ = [
+    "AdaptiveAdversary",
+    "Adversary",
+    "CrashEagerSendersAdversary",
+    "CrashPlan",
+    "DelayPlan",
+    "FixedDelay",
+    "GstAdversary",
+    "HashDelay",
+    "LowerBoundExperiment",
+    "LowerBoundReport",
+    "MutableDelay",
+    "ObliviousAdversary",
+    "run_lower_bound",
+    "ScriptedAdversary",
+    "SlowLinksDelay",
+    "TargetedDelayAdversary",
+    "crash_at",
+    "no_crashes",
+    "random_crashes",
+    "staggered_halving",
+    "wave_crashes",
+]

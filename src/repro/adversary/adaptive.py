@@ -1,0 +1,121 @@
+"""Adaptive adversaries: strategies that react to the execution.
+
+An adaptive adversary sees everything — process state, queued messages, past
+coin flips — and chooses schedules, delays and crashes on the fly. Theorem 1
+shows this power makes gossip expensive; :mod:`repro.adversary.lower_bound`
+implements that specific strategy. This module provides the base class plus
+smaller adaptive strategies used in tests and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from ..sim.message import Message
+from .base import Adversary
+
+
+class AdaptiveAdversary(Adversary):
+    """Base for adversaries that inspect the attached simulation.
+
+    Subclasses may read ``self.sim`` freely (the engine attaches it before
+    the first step). Defaults: schedule everyone, delay 1, no crashes —
+    subclasses override the dimensions they manipulate.
+    """
+
+    sim = None
+
+    def crashes_at(self, t: int) -> Set[int]:
+        return set()
+
+    def schedule_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        return set(alive)
+
+    def assign_delay(self, msg: Message) -> int:
+        return 1
+
+    def has_pending_events(self, t: int) -> bool:
+        # Adaptive strategies may always still act; keep the engine stepping
+        # until its step limit unless a subclass knows better.
+        return True
+
+
+class ScriptedAdversary(AdaptiveAdversary):
+    """An adversary whose behaviour is swapped phase-by-phase by a driver.
+
+    The Theorem 1 orchestration runs the execution in phases ("run S1 at
+    full speed", "starve S2", "deliver nothing for f/2 steps", ...); between
+    phases the driver mutates :attr:`scheduled`, :attr:`delay` and pushes
+    crash events. Within a phase the behaviour is fixed.
+    """
+
+    def __init__(self) -> None:
+        self.scheduled: Optional[Set[int]] = None  # None = everyone alive
+        self.delay = 1
+        self._crash_queue: Set[int] = set()
+        self.suppress_delivery_until: Optional[int] = None
+
+    def queue_crashes(self, pids) -> None:
+        self._crash_queue |= set(pids)
+
+    def crashes_at(self, t: int) -> Set[int]:
+        fired, self._crash_queue = self._crash_queue, set()
+        return fired
+
+    def schedule_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        if self.scheduled is None:
+            return set(alive)
+        return set(self.scheduled) & alive
+
+    def assign_delay(self, msg: Message) -> int:
+        if self.suppress_delivery_until is not None:
+            # Hold the message past the horizon of the current phase: the
+            # adversary is exercising its right to a large d.
+            return max(self.delay, self.suppress_delivery_until - msg.sent_at)
+        return self.delay
+
+
+class TargetedDelayAdversary(AdaptiveAdversary):
+    """Delays every message touching a victim set by ``d``; others are fast.
+
+    A simple adaptive stress used in tests: the adversary watches who talks
+    to the victims and slows exactly those links.
+    """
+
+    def __init__(self, victims: Set[int], d: int) -> None:
+        self.victims = frozenset(victims)
+        self.d = d
+
+    def assign_delay(self, msg: Message) -> int:
+        if msg.src in self.victims or msg.dst in self.victims:
+            return self.d
+        return 1
+
+
+class CrashEagerSendersAdversary(AdaptiveAdversary):
+    """Crashes the first ``budget`` distinct processes observed sending.
+
+    With ``watch_dst`` set, only senders addressing that particular process
+    are marked. Demonstrates adaptivity: victims are then a function of the
+    algorithm's own random target choices, which no oblivious plan could
+    express.
+    """
+
+    def __init__(self, budget: int, watch_dst: Optional[int] = None) -> None:
+        self.budget = budget
+        self.watch_dst = watch_dst
+        self._victims: Set[int] = set()
+        self._pending: Set[int] = set()
+
+    def assign_delay(self, msg: Message) -> int:
+        if self.watch_dst is not None and msg.dst != self.watch_dst:
+            return 1
+        if len(self._victims) + len(self._pending) < self.budget:
+            if msg.src not in self._victims:
+                self._pending.add(msg.src)
+        return 1
+
+    def crashes_at(self, t: int) -> Set[int]:
+        fired, self._pending = self._pending, set()
+        self._victims |= fired
+        return fired

@@ -1,0 +1,45 @@
+"""Adversary interface.
+
+The adversary is the other player in the paper's game: at every time step it
+chooses which processes crash and which are scheduled, and it assigns each
+sent message a delay. An *oblivious* adversary fixes all of these choices
+before the execution (independently of the algorithm's coin flips); an
+*adaptive* adversary may inspect the full execution state.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Set
+
+from ..sim.message import Message
+
+
+class Adversary(ABC):
+    """Base contract consumed by :class:`repro.sim.Simulation`."""
+
+    def on_attach(self, sim) -> None:
+        """Called once when the simulation is constructed."""
+        self.sim = sim
+
+    @abstractmethod
+    def crashes_at(self, t: int) -> Set[int]:
+        """Pids to crash at the start of step ``t`` (budget enforced by engine)."""
+
+    @abstractmethod
+    def schedule_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        """Pids (subset of ``alive``) that take a local step at time ``t``."""
+
+    @abstractmethod
+    def assign_delay(self, msg: Message) -> int:
+        """Delay (>= 1) for a just-sent message; determines the execution's d."""
+
+    def has_pending_events(self, t: int) -> bool:
+        """True if the adversary may still act after time ``t``.
+
+        The engine uses this to stop early when the system is stalled (empty
+        network, all processes quiescent): if no crash can still fire, nothing
+        will ever change. Oblivious adversaries answer from their crash plan;
+        the conservative default is False (no pending events).
+        """
+        return False

@@ -1,0 +1,110 @@
+"""Oblivious per-message delay assignment.
+
+A delay plan realizes a target ``d``: every assigned delay is in ``[1, d]``.
+To stay *oblivious*, randomized plans derive each delay from a fixed
+pseudo-random function of ``(seed, src, dst, send time)`` — a choice the
+adversary could have written down before the execution — rather than from any
+state that depends on the algorithm's coin flips.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from abc import ABC, abstractmethod
+from typing import Iterable, Tuple
+
+from ..sim.errors import ConfigurationError
+from ..sim.message import Message
+
+
+class DelayPlan(ABC):
+    """Maps a just-sent message to its delivery delay."""
+
+    #: The bound this plan guarantees (the execution's d is at most this).
+    target_d: int = 1
+
+    @abstractmethod
+    def assign(self, msg: Message) -> int:
+        """Delay in ``[1, target_d]`` for ``msg``."""
+
+
+class FixedDelay(DelayPlan):
+    """Every message takes exactly ``d`` steps."""
+
+    def __init__(self, d: int = 1) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {d}")
+        self.target_d = d
+
+    def assign(self, msg: Message) -> int:
+        return self.target_d
+
+
+class HashDelay(DelayPlan):
+    """Pseudo-random delay in ``[1, d]`` from a fixed function of the message.
+
+    The delay depends only on ``(seed, src, dst, sent_at)``; since an
+    oblivious adversary knows the schedule in advance, this is a table it
+    could have precomputed, independent of the algorithm's randomness.
+    """
+
+    def __init__(self, d: int, seed: int = 0) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {d}")
+        self.target_d = d
+        self.seed = seed
+
+    def assign(self, msg: Message) -> int:
+        if self.target_d == 1:
+            return 1
+        digest = hashlib.sha256(
+            f"{self.seed}/{msg.src}/{msg.dst}/{msg.sent_at}".encode()
+        ).digest()
+        return 1 + int.from_bytes(digest[:4], "big") % self.target_d
+
+
+class SlowLinksDelay(DelayPlan):
+    """Fast delays everywhere except a fixed set of slow directed links.
+
+    Models the paper's motivating pathology ("the e-mail that took two days"):
+    most traffic is fast, but particular links realize the worst-case ``d``.
+    """
+
+    def __init__(
+        self,
+        slow_links: Iterable[Tuple[int, int]],
+        d_slow: int,
+        d_fast: int = 1,
+    ) -> None:
+        if not 1 <= d_fast <= d_slow:
+            raise ConfigurationError(
+                f"need 1 <= d_fast <= d_slow, got {d_fast}, {d_slow}"
+            )
+        self.slow_links = frozenset(slow_links)
+        self.d_slow = d_slow
+        self.d_fast = d_fast
+        self.target_d = d_slow
+
+    def assign(self, msg: Message) -> int:
+        if (msg.src, msg.dst) in self.slow_links:
+            return self.d_slow
+        return self.d_fast
+
+
+class MutableDelay(DelayPlan):
+    """A delay plan whose bound can be swapped between execution phases.
+
+    Used by scripted executions (e.g. the Theorem 1 orchestration) where the
+    adversary runs distinct phases with different delay regimes.
+    """
+
+    def __init__(self, d: int = 1) -> None:
+        self.target_d = d
+
+    def set(self, d: int) -> None:
+        if d < 1:
+            raise ConfigurationError(f"d must be >= 1, got {d}")
+        self.target_d = d
+
+    def assign(self, msg: Message) -> int:
+        return self.target_d

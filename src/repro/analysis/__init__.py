@@ -1,0 +1,44 @@
+"""Complexity analysis utilities: paper bound formulas, scaling fits,
+cost-of-asynchrony ratios, and aggregation statistics."""
+
+from . import bounds
+from .coa import CoaReport, coa_report
+from .convergence import (
+    DisseminationCurve,
+    curves_over_latency,
+    measure_dissemination,
+    render_curve,
+)
+from .memory import StateFootprint, compare_state, measure_state
+from .fitting import (
+    PowerLawFit,
+    doubling_ratio,
+    fit_power_law,
+    fit_power_law_with_log,
+)
+from .stats import Summary, success_rate, summarize, wilson_interval
+from .tables import format_cell, render_markdown, render_table
+
+__all__ = [
+    "CoaReport",
+    "DisseminationCurve",
+    "PowerLawFit",
+    "StateFootprint",
+    "Summary",
+    "bounds",
+    "coa_report",
+    "compare_state",
+    "curves_over_latency",
+    "doubling_ratio",
+    "measure_dissemination",
+    "measure_state",
+    "render_curve",
+    "fit_power_law",
+    "fit_power_law_with_log",
+    "format_cell",
+    "render_markdown",
+    "render_table",
+    "success_rate",
+    "summarize",
+    "wilson_interval",
+]

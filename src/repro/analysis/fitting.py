@@ -1,0 +1,82 @@
+"""Log–log scaling fits.
+
+The paper's bounds are asymptotic; our reproduction checks the *shape* of
+measured curves. The primary tool is a least-squares power-law fit
+``y ≈ c · x^e`` on log-transformed data; ``fit_power_law_with_log`` also
+fits ``y ≈ c · x^e · ln(x)^k`` for a given k, which removes the upward bias
+polylog factors put on a plain exponent estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """y ≈ coefficient · x^exponent (after dividing out declared logs)."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+    log_power: float = 0.0
+
+    def predict(self, x: float) -> float:
+        value = self.coefficient * x ** self.exponent
+        if self.log_power:
+            value *= math.log(max(2.0, x)) ** self.log_power
+        return value
+
+
+def _least_squares_line(xs: Sequence[float], ys: Sequence[float]):
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("all x values identical; cannot fit")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r2
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Fit y ≈ c·x^e by least squares in log–log space."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) points")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need positive data")
+    log_xs = [math.log(x) for x in xs]
+    log_ys = [math.log(y) for y in ys]
+    slope, intercept, r2 = _least_squares_line(log_xs, log_ys)
+    return PowerLawFit(exponent=slope, coefficient=math.exp(intercept),
+                       r_squared=r2)
+
+
+def fit_power_law_with_log(
+    xs: Sequence[float], ys: Sequence[float], log_power: float
+) -> PowerLawFit:
+    """Fit y ≈ c · x^e · ln(x)^k with k fixed (divide out the log factor)."""
+    adjusted = [
+        y / math.log(max(2.0, x)) ** log_power for x, y in zip(xs, ys)
+    ]
+    base = fit_power_law(xs, adjusted)
+    return PowerLawFit(
+        exponent=base.exponent,
+        coefficient=base.coefficient,
+        r_squared=base.r_squared,
+        log_power=log_power,
+    )
+
+
+def doubling_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Average factor y grows per doubling of x (2^exponent estimate)."""
+    return 2 ** fit_power_law(xs, ys).exponent

@@ -1,0 +1,95 @@
+"""Per-process state-size accounting.
+
+The bit-complexity extension (repro.sim.bits) measures what crosses the
+wire; this module measures what sits in memory. The interesting spread at
+a glance:
+
+* EARS/SEARS carry the packed informed-list I(p) — Θ(n²) bits per process
+  (it is the price of the certified stopping rule);
+* TEARS and the push-pull variant keep Θ(n)-bit masks plus counters;
+* the trivial algorithm keeps only its rumor set.
+
+Estimates use the same documented encoding model as the wire meter, so
+state and traffic numbers are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..sim.bits import BitMeter, mask_bits
+
+
+@dataclass(frozen=True)
+class StateFootprint:
+    """Estimated state bits per process for one finished simulation."""
+
+    n: int
+    per_process: Dict[int, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.per_process.values())
+
+    @property
+    def maximum(self) -> int:
+        return max(self.per_process.values(), default=0)
+
+    @property
+    def mean(self) -> float:
+        if not self.per_process:
+            return 0.0
+        return self.total / len(self.per_process)
+
+
+#: Algorithm attributes that hold protocol state worth counting. Private
+#: packed informed-lists are included explicitly (they dominate EARS).
+_STATE_ATTRIBUTES = (
+    "_I",                       # packed informed-lists (EARS/push-pull)
+    "up_msg_cnt",
+    "first_level_rumor_mask",
+    "safe_rumor_mask",
+    "done_mask",
+    "heartbeats",
+    "sleep_cnt",
+)
+
+
+def algorithm_state_bits(algorithm, meter: BitMeter) -> int:
+    """Estimate one algorithm instance's protocol state in bits."""
+    total = 0
+    rumors = getattr(algorithm, "rumors", None)
+    if rumors is not None:
+        total += mask_bits(rumors.mask)
+        if rumors.payloads:
+            total += meter(rumors.payloads)
+    for attribute in _STATE_ATTRIBUTES:
+        value = getattr(algorithm, attribute, None)
+        if value is not None:
+            total += meter(value)
+    return total
+
+
+def measure_state(sim) -> StateFootprint:
+    """State footprint of every live process in a simulation."""
+    meter = BitMeter(sim.n)
+    return StateFootprint(
+        n=sim.n,
+        per_process={
+            pid: algorithm_state_bits(sim.algorithm(pid), meter)
+            for pid in sim.alive_pids
+        },
+    )
+
+
+def compare_state(algorithms: List[str], n: int = 64, f: int = 16,
+                  seed: int = 1) -> Dict[str, StateFootprint]:
+    """Run each named gossip algorithm and report its state footprint."""
+    from ..api import run_gossip
+
+    out = {}
+    for name in algorithms:
+        run = run_gossip(name, n=n, f=f, seed=seed)
+        out[name] = measure_state(run.sim)
+    return out

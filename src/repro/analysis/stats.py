@@ -1,0 +1,66 @@
+"""Small statistics helpers for aggregating repeated seeded trials.
+
+The paper's guarantees are "with high probability"; the reproduction runs
+each configuration across several seeds and reports means with normal-
+approximation confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Mean, spread, and a ~95% confidence half-width of a sample."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci95: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetics
+        return f"{self.mean:.1f} ± {self.ci95:.1f} (n={self.count})"
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sample; stdev/ci are 0 for singleton samples."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stdev = math.sqrt(variance)
+        ci95 = 1.96 * stdev / math.sqrt(n)
+    else:
+        stdev = ci95 = 0.0
+    return Summary(
+        count=n, mean=mean, stdev=stdev,
+        minimum=min(values), maximum=max(values), ci95=ci95,
+    )
+
+
+def success_rate(outcomes: Sequence[bool]) -> float:
+    if not outcomes:
+        raise ValueError("cannot take the rate of an empty sample")
+    return sum(bool(o) for o in outcomes) / len(outcomes)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96):
+    """Wilson score interval for a Bernoulli success probability."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    phat = successes / trials
+    denom = 1 + z * z / trials
+    center = (phat + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(phat * (1 - phat) / trials + z * z / (4 * trials ** 2))
+        / denom
+    )
+    return max(0.0, center - half), min(1.0, center + half)

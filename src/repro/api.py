@@ -1,0 +1,252 @@
+"""High-level one-call API for running gossip and consensus executions.
+
+This is the entry point a downstream user (and the examples/) should reach
+for; everything here composes the lower-level building blocks — algorithms,
+adversaries, monitors, the engine — with sensible defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Union
+
+from ._util import ceil_log2
+from .adversary.crash_plans import CrashPlan, no_crashes, random_crashes
+from .adversary.oblivious import ObliviousAdversary
+from .core.adaptive_fanout import AdaptiveFanoutGossip
+from .core.base import make_processes
+from .core.ears import Ears
+from .core.properties import gathering_holds
+from .core.push_pull import PushPullGossip
+from .core.sears import Sears
+from .core.sparse import SparseGossip
+from .core.tears import Tears
+from .core.trivial import TrivialGossip
+from .core.uniform import UniformEpidemicGossip
+from .sim.engine import RunResult, Simulation
+from .sim.errors import ConfigurationError
+from .sim.monitor import GossipCompletionMonitor, PredicateMonitor
+
+GOSSIP_ALGORITHMS = {
+    "trivial": TrivialGossip,
+    "ears": Ears,
+    "sears": Sears,
+    "tears": Tears,
+    "uniform": UniformEpidemicGossip,
+    "adaptive-fanout": AdaptiveFanoutGossip,
+    "sparse": SparseGossip,
+    "push-pull": PushPullGossip,
+}
+
+#: Algorithms that solve the weaker *majority gossip* problem (Section 5).
+MAJORITY_ALGORITHMS = frozenset({"tears"})
+
+
+@dataclass
+class GossipRun:
+    """Outcome of a gossip execution plus the complexity measurements."""
+
+    algorithm: str
+    n: int
+    f: int
+    completed: bool
+    reason: str
+    completion_time: Optional[int]
+    gathering_time: Optional[int]
+    messages: int
+    messages_by_kind: Dict[str, int]
+    #: Estimated payload bits sent; 0 unless measure_bits=True was passed.
+    bits: int
+    realized_d: int
+    realized_delta: int
+    crashes: int
+    result: RunResult
+    sim: Simulation
+
+    @property
+    def time(self) -> Optional[int]:
+        """Alias for the paper's time complexity measure."""
+        return self.completion_time
+
+
+def _resolve_crash_plan(
+    crashes: Union[None, int, CrashPlan],
+    n: int,
+    f: int,
+    d: int,
+    delta: int,
+    seed: int,
+) -> CrashPlan:
+    if crashes is None:
+        return no_crashes()
+    if isinstance(crashes, CrashPlan):
+        if crashes.total > f:
+            raise ConfigurationError(
+                f"crash plan kills {crashes.total} > f={f} processes"
+            )
+        return crashes
+    count = int(crashes)
+    if count > f:
+        raise ConfigurationError(f"cannot crash {count} > f={f} processes")
+    horizon = max(1, 8 * (d + delta))
+    return random_crashes(n, count, horizon, seed=seed)
+
+
+def default_step_limit(n: int, f: int, d: int, delta: int) -> int:
+    """A generous ceiling: ~100× the slowest algorithm's expected completion.
+
+    EARS completes in O((n/(n−f)) log² n (d+δ)) w.h.p.; the limit leaves two
+    orders of magnitude of slack so a hit limit signals a real bug, not an
+    unlucky seed.
+    """
+    scale = n / max(1, n - f)
+    return int(max(10_000, 400 * scale * ceil_log2(n) ** 2 * (d + delta)))
+
+
+def run_gossip(
+    algorithm: str = "ears",
+    n: int = 64,
+    f: int = 0,
+    d: int = 1,
+    delta: int = 1,
+    seed: int = 0,
+    crashes: Union[None, int, CrashPlan] = None,
+    params: Any = None,
+    payloads: Optional[Sequence[Any]] = None,
+    max_steps: Optional[int] = None,
+    majority: Optional[bool] = None,
+    check_interval: int = 1,
+    measure_bits: bool = False,
+) -> GossipRun:
+    """Run one gossip execution under a uniform oblivious (d, δ)-adversary.
+
+    Args:
+        algorithm: one of ``trivial``, ``ears``, ``sears``, ``tears``,
+            ``uniform``.
+        n: number of processes.
+        f: failure tolerance bound (0 ≤ f < n); also bounds the crash plan.
+        d: target maximum message delay of the execution.
+        delta: target maximum scheduling gap of the execution.
+        seed: master seed; the run is a deterministic function of all args.
+        crashes: ``None`` (failure-free), an int (that many random victims
+            with random early crash times), or an explicit
+            :class:`~repro.adversary.crash_plans.CrashPlan`.
+        params: algorithm parameter object (:class:`EarsParams`,
+            :class:`SearsParams` or :class:`TearsParams`); defaults used
+            otherwise.
+        payloads: optional per-process rumor contents.
+        max_steps: step ceiling; default derived from (n, f, d, delta).
+        majority: override the completion notion; default is majority
+            gossip for ``tears`` and full gossip otherwise.
+        check_interval: how often (in steps) the monitor is evaluated.
+
+    Returns:
+        A :class:`GossipRun` with completion status, the time and message
+        complexity measures, and the realized per-execution d and δ.
+    """
+    try:
+        algorithm_class = GOSSIP_ALGORITHMS[algorithm]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {algorithm!r}; "
+            f"choose from {sorted(GOSSIP_ALGORITHMS)}"
+        ) from None
+
+    plan = _resolve_crash_plan(crashes, n, f, d, delta, seed)
+    adversary = ObliviousAdversary.uniform(d, delta, seed=seed, crashes=plan)
+
+    if majority is None:
+        majority = algorithm in MAJORITY_ALGORITHMS
+
+    monitor: Any
+    if algorithm == "uniform" and not isinstance(params, dict):
+        # The naive epidemic never quiesces; completion = gathering only.
+        monitor = PredicateMonitor(
+            lambda sim: gathering_holds(sim), name="gathering-only"
+        )
+    else:
+        monitor = GossipCompletionMonitor(majority=majority)
+
+    kwargs: Dict[str, Any] = {}
+    if params is not None and algorithm != "trivial":
+        if isinstance(params, dict):
+            kwargs.update(params)
+        else:
+            kwargs["params"] = params
+
+    processes = make_processes(n, f, algorithm_class, payloads, **kwargs)
+    bit_meter = None
+    if measure_bits:
+        from .sim.bits import BitMeter
+
+        bit_meter = BitMeter(n)
+    sim = Simulation(
+        n=n,
+        f=f,
+        algorithms=processes,
+        adversary=adversary,
+        monitor=monitor,
+        seed=seed,
+        check_interval=check_interval,
+        bit_meter=bit_meter,
+    )
+    limit = max_steps if max_steps is not None else default_step_limit(
+        n, f, d, delta
+    )
+    result = sim.run(max_steps=limit)
+
+    gathering_time = getattr(monitor, "gathering_time", None)
+    if gathering_time is None and result.completed:
+        gathering_time = result.completion_time
+    return GossipRun(
+        algorithm=algorithm,
+        n=n,
+        f=f,
+        completed=result.completed,
+        reason=result.reason,
+        completion_time=result.completion_time,
+        gathering_time=gathering_time,
+        messages=result.messages,
+        messages_by_kind=dict(result.metrics["messages_by_kind"]),
+        bits=result.metrics["bits_sent"],
+        realized_d=result.metrics["realized_d"],
+        realized_delta=result.metrics["realized_delta"],
+        crashes=result.metrics["crashes"],
+        result=result,
+        sim=sim,
+    )
+
+
+def run_consensus(
+    gossip: str = "ears",
+    n: int = 16,
+    f: Optional[int] = None,
+    d: int = 1,
+    delta: int = 1,
+    seed: int = 0,
+    values: Optional[Sequence[int]] = None,
+    crashes: Union[None, int, CrashPlan] = None,
+    max_steps: Optional[int] = None,
+):
+    """Run one randomized consensus execution (Section 6).
+
+    ``gossip`` selects the get-core transport: ``all-to-all`` (the original
+    Canetti–Rabin style O(n²) exchange), or ``ears`` / ``sears`` / ``tears``
+    for the paper's message-efficient variants. Requires f < n/2.
+
+    Implemented in :mod:`repro.consensus`; see
+    :func:`repro.consensus.run_consensus` for the full signature.
+    """
+    from .consensus.runner import run_consensus as _run
+
+    return _run(
+        gossip=gossip,
+        n=n,
+        f=f,
+        d=d,
+        delta=delta,
+        seed=seed,
+        values=values,
+        crashes=crashes,
+        max_steps=max_steps,
+    )

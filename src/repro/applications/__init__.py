@@ -1,0 +1,60 @@
+"""Applications of asynchronous gossip beyond consensus.
+
+The paper's conclusions point past consensus: "we believe that efficient
+solutions to majority gossip can lead to efficient solutions for other
+distributed problems, even beyond consensus, such as load balancing and
+distributed atomic shared memory implementations"; the introduction cites
+failure detection [25] and cooperative computing (do-all [7]) as classic
+gossip consumers. This package builds those four applications on the same
+asynchronous substrate:
+
+* :mod:`.do_all` — perform t tasks despite crashes, sharing progress via
+  epidemic gossip (the do-all problem of Chlebus et al. [7]);
+* :mod:`.atomic_register` — a single-writer multi-reader atomic register
+  from majority quorums (ABD-style), the "distributed atomic shared
+  memory" direction;
+* :mod:`.load_balancing` — push-sum gossip averaging (the aggregation
+  setting of Boyd et al. [5], here under the paper's adversarial model);
+* :mod:`.failure_detector` — a gossip-style heartbeat failure-detection
+  service (van Renesse et al. [25]).
+"""
+
+from .atomic_register import (
+    RegisterClient,
+    RegisterReplica,
+    RegisterRun,
+    run_register_session,
+)
+from .do_all import DoAllProcess, DoAllRun, run_do_all
+from .mw_register import (
+    MultiWriterClient,
+    MwRegisterRun,
+    check_mw_atomicity,
+    run_mw_register_session,
+)
+from .failure_detector import (
+    FailureDetectorRun,
+    HeartbeatProcess,
+    run_failure_detector,
+)
+from .load_balancing import LoadBalancingRun, PushSumProcess, run_push_sum
+
+__all__ = [
+    "DoAllProcess",
+    "DoAllRun",
+    "FailureDetectorRun",
+    "HeartbeatProcess",
+    "LoadBalancingRun",
+    "MultiWriterClient",
+    "MwRegisterRun",
+    "PushSumProcess",
+    "RegisterClient",
+    "RegisterReplica",
+    "RegisterRun",
+    "check_mw_atomicity",
+    "run_do_all",
+    "run_mw_register_session",
+    "run_failure_detector",
+    "run_push_sum",
+    "run_register_session",
+]

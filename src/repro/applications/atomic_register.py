@@ -1,0 +1,345 @@
+"""A single-writer multi-reader atomic register from majority quorums.
+
+The "distributed atomic shared memory" direction from the paper's
+conclusions, built ABD-style (Attiya–Bar-Noy–Dolev) on the same
+asynchronous substrate: n replicas, f < n/2 crashes.
+
+* ``write(v)``: the writer stamps v with an increasing timestamp, sends
+  WRITE(ts, v) to all replicas and completes on a majority of acks.
+* ``read()``: the reader queries all replicas, takes the value with the
+  highest timestamp among a majority of replies, **writes it back** to a
+  majority (the ABD write-back that makes reads atomic rather than merely
+  regular), then returns it.
+
+Clients are modeled as processes that run scripted operation sequences;
+the runner collects the completed-operation history and
+:func:`check_atomicity` verifies the single-writer linearizability
+conditions on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..adversary.crash_plans import CrashPlan, no_crashes
+from ..adversary.oblivious import ObliviousAdversary
+from ..sim.engine import Simulation
+from ..sim.message import Message
+from ..sim.monitor import PredicateMonitor
+from ..sim.process import Algorithm, Context
+
+KIND_WRITE = "reg-write"
+KIND_WRITE_ACK = "reg-write-ack"
+KIND_READ = "reg-read"
+KIND_READ_REPLY = "reg-read-reply"
+
+
+class RegisterReplica(Algorithm):
+    """One replica: stores the highest-timestamped (ts, value) seen.
+
+    ``initial_timestamp`` sets the minimal element of the timestamp order —
+    0 for the single-writer integer timestamps, ``(0, -1)`` for the
+    multi-writer lexicographic tags of :mod:`repro.applications.mw_register`.
+    """
+
+    def __init__(self, pid: int, n: int, f: int,
+                 initial_timestamp: Any = 0) -> None:
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.timestamp = initial_timestamp
+        self.value: Any = None
+
+    def on_step(self, ctx: Context, inbox: List[Message]) -> None:
+        for msg in inbox:
+            kind = msg.payload[0]
+            if kind == KIND_WRITE:
+                _, op_id, ts, value = msg.payload
+                if ts > self.timestamp:
+                    self.timestamp, self.value = ts, value
+                ctx.send(msg.src, (KIND_WRITE_ACK, op_id),
+                         kind=KIND_WRITE_ACK)
+            elif kind == KIND_READ:
+                _, op_id = msg.payload
+                ctx.send(
+                    msg.src,
+                    (KIND_READ_REPLY, op_id, self.timestamp, self.value),
+                    kind=KIND_READ_REPLY,
+                )
+
+    def is_quiescent(self) -> bool:
+        return True  # replicas only react
+
+
+@dataclass
+class OpRecord:
+    """One completed client operation, with invocation/response times."""
+
+    client: int
+    kind: str                      # "write" | "read"
+    value: Any
+    timestamp: int                 # the ts written / the ts read
+    invoked_at: int
+    completed_at: int
+
+
+class RegisterClient(Algorithm):
+    """Runs a script of operations against the replica set.
+
+    Script entries: ``("write", value)`` or ``("read",)``. Exactly one
+    client may issue writes (single-writer register). ``think_steps``
+    local steps separate consecutive operations.
+    """
+
+    def __init__(self, pid: int, n: int, f: int,
+                 script: Sequence[Tuple], replicas: Sequence[int],
+                 think_steps: int = 0, writer: bool = False) -> None:
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.script = list(script)
+        self.replicas = list(replicas)
+        self.quorum = len(self.replicas) // 2 + 1
+        self.writer = writer
+        self.think_steps = think_steps
+
+        self.history: List[OpRecord] = []
+        self._op_index = 0
+        self._op_seq = 0
+        self._phase: Optional[str] = None   # None | write | query | back
+        self._pending_op_id: Optional[Tuple[int, int]] = None
+        self._acks = 0
+        self._replies: List[Tuple[int, Any]] = []
+        self._write_ts = 0
+        self._current: Optional[dict] = None
+        self._think = 0
+        self._steps = 0
+
+    # -- phase helpers ------------------------------------------------------
+
+    def _new_op_id(self) -> Tuple[int, int]:
+        self._op_seq += 1
+        return (self.pid, self._op_seq)
+
+    def _broadcast(self, ctx: Context, payload, kind: str) -> None:
+        for replica in self.replicas:
+            ctx.send(replica, payload, kind=kind)
+
+    def _start_next_op(self, ctx: Context) -> None:
+        if self._op_index >= len(self.script):
+            return
+        op = self.script[self._op_index]
+        self._op_index += 1
+        op_id = self._new_op_id()
+        self._pending_op_id = op_id
+        self._acks = 0
+        self._replies = []
+        if op[0] == "write":
+            if not self.writer:
+                raise ValueError(f"client {self.pid} is not the writer")
+            self._write_ts += 1
+            self._current = {"kind": "write", "value": op[1],
+                             "ts": self._write_ts,
+                             "invoked": self._steps}
+            self._phase = "write"
+            self._broadcast(
+                ctx, (KIND_WRITE, op_id, self._write_ts, op[1]), KIND_WRITE
+            )
+        else:
+            self._current = {"kind": "read", "invoked": self._steps}
+            self._phase = "query"
+            self._broadcast(ctx, (KIND_READ, op_id), KIND_READ)
+
+    def _complete(self, value: Any, ts: int) -> None:
+        self.history.append(
+            OpRecord(
+                client=self.pid,
+                kind=self._current["kind"],
+                value=value,
+                timestamp=ts,
+                invoked_at=self._current["invoked"],
+                completed_at=self._steps,
+            )
+        )
+        self._phase = None
+        self._current = None
+        self._pending_op_id = None
+        self._think = self.think_steps
+
+    # -- the client loop ---------------------------------------------------
+
+    def on_step(self, ctx: Context, inbox: List[Message]) -> None:
+        self._steps += 1
+        for msg in inbox:
+            payload = msg.payload
+            if payload[1] != self._pending_op_id:
+                continue  # stale reply from a finished operation
+            if payload[0] == KIND_WRITE_ACK:
+                self._acks += 1
+            elif payload[0] == KIND_READ_REPLY:
+                self._replies.append((payload[2], payload[3]))
+
+        if self._phase == "write" and self._acks >= self.quorum:
+            self._complete(self._current["value"], self._current["ts"])
+        elif self._phase == "query" and len(self._replies) >= self.quorum:
+            ts, value = max(self._replies, key=lambda r: r[0])
+            self._current["ts"], self._current["value"] = ts, value
+            # ABD write-back phase.
+            op_id = self._new_op_id()
+            self._pending_op_id = op_id
+            self._acks = 0
+            self._phase = "back"
+            self._broadcast(ctx, (KIND_WRITE, op_id, ts, value), KIND_WRITE)
+        elif self._phase == "back" and self._acks >= self.quorum:
+            self._complete(self._current["value"], self._current["ts"])
+
+        if self._phase is None:
+            if self._think > 0:
+                self._think -= 1
+            else:
+                self._start_next_op(ctx)
+
+    def is_done(self) -> bool:
+        return self._phase is None and self._op_index >= len(self.script)
+
+    def is_quiescent(self) -> bool:
+        # Mid-operation a client is waiting on replies (reactive sends
+        # happen only when quorum responses arrive), but treat only a
+        # finished client as quiescent so stalls surface as incompletions.
+        return self.is_done()
+
+
+@dataclass
+class RegisterRun:
+    completed: bool
+    reason: str
+    time: Optional[int]
+    messages: int
+    histories: Dict[int, List[OpRecord]]
+    crashes: int
+    sim: Simulation = field(repr=False, default=None)
+
+
+def check_atomicity(histories: Dict[int, List[OpRecord]]) -> List[str]:
+    """Single-writer atomicity checks; returns violation descriptions.
+
+    * writer timestamps strictly increase;
+    * per client, read timestamps never go backwards;
+    * a read invoked after some operation completed with timestamp T
+      returns timestamp ≥ T (real-time order respected, using the global
+      step counts recorded at invocation/completion);
+    * every read's (ts, value) matches what the writer wrote at ts.
+    """
+    violations = []
+    writes: Dict[int, Any] = {0: None}
+    for history in histories.values():
+        for record in history:
+            if record.kind == "write":
+                if record.timestamp in writes:
+                    violations.append(
+                        f"duplicate write timestamp {record.timestamp}"
+                    )
+                writes[record.timestamp] = record.value
+
+    all_records = [r for h in histories.values() for r in h]
+    for record in all_records:
+        if record.kind == "read":
+            if record.timestamp not in writes:
+                violations.append(
+                    f"read returned unknown timestamp {record.timestamp}"
+                )
+            elif writes[record.timestamp] != record.value:
+                violations.append(
+                    f"read value {record.value!r} does not match write at "
+                    f"ts {record.timestamp}"
+                )
+
+    for history in histories.values():
+        seen_ts = -1
+        for record in history:
+            if record.kind == "read":
+                if record.timestamp < seen_ts:
+                    violations.append(
+                        f"client {record.client}: read ts went backwards "
+                        f"({record.timestamp} after {seen_ts})"
+                    )
+            seen_ts = max(seen_ts, record.timestamp)
+
+    # Real-time: completed op with ts T, then later-invoked read: ts >= T.
+    for earlier in all_records:
+        for later in all_records:
+            if later.kind != "read":
+                continue
+            if later.invoked_at > earlier.completed_at:
+                if later.timestamp < earlier.timestamp:
+                    violations.append(
+                        f"read by {later.client} (ts {later.timestamp}) "
+                        f"invoked after op with ts {earlier.timestamp} "
+                        "completed"
+                    )
+    return violations
+
+
+def run_register_session(
+    n_replicas: int = 8,
+    writer_script: Sequence[Tuple] = (("write", "a"), ("write", "b")),
+    reader_scripts: Sequence[Sequence[Tuple]] = ((("read",), ("read",)),),
+    d: int = 1,
+    delta: int = 1,
+    seed: int = 0,
+    crashes: Optional[CrashPlan] = None,
+    think_steps: int = 2,
+    max_steps: int = 50_000,
+) -> RegisterRun:
+    """Run one register session: replicas + 1 writer + k reader clients.
+
+    Process ids: replicas occupy ``0..n_replicas-1``; the writer and the
+    readers follow. Crashes should target replicas only (fewer than half).
+    """
+    replicas = list(range(n_replicas))
+    n = n_replicas + 1 + len(reader_scripts)
+    f = (n_replicas - 1) // 2
+    plan = crashes if crashes is not None else no_crashes()
+
+    algorithms: List[Algorithm] = [
+        RegisterReplica(pid, n, f) for pid in replicas
+    ]
+    writer_pid = n_replicas
+    algorithms.append(
+        RegisterClient(writer_pid, n, f, writer_script, replicas,
+                       think_steps=think_steps, writer=True)
+    )
+    for offset, script in enumerate(reader_scripts):
+        algorithms.append(
+            RegisterClient(n_replicas + 1 + offset, n, f, script, replicas,
+                           think_steps=think_steps)
+        )
+
+    clients = list(range(n_replicas, n))
+
+    def all_clients_done(sim: Simulation) -> bool:
+        return all(
+            sim.algorithm(pid).is_done()
+            for pid in clients if sim.is_alive(pid)
+        )
+
+    adversary = ObliviousAdversary.uniform(d, delta, seed=seed, crashes=plan)
+    sim = Simulation(
+        n=n, f=max(f, plan.total), algorithms=algorithms,
+        adversary=adversary,
+        monitor=PredicateMonitor(all_clients_done, "clients-done"),
+        seed=seed,
+    )
+    result = sim.run(max_steps=max_steps)
+    return RegisterRun(
+        completed=result.completed,
+        reason=result.reason,
+        time=result.completion_time,
+        messages=result.messages,
+        histories={
+            pid: sim.algorithm(pid).history for pid in clients
+        },
+        crashes=result.metrics["crashes"],
+        sim=sim,
+    )

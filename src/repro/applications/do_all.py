@@ -1,0 +1,204 @@
+"""Do-All: perform t tasks on n crash-prone processes (Chlebus et al. [7]).
+
+Every idempotent task must be executed at least once despite up to f
+crashes; the quality measures are *work* (total task executions, ideally
+close to t) and message complexity. Knowledge of completed tasks spreads
+the same way rumors do — by epidemic gossip with an EARS-style stopping
+rule — which is exactly why the paper's do-all citation appears beside
+consensus as a gossip application.
+
+Two task-selection strategies are provided:
+
+* ``"partition"`` — process p walks the task ring starting at its own
+  segment (p·t/n), skipping tasks it knows are done. Work stays close to
+  t + (crashed segments redone); the classic balanced-allocation heuristic.
+* ``"random"`` — pick a uniformly random not-known-done task. Simple, but
+  the coupon-collector tail duplicates work near the end.
+* ``"replicated"`` — every process performs every task itself, ignoring
+  what it hears about others' progress: the zero-coordination upper bound
+  (work = (n − crashed)·t) that quantifies what the gossip buys.
+
+A process performs at most one task per local step (a local step *is* the
+unit of computation in the model), piggy-backing its done-set on one
+epidemic message per step, and goes quiescent after an EARS-style
+shut-down tail once it knows every task is done.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .._util import full_mask, ln, popcount
+from ..adversary.crash_plans import CrashPlan, no_crashes
+from ..adversary.oblivious import ObliviousAdversary
+from ..sim.engine import Simulation
+from ..sim.message import Message
+from ..sim.monitor import PredicateMonitor
+from ..sim.process import Algorithm, Context
+
+KIND_PROGRESS = "do-all"
+
+
+class DoAllProcess(Algorithm):
+    """One worker: executes tasks, gossips its done-set."""
+
+    def __init__(self, pid: int, n: int, f: int, tasks: int,
+                 strategy: str = "partition",
+                 shutdown_sends: Optional[int] = None) -> None:
+        if strategy not in ("partition", "random", "replicated"):
+            raise ValueError(f"unknown strategy {strategy!r}")
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.tasks = tasks
+        self.strategy = strategy
+        self.done_mask = 0
+        self.executions: List[int] = []
+        self._cursor = (pid * tasks) // n
+        self._own_done_count = 0
+        self._all_done_mask = full_mask(tasks)
+        self.shutdown_sends = (
+            shutdown_sends if shutdown_sends is not None
+            else max(1, math.ceil(2 * ln(n)))
+        )
+        self._quiet_sends = 0
+
+    # -- task selection ---------------------------------------------------- #
+
+    def _next_task(self, ctx: Context) -> Optional[int]:
+        if self.strategy == "replicated":
+            # Walk my own full task list once, regardless of gossip.
+            if self._own_done_count >= self.tasks:
+                return None
+            task = self._cursor
+            self._cursor = (self._cursor + 1) % self.tasks
+            self._own_done_count += 1
+            return task
+        if self.done_mask == self._all_done_mask:
+            return None
+        if self.strategy == "random":
+            undone = [
+                t for t in range(self.tasks)
+                if not self.done_mask >> t & 1
+            ]
+            return ctx.rng.choice(undone)
+        for _ in range(self.tasks):
+            task = self._cursor
+            self._cursor = (self._cursor + 1) % self.tasks
+            if not self.done_mask >> task & 1:
+                return task
+        return None
+
+    # -- the worker loop ---------------------------------------------------#
+
+    def on_step(self, ctx: Context, inbox: List[Message]) -> None:
+        for msg in inbox:
+            self.done_mask |= msg.payload
+
+        task = self._next_task(ctx)
+        if task is not None:
+            # Executing the task is this step's computation.
+            self.executions.append(task)
+            self.done_mask |= 1 << task
+            self._quiet_sends = 0
+
+        if self.done_mask != self._all_done_mask:
+            ctx.send(ctx.random_peer(), self.done_mask, kind=KIND_PROGRESS)
+        elif self._quiet_sends < self.shutdown_sends:
+            # EARS-style tail: spread the news that everything is done.
+            ctx.send(ctx.random_peer(), self.done_mask, kind=KIND_PROGRESS)
+            self._quiet_sends += 1
+
+    def is_quiescent(self) -> bool:
+        return (
+            self.done_mask == self._all_done_mask
+            and self._quiet_sends >= self.shutdown_sends
+        )
+
+    @property
+    def work(self) -> int:
+        return len(self.executions)
+
+
+@dataclass
+class DoAllRun:
+    """Outcome of one do-all execution."""
+
+    n: int
+    f: int
+    tasks: int
+    strategy: str
+    completed: bool
+    reason: str
+    time: Optional[int]
+    messages: int
+    work: int
+    duplicated_work: int
+    crashes: int
+    per_process_work: Dict[int, int]
+    sim: Simulation
+
+    @property
+    def work_overhead(self) -> float:
+        """Total executions per task; 1.0 is optimal."""
+        return self.work / self.tasks
+
+
+def run_do_all(
+    n: int = 32,
+    f: int = 8,
+    tasks: int = 128,
+    strategy: str = "partition",
+    d: int = 1,
+    delta: int = 1,
+    seed: int = 0,
+    crashes: Optional[CrashPlan] = None,
+    max_steps: int = 100_000,
+) -> DoAllRun:
+    """Run do-all to completion: all tasks done, everyone knows, all quiet."""
+    plan = crashes if crashes is not None else no_crashes()
+    adversary = ObliviousAdversary.uniform(d, delta, seed=seed, crashes=plan)
+    workers = [
+        DoAllProcess(pid, n, f, tasks, strategy=strategy)
+        for pid in range(n)
+    ]
+    target = full_mask(tasks)
+
+    def all_done_and_quiet(sim: Simulation) -> bool:
+        if sim.network.in_flight:
+            return False
+        return all(
+            sim.algorithm(pid).done_mask == target
+            and sim.algorithm(pid).is_quiescent()
+            for pid in sim.alive_pids
+        )
+
+    sim = Simulation(
+        n=n, f=f, algorithms=workers, adversary=adversary,
+        monitor=PredicateMonitor(all_done_and_quiet, "do-all"), seed=seed,
+    )
+    result = sim.run(max_steps=max_steps)
+
+    executed_union = 0
+    total_work = 0
+    per_process = {}
+    for pid in range(n):
+        worker = sim.algorithm(pid)
+        per_process[pid] = worker.work
+        total_work += worker.work
+        for task in worker.executions:
+            executed_union |= 1 << task
+
+    completed = result.completed and popcount(executed_union) == tasks
+    return DoAllRun(
+        n=n, f=f, tasks=tasks, strategy=strategy,
+        completed=completed, reason=result.reason,
+        time=result.completion_time, messages=result.messages,
+        work=total_work,
+        duplicated_work=total_work - popcount(executed_union),
+        crashes=result.metrics["crashes"],
+        per_process_work=per_process,
+        sim=sim,
+    )

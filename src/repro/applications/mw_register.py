@@ -1,0 +1,282 @@
+"""Multi-writer multi-reader atomic register (full ABD).
+
+Extends :mod:`repro.applications.atomic_register` from single-writer to
+multi-writer: values are stamped with lexicographic tags
+``(sequence, writer_pid)``, and a write becomes two quorum phases — query
+a majority for the highest tag, then propagate ``(max_sequence + 1, own
+pid)``. Reads are unchanged (query + write-back). Replicas are reused
+verbatim: they already store and serve the highest tag seen, and Python
+tuples order lexicographically.
+
+The atomicity checker generalizes the single-writer one: tags are unique
+by construction, reads return values matching the tag's write, per-client
+tag monotonicity holds, and the real-time order on completed operations is
+respected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..adversary.crash_plans import CrashPlan, no_crashes
+from ..adversary.oblivious import ObliviousAdversary
+from ..sim.engine import Simulation
+from ..sim.message import Message
+from ..sim.monitor import PredicateMonitor
+from ..sim.process import Algorithm, Context
+from .atomic_register import (
+    KIND_READ,
+    KIND_READ_REPLY,
+    KIND_WRITE,
+    KIND_WRITE_ACK,
+    RegisterReplica,
+)
+
+Tag = Tuple[int, int]   # (sequence, writer_pid): lexicographic order
+ZERO_TAG: Tag = (0, -1)
+
+
+@dataclass
+class MwOpRecord:
+    """One completed operation in the multi-writer history."""
+
+    client: int
+    kind: str              # "write" | "read"
+    value: Any
+    tag: Tag
+    invoked_at: int
+    completed_at: int
+
+
+class MultiWriterClient(Algorithm):
+    """A client that may both write and read, ABD-MW style.
+
+    Script entries: ``("write", value)`` or ``("read",)``.
+    """
+
+    def __init__(self, pid: int, n: int, f: int,
+                 script: Sequence[Tuple], replicas: Sequence[int],
+                 think_steps: int = 0) -> None:
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.script = list(script)
+        self.replicas = list(replicas)
+        self.quorum = len(self.replicas) // 2 + 1
+        self.think_steps = think_steps
+
+        self.history: List[MwOpRecord] = []
+        self._op_index = 0
+        self._op_seq = 0
+        # phases: None | w-query | w-prop | r-query | r-back
+        self._phase: Optional[str] = None
+        self._pending_op_id: Optional[Tuple[int, int]] = None
+        self._acks = 0
+        self._replies: List[Tuple[Tag, Any]] = []
+        self._current: Optional[dict] = None
+        self._think = 0
+        self._steps = 0
+
+    # -- plumbing ---------------------------------------------------------- #
+
+    def _new_op_id(self) -> Tuple[int, int]:
+        self._op_seq += 1
+        return (self.pid, self._op_seq)
+
+    def _broadcast(self, ctx: Context, payload, kind: str) -> None:
+        for replica in self.replicas:
+            ctx.send(replica, payload, kind=kind)
+
+    def _query(self, ctx: Context) -> None:
+        op_id = self._new_op_id()
+        self._pending_op_id = op_id
+        self._replies = []
+        self._broadcast(ctx, (KIND_READ, op_id), KIND_READ)
+
+    def _propagate(self, ctx: Context, tag: Tag, value: Any) -> None:
+        op_id = self._new_op_id()
+        self._pending_op_id = op_id
+        self._acks = 0
+        self._broadcast(ctx, (KIND_WRITE, op_id, tag, value), KIND_WRITE)
+
+    def _start_next_op(self, ctx: Context) -> None:
+        if self._op_index >= len(self.script):
+            return
+        op = self.script[self._op_index]
+        self._op_index += 1
+        if op[0] == "write":
+            self._current = {"kind": "write", "value": op[1],
+                             "invoked": self._steps}
+            self._phase = "w-query"
+        else:
+            self._current = {"kind": "read", "invoked": self._steps}
+            self._phase = "r-query"
+        self._query(ctx)
+
+    def _complete(self, value: Any, tag: Tag) -> None:
+        self.history.append(
+            MwOpRecord(
+                client=self.pid, kind=self._current["kind"], value=value,
+                tag=tag, invoked_at=self._current["invoked"],
+                completed_at=self._steps,
+            )
+        )
+        self._phase = None
+        self._current = None
+        self._pending_op_id = None
+        self._think = self.think_steps
+
+    # -- the client loop ----------------------------------------------------
+
+    def on_step(self, ctx: Context, inbox: List[Message]) -> None:
+        self._steps += 1
+        for msg in inbox:
+            payload = msg.payload
+            if payload[1] != self._pending_op_id:
+                continue
+            if payload[0] == KIND_WRITE_ACK:
+                self._acks += 1
+            elif payload[0] == KIND_READ_REPLY:
+                raw_tag = payload[2]
+                tag = raw_tag if isinstance(raw_tag, tuple) else ZERO_TAG
+                self._replies.append((tag, payload[3]))
+
+        if self._phase == "w-query" and len(self._replies) >= self.quorum:
+            max_tag = max((tag for tag, _ in self._replies),
+                          default=ZERO_TAG)
+            tag: Tag = (max_tag[0] + 1, self.pid)
+            self._current["tag"] = tag
+            self._phase = "w-prop"
+            self._propagate(ctx, tag, self._current["value"])
+        elif self._phase == "w-prop" and self._acks >= self.quorum:
+            self._complete(self._current["value"], self._current["tag"])
+        elif self._phase == "r-query" and len(self._replies) >= self.quorum:
+            tag, value = max(self._replies, key=lambda reply: reply[0])
+            self._current["tag"], self._current["value"] = tag, value
+            self._phase = "r-back"
+            self._propagate(ctx, tag, value)
+        elif self._phase == "r-back" and self._acks >= self.quorum:
+            self._complete(self._current["value"], self._current["tag"])
+
+        if self._phase is None:
+            if self._think > 0:
+                self._think -= 1
+            else:
+                self._start_next_op(ctx)
+
+    def is_done(self) -> bool:
+        return self._phase is None and self._op_index >= len(self.script)
+
+    def is_quiescent(self) -> bool:
+        return self.is_done()
+
+
+@dataclass
+class MwRegisterRun:
+    completed: bool
+    reason: str
+    time: Optional[int]
+    messages: int
+    histories: Dict[int, List[MwOpRecord]]
+    crashes: int
+    sim: Simulation = field(repr=False, default=None)
+
+
+def check_mw_atomicity(histories: Dict[int, List[MwOpRecord]]) -> List[str]:
+    """Multi-writer atomicity checks; returns violation descriptions."""
+    violations: List[str] = []
+    writes: Dict[Tag, Any] = {ZERO_TAG: None}
+    for history in histories.values():
+        for record in history:
+            if record.kind == "write":
+                if record.tag in writes:
+                    violations.append(f"duplicate write tag {record.tag}")
+                writes[record.tag] = record.value
+
+    all_records = [r for h in histories.values() for r in h]
+    for record in all_records:
+        if record.kind == "read":
+            if record.tag not in writes:
+                violations.append(f"read returned unknown tag {record.tag}")
+            elif writes[record.tag] != record.value:
+                violations.append(
+                    f"read value {record.value!r} mismatches write at "
+                    f"tag {record.tag}"
+                )
+
+    for history in histories.values():
+        best = ZERO_TAG
+        for record in history:
+            if record.kind == "read" and record.tag < best:
+                violations.append(
+                    f"client {record.client}: read tag went backwards"
+                )
+            best = max(best, record.tag)
+
+    for earlier in all_records:
+        for later in all_records:
+            if later.kind != "read":
+                continue
+            if later.invoked_at > earlier.completed_at:
+                if later.tag < earlier.tag:
+                    violations.append(
+                        f"read by {later.client} saw tag {later.tag} after "
+                        f"op with tag {earlier.tag} completed"
+                    )
+    return violations
+
+
+def run_mw_register_session(
+    n_replicas: int = 8,
+    client_scripts: Sequence[Sequence[Tuple]] = (
+        (("write", "a"), ("read",)),
+        (("write", "b"), ("read",)),
+    ),
+    d: int = 1,
+    delta: int = 1,
+    seed: int = 0,
+    crashes: Optional[CrashPlan] = None,
+    think_steps: int = 1,
+    max_steps: int = 50_000,
+) -> MwRegisterRun:
+    """Run a session where every client may both read and write."""
+    replicas = list(range(n_replicas))
+    n = n_replicas + len(client_scripts)
+    f = (n_replicas - 1) // 2
+    plan = crashes if crashes is not None else no_crashes()
+
+    algorithms: List[Algorithm] = [
+        RegisterReplica(pid, n, f, initial_timestamp=ZERO_TAG)
+        for pid in replicas
+    ]
+    for offset, script in enumerate(client_scripts):
+        algorithms.append(
+            MultiWriterClient(n_replicas + offset, n, f, script, replicas,
+                              think_steps=think_steps)
+        )
+    clients = list(range(n_replicas, n))
+
+    def all_clients_done(sim: Simulation) -> bool:
+        return all(
+            sim.algorithm(pid).is_done()
+            for pid in clients if sim.is_alive(pid)
+        )
+
+    adversary = ObliviousAdversary.uniform(d, delta, seed=seed, crashes=plan)
+    sim = Simulation(
+        n=n, f=max(f, plan.total), algorithms=algorithms,
+        adversary=adversary,
+        monitor=PredicateMonitor(all_clients_done, "clients-done"),
+        seed=seed,
+    )
+    result = sim.run(max_steps=max_steps)
+    return MwRegisterRun(
+        completed=result.completed,
+        reason=result.reason,
+        time=result.completion_time,
+        messages=result.messages,
+        histories={pid: sim.algorithm(pid).history for pid in clients},
+        crashes=result.metrics["crashes"],
+        sim=sim,
+    )

@@ -1,0 +1,244 @@
+"""Command-line interface: ``repro-gossip`` / ``python -m repro``.
+
+Subcommands map one-to-one onto the experiment drivers, so every table and
+figure of the paper can be regenerated from a shell:
+
+    repro-gossip gossip --algorithm ears -n 64 -f 16 -d 2 --delta 2
+    repro-gossip consensus --transport tears -n 32
+    repro-gossip table1 -n 64
+    repro-gossip table2 -n 32
+    repro-gossip theorem1 -n 64 -f 16
+    repro-gossip corollary2 -n 64 -f 16
+    repro-gossip scaling --max-n 256
+    repro-gossip scenarios
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .api import GOSSIP_ALGORITHMS, run_gossip
+from .consensus import run_consensus
+from .experiments import (
+    format_corollary2,
+    format_scaling,
+    format_table1,
+    format_table2,
+    format_theorem1,
+    ordering_is_correct,
+    run_corollary2,
+    run_message_scaling,
+    run_table1,
+    run_table2,
+    run_theorem1,
+)
+from .workloads import SCENARIOS
+from .workloads.sweeps import geometric_ns
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-n", type=int, default=64, help="process count")
+    parser.add_argument("-f", type=int, default=None,
+                        help="failure bound (default: algorithm-appropriate)")
+    parser.add_argument("-d", type=int, default=1, help="target max delay")
+    parser.add_argument("--delta", type=int, default=1,
+                        help="target max scheduling gap")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seeds", type=int, default=3,
+                        help="number of seeds for aggregated experiments")
+    parser.add_argument("--crashes", type=int, default=None,
+                        help="random crash count (default: none)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description="Reproduction of 'On the Complexity of Asynchronous "
+                    "Gossip' (PODC 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("gossip", help="run one gossip execution")
+    _add_common(p)
+    p.add_argument("--algorithm", default="ears",
+                   choices=sorted(GOSSIP_ALGORITHMS))
+
+    p = sub.add_parser("consensus", help="run one consensus execution")
+    _add_common(p)
+    p.add_argument("--transport", default="ears",
+                   choices=["all-to-all", "ears", "sears", "tears", "ben-or"])
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    _add_common(p)
+
+    p = sub.add_parser("table2", help="regenerate Table 2")
+    _add_common(p)
+
+    p = sub.add_parser("theorem1", help="run the lower-bound adversary")
+    _add_common(p)
+
+    p = sub.add_parser("corollary2", help="measure the cost of asynchrony")
+    _add_common(p)
+
+    p = sub.add_parser("scaling", help="fit message-scaling exponents")
+    p.add_argument("--min-n", type=int, default=32)
+    p.add_argument("--max-n", type=int, default=256)
+    p.add_argument("--seeds", type=int, default=2)
+
+    sub.add_parser("scenarios", help="list named workload scenarios")
+
+    p = sub.add_parser("report",
+                       help="run every experiment; emit a markdown report")
+    p.add_argument("--output", default=None,
+                   help="write the report to this file (default: stdout)")
+    p.add_argument("--seeds", type=int, default=2)
+
+    p = sub.add_parser(
+        "inspect",
+        help="run one traced gossip execution and show its timeline",
+    )
+    _add_common(p)
+    p.add_argument("--algorithm", default="ears",
+                   choices=sorted(GOSSIP_ALGORITHMS))
+    p.add_argument("--width", type=int, default=100,
+                   help="timeline columns")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "gossip":
+        f = args.f if args.f is not None else args.n // 4
+        run = run_gossip(
+            args.algorithm, n=args.n, f=f, d=args.d, delta=args.delta,
+            seed=args.seed, crashes=args.crashes,
+        )
+        print(
+            f"{args.algorithm}: completed={run.completed} "
+            f"time={run.completion_time} messages={run.messages} "
+            f"realized(d={run.realized_d}, delta={run.realized_delta}) "
+            f"crashes={run.crashes}"
+        )
+        return 0 if run.completed else 1
+
+    if args.command == "consensus":
+        f = args.f if args.f is not None else (args.n - 1) // 2
+        run = run_consensus(
+            args.transport, n=args.n, f=f, d=args.d, delta=args.delta,
+            seed=args.seed, crashes=args.crashes,
+        )
+        print(
+            f"CR-{args.transport}: completed={run.completed} "
+            f"time={run.decision_time} messages={run.messages} "
+            f"rounds={run.rounds_used} agreement={run.agreement} "
+            f"validity={run.validity} decision="
+            f"{sorted(set(run.decisions.values()))}"
+        )
+        return 0 if run.completed and run.agreement else 1
+
+    if args.command == "table1":
+        f = args.f if args.f is not None else args.n // 4
+        print(format_table1(run_table1(
+            n=args.n, f=f, d=max(2, args.d), delta=max(2, args.delta),
+            seeds=range(args.seeds),
+        )))
+        return 0
+
+    if args.command == "table2":
+        f = args.f if args.f is not None else (args.n - 1) // 2
+        print(format_table2(run_table2(
+            n=args.n, f=f, d=max(2, args.d), delta=max(2, args.delta),
+            seeds=range(args.seeds),
+        )))
+        return 0
+
+    if args.command == "theorem1":
+        f = args.f if args.f is not None else args.n // 4
+        print(format_theorem1(run_theorem1(
+            n=args.n, f=f, seeds=range(args.seeds),
+        )))
+        return 0
+
+    if args.command == "corollary2":
+        f = args.f if args.f is not None else args.n // 4
+        print(format_corollary2(run_corollary2(
+            n=args.n, f=f, seeds=range(args.seeds),
+        )))
+        return 0
+
+    if args.command == "scaling":
+        rows = run_message_scaling(
+            ns=geometric_ns(args.min_n, args.max_n),
+            seeds=range(args.seeds),
+        )
+        print(format_scaling(rows))
+        print(f"paper ordering (trivial > tears > sears > ears): "
+              f"{ordering_is_correct(rows)}")
+        return 0
+
+    if args.command == "scenarios":
+        for name, scenario in sorted(SCENARIOS.items()):
+            print(f"{name:16s} d={scenario.d} delta={scenario.delta}  "
+                  f"{scenario.description}")
+        return 0
+
+    if args.command == "report":
+        from .experiments.report import ReportConfig, generate_report
+
+        report = generate_report(ReportConfig(seeds=args.seeds))
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(report)
+            print(f"report written to {args.output}")
+        else:
+            print(report)
+        return 0
+
+    if args.command == "inspect":
+        from .adversary.crash_plans import random_crashes
+        from .adversary.oblivious import ObliviousAdversary
+        from .analysis.timeline import crash_summary, render_timeline
+        from .api import GOSSIP_ALGORITHMS as registry
+        from .core.base import make_processes
+        from .sim.engine import Simulation
+        from .sim.monitor import GossipCompletionMonitor
+        from .sim.trace import EventTrace
+
+        n = args.n
+        f = args.f if args.f is not None else n // 4
+        plan = (
+            random_crashes(n, args.crashes, 8 * (args.d + args.delta),
+                           seed=args.seed)
+            if args.crashes else None
+        )
+        trace = EventTrace()
+        sim = Simulation(
+            n=n, f=f,
+            algorithms=make_processes(n, f, registry[args.algorithm]),
+            adversary=ObliviousAdversary.uniform(
+                args.d, args.delta, seed=args.seed, crashes=plan,
+            ),
+            monitor=GossipCompletionMonitor(
+                majority=args.algorithm == "tears"
+            ),
+            seed=args.seed,
+            trace=trace,
+        )
+        result = sim.run(max_steps=100_000)
+        print(render_timeline(trace, n=n, width=args.width))
+        for line in crash_summary(trace):
+            print(line)
+        print(
+            f"{args.algorithm}: completed={result.completed} "
+            f"time={result.completion_time} messages={result.messages}"
+        )
+        return 0 if result.completed else 1
+
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

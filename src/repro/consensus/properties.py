@@ -1,0 +1,81 @@
+"""Checkers for the consensus requirements (Section 6).
+
+(1) Agreement: every value output is the same. (2) Validity: every value
+output is some process's initial value. (3) Termination: every (live)
+process eventually outputs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+
+def agreement_holds(decisions: Dict[int, Any]) -> bool:
+    """All decided values identical (vacuously true with no decisions)."""
+    values = list(decisions.values())
+    return all(value == values[0] for value in values) if values else True
+
+
+def validity_holds(decisions: Dict[int, Any],
+                   initial_values: Sequence[Any]) -> bool:
+    """Every decided value was someone's input.
+
+    Uses equality rather than hashing so unhashable proposals (dicts,
+    lists) from multivalued consensus are supported.
+    """
+    return all(
+        any(value == proposed for proposed in initial_values)
+        for value in decisions.values()
+    )
+
+
+def termination_holds(sim, decisions: Dict[int, Any]) -> bool:
+    """Every live process decided."""
+    return all(pid in decisions for pid in sim.alive_pids)
+
+
+def collect_decisions(sim) -> Dict[int, Any]:
+    """Decisions of all processes (live or crashed) that ever decided."""
+    return {
+        pid: sim.algorithm(pid).decided
+        for pid in range(sim.n)
+        if sim.algorithm(pid).decided is not None
+    }
+
+
+def core_property_violations(sim) -> list:
+    """Check the get-core specification on a finished CR execution.
+
+    Section 6 requires: "there exists some set S containing at least a
+    majority of the votes such that each call to get-core returns at least
+    the votes in S". The stage-2 outcome stored in each process's history
+    for a voting IS its get-core return, so for every voting that at least
+    two processes completed, the intersection of their returns must itself
+    contain ⌊n/2⌋ + 1 votes. Returns a list of violation descriptions.
+    """
+    violations = []
+    need = sim.n // 2 + 1
+    returns_by_voting: Dict[tuple, list] = {}
+    for pid in range(sim.n):
+        algorithm = sim.algorithm(pid)
+        history = getattr(algorithm, "history", None)
+        if not history:
+            continue
+        for (rnd, voting, stage), outcome in history.items():
+            if stage == 2:
+                returns_by_voting.setdefault((rnd, voting), []).append(
+                    (pid, outcome)
+                )
+    for (rnd, voting), returns in returns_by_voting.items():
+        if len(returns) < 2:
+            continue
+        common = set(returns[0][1])
+        for _, outcome in returns[1:]:
+            common &= set(outcome)
+        if len(common) < need:
+            violations.append(
+                f"voting (round={rnd}, voting={voting}): common core has "
+                f"only {len(common)} of the required {need} votes across "
+                f"{len(returns)} returns"
+            )
+    return violations

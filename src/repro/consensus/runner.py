@@ -1,0 +1,159 @@
+"""One-call drivers for consensus executions (the Table 2 harness)."""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Optional, Sequence, Union
+
+from ..adversary.crash_plans import CrashPlan, no_crashes, random_crashes
+from ..adversary.oblivious import ObliviousAdversary
+from ..core.ears import Ears
+from ..core.sears import Sears
+from ..core.tears import Tears
+from ..core.trivial import TrivialGossip
+from ..sim.engine import Simulation
+from ..sim.errors import ConfigurationError
+from ..sim.monitor import PredicateMonitor
+from .ben_or import BenOrConsensus
+from .canetti_rabin import CanettiRabinConsensus
+from .properties import (
+    agreement_holds,
+    collect_decisions,
+    termination_holds,
+    validity_holds,
+)
+from .values import ConsensusRun
+
+#: get-core transports, keyed by the Table 2 row they reproduce.
+TRANSPORTS = {
+    "all-to-all": TrivialGossip,  # the original Canetti–Rabin O(n²) row
+    "ears": Ears,
+    "sears": Sears,
+    "tears": Tears,
+}
+
+
+def make_transport(name: str, params: Any = None):
+    """Resolve a transport name to a gossip factory, with optional params."""
+    try:
+        transport = TRANSPORTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown transport {name!r}; choose from "
+            f"{sorted(TRANSPORTS)} or 'ben-or'"
+        ) from None
+    if params is not None:
+        return partial(transport, params=params)
+    return transport
+
+
+def default_values(n: int) -> list:
+    """The hard input for binary consensus: a near-even split."""
+    return [pid % 2 for pid in range(n)]
+
+
+def run_consensus(
+    gossip: str = "ears",
+    n: int = 16,
+    f: Optional[int] = None,
+    d: int = 1,
+    delta: int = 1,
+    seed: int = 0,
+    values: Optional[Sequence[Any]] = None,
+    crashes: Union[None, int, CrashPlan] = None,
+    params: Any = None,
+    max_steps: Optional[int] = None,
+    probe_interval: int = 6,
+    adversary=None,
+) -> ConsensusRun:
+    """Run one randomized consensus execution and check its properties.
+
+    ``gossip`` is a Table 2 row: ``all-to-all`` (Canetti–Rabin baseline),
+    ``ears``, ``sears``, ``tears``, or the historical ``ben-or``. Consensus
+    requires f < n/2 (the paper's standing assumption in Section 6).
+
+    ``adversary`` overrides the default uniform oblivious adversary (e.g.
+    a :class:`~repro.adversary.gst.GstAdversary` for eventually-synchronous
+    executions); ``crashes`` is ignored when an adversary is supplied.
+    """
+    if f is None:
+        f = (n - 1) // 2
+    if not 0 <= f < n / 2:
+        raise ConfigurationError(
+            f"consensus requires 0 <= f < n/2, got f={f}, n={n}"
+        )
+    if values is None:
+        values = default_values(n)
+    if len(values) != n:
+        raise ConfigurationError(
+            f"expected {n} initial values, got {len(values)}"
+        )
+
+    if adversary is None:
+        if crashes is None:
+            plan = no_crashes()
+        elif isinstance(crashes, CrashPlan):
+            plan = crashes
+        else:
+            plan = random_crashes(n, int(crashes), max(1, 8 * (d + delta)),
+                                  seed=seed)
+        if plan.total > f:
+            raise ConfigurationError(
+                f"crash plan kills {plan.total} > f={f} processes"
+            )
+
+    if gossip == "ben-or":
+        algorithms = [
+            BenOrConsensus(pid, n, f, values[pid]) for pid in range(n)
+        ]
+    else:
+        factory = make_transport(gossip, params)
+        algorithms = [
+            CanettiRabinConsensus(
+                pid, n, f, values[pid], factory,
+                probe_interval=probe_interval,
+            )
+            for pid in range(n)
+        ]
+
+    if adversary is None:
+        adversary = ObliviousAdversary.uniform(d, delta, seed=seed,
+                                               crashes=plan)
+    monitor = PredicateMonitor(
+        lambda sim: all(
+            sim.algorithm(pid).decided is not None for pid in sim.alive_pids
+        ),
+        name="all-decided",
+    )
+    sim = Simulation(
+        n=n, f=f, algorithms=algorithms, adversary=adversary,
+        monitor=monitor, seed=seed,
+    )
+    limit = max_steps if max_steps is not None else max(
+        20_000, 600 * (d + delta) * n
+    )
+    result = sim.run(max_steps=limit)
+
+    decisions = collect_decisions(sim)
+    rounds = max(
+        (sim.algorithm(pid).decided_round or 0 for pid in decisions),
+        default=0,
+    )
+    return ConsensusRun(
+        gossip=gossip,
+        n=n,
+        f=f,
+        completed=result.completed and termination_holds(sim, decisions),
+        reason=result.reason,
+        decision_time=result.completion_time,
+        messages=result.messages,
+        messages_by_kind=dict(result.metrics["messages_by_kind"]),
+        decisions=decisions,
+        rounds_used=rounds,
+        agreement=agreement_holds(decisions),
+        validity=validity_holds(decisions, values),
+        realized_d=result.metrics["realized_d"],
+        realized_delta=result.metrics["realized_delta"],
+        crashes=result.metrics["crashes"],
+        sim=sim,
+    )

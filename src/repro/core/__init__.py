@@ -1,0 +1,72 @@
+"""The paper's contribution: asynchronous gossip algorithms.
+
+* :class:`TrivialGossip` — direct all-to-all (Θ(n²) messages, O(d+δ) time).
+* :class:`Ears` — epidemic gossip with informed-list stopping (Section 3).
+* :class:`Sears` — the spamming constant-time variant (Section 4).
+* :class:`Tears` — two-hop majority gossip (Section 5).
+* :class:`UniformEpidemicGossip` — the naive epidemic without a stopping
+  rule, used as the ablation baseline.
+"""
+
+from .adaptive_fanout import AdaptiveFanoutGossip
+from .base import GossipAlgorithm, make_processes
+from .ears import Ears
+from .majority import DeterministicMajorityGossip, targeted_arc_crash_plan
+from .push_pull import PushPullGossip
+from .sparse import SparseGossip
+from .epidemic import EpidemicGossip, KIND_GOSSIP, KIND_SHUTDOWN
+from .params import (
+    DEFAULT_EARS,
+    DEFAULT_SEARS,
+    DEFAULT_TEARS,
+    EarsParams,
+    SearsParams,
+    TearsParams,
+)
+from .properties import (
+    correct_pids,
+    gathering_holds,
+    majority_gathering_holds,
+    own_rumor_retained,
+    quiescence_holds,
+    validity_holds,
+)
+from .rumors import RumorSet, mask_of
+from .sears import Sears
+from .tears import KIND_FIRST_LEVEL, KIND_SECOND_LEVEL, Tears
+from .trivial import TrivialGossip
+from .uniform import UniformEpidemicGossip
+
+__all__ = [
+    "AdaptiveFanoutGossip",
+    "DEFAULT_EARS",
+    "DEFAULT_SEARS",
+    "DEFAULT_TEARS",
+    "DeterministicMajorityGossip",
+    "Ears",
+    "PushPullGossip",
+    "SparseGossip",
+    "targeted_arc_crash_plan",
+    "EarsParams",
+    "EpidemicGossip",
+    "GossipAlgorithm",
+    "KIND_FIRST_LEVEL",
+    "KIND_GOSSIP",
+    "KIND_SECOND_LEVEL",
+    "KIND_SHUTDOWN",
+    "RumorSet",
+    "Sears",
+    "SearsParams",
+    "Tears",
+    "TearsParams",
+    "TrivialGossip",
+    "UniformEpidemicGossip",
+    "correct_pids",
+    "gathering_holds",
+    "majority_gathering_holds",
+    "make_processes",
+    "mask_of",
+    "own_rumor_retained",
+    "quiescence_holds",
+    "validity_holds",
+]

@@ -1,0 +1,128 @@
+"""Asynchronous push–pull gossip with delta-encoded replies.
+
+The paper's epidemic algorithms *push* their full state every step, which
+(as the bit-complexity extension measures) makes EARS message-frugal but
+bit-heavy: every message ships the Θ(n²)-bit informed-list. The classic
+synchronous alternative — Karp et al.'s push–pull — suggests the
+asynchronous counterpart implemented here:
+
+* each local step, send a tiny **digest** — just the n-bit rumor mask, no
+  payloads, no informed-list — to one random peer;
+* a peer holding rumors the digest lacks answers with a **delta**: only
+  the missing rumors. A peer with nothing new stays silent, so redundant
+  traffic costs one digest, never a payload;
+* stopping still uses a *certificate*, but built from local evidence only:
+  a digest from q proves q holds its mask's rumors; my own digests and
+  deltas prove what I sent where. Without relaying informed-lists, a
+  process must hear from (or talk to) every peer before its L(p) empties —
+  a coupon-collector wait of Θ(n log n) local steps instead of EARS'
+  polylog. That is the trade this design makes explicit:
+
+      EARS:       few messages, heavy bits, fast certified stop;
+      push–pull:  light bits,  more steps to certify the stop.
+
+This is a baseline/extension for the bit-complexity study (§7 future
+work), not one of the paper's algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from .._util import ln
+from ..sim.message import Message
+from ..sim.process import Context
+from .base import GossipAlgorithm
+from .epidemic import _repunit
+
+KIND_DIGEST = "pp-digest"
+KIND_DELTA = "pp-delta"
+KIND_ACK = "pp-ack"
+
+
+class PushPullGossip(GossipAlgorithm):
+    """Digest/delta epidemic with a locally-certified stopping rule."""
+
+    def __init__(self, pid: int, n: int, f: int, rumor_payload=None,
+                 shutdown_constant: float = 2.0) -> None:
+        super().__init__(pid, n, f, rumor_payload)
+        # Packed local-evidence informed-list: bit q·n + r means "I have
+        # direct evidence rumor r reached q".
+        self._I = self.rumors.mask << (pid * n)
+        self.shutdown_sends = max(1, math.ceil(
+            shutdown_constant * (n / max(1, n - f)) * ln(n)
+        ))
+        self.sleep_cnt = 0
+
+    # -- state inspection --------------------------------------------------
+
+    def l_is_empty(self) -> bool:
+        return not (self.rumors.mask * _repunit(self.n) & ~self._I)
+
+    @property
+    def asleep(self) -> bool:
+        return self.sleep_cnt > self.shutdown_sends
+
+    def is_quiescent(self) -> bool:
+        return self.asleep
+
+    # -- the loop ------------------------------------------------------------
+
+    def on_step(self, ctx: Context, inbox: List[Message]) -> None:
+        n = self.n
+        delta_replies = []
+        ack_replies = []
+        saw_unknown = False
+        for msg in inbox:
+            if msg.kind == KIND_DIGEST:
+                their_mask = msg.payload
+                # The digest proves its sender holds those rumors.
+                self._I |= their_mask << (msg.src * n)
+                if their_mask & ~self.rumors.mask:
+                    # The sender holds rumors we have never seen: wake up
+                    # (if asleep) so our next digests pull them.
+                    saw_unknown = True
+                missing = self.rumors.mask & ~their_mask
+                if missing:
+                    delta_replies.append((msg.src, missing))
+                else:
+                    # Nothing to teach: answer with an ack-digest so the
+                    # asker still gains evidence about *us*. Without this,
+                    # an asker could wait forever on a sleeping peer whose
+                    # full mask it never witnessed. Acks are never
+                    # answered, so no ping-pong.
+                    ack_replies.append(msg.src)
+            elif msg.kind == KIND_ACK:
+                self._I |= msg.payload << (msg.src * n)
+            else:  # KIND_DELTA
+                mask, payloads = msg.payload
+                self.rumors.merge(mask, payloads)
+                self._I |= mask << (self.pid * n)
+
+        for dst, missing in delta_replies:
+            payloads = (
+                {pid: value
+                 for pid, value in self.rumors.payloads.items()
+                 if missing >> pid & 1}
+                or None
+            )
+            ctx.send(dst, (missing, payloads), kind=KIND_DELTA)
+            self._I |= missing << (dst * n)
+        for dst in ack_replies:
+            ctx.send(dst, self.rumors.mask, kind=KIND_ACK)
+
+        if saw_unknown or not self.l_is_empty():
+            self.sleep_cnt = 0
+        else:
+            self.sleep_cnt += 1
+
+        if self.sleep_cnt <= self.shutdown_sends:
+            dst = ctx.random_peer()
+            ctx.send(dst, self.rumors.mask, kind=KIND_DIGEST)
+            # A digest transmits the rumor identities, which is the
+            # "sent to dst" event the L(p) certificate is about (exactly
+            # EARS' semantics, where pairs record sends, not receipts —
+            # in particular sends to processes that later prove crashed).
+            # Receivers pull any payloads they lack via their own digests.
+            self._I |= self.rumors.mask << (dst * n)

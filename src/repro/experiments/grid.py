@@ -1,0 +1,207 @@
+"""Experiment grids: cartesian sweeps with caching and parallelism.
+
+The benches each drive one artifact; exploratory work wants bigger
+sweeps — every algorithm × n × (d, δ) × failure fraction × seed — without
+re-running cells after a crash or an interrupt. :class:`GridRunner`
+provides that:
+
+* a **grid spec** names a registered record function and the parameter
+  lists to cross;
+* results are flat dicts appended to a JSONL store keyed by the cell's
+  canonical parameters, so re-running a grid only executes missing cells;
+* cells are independent, so an optional process pool runs them in
+  parallel (record functions are module-level and referenced by name,
+  keeping everything picklable).
+
+Registered record functions: ``"gossip"`` (one `run_gossip` cell) and
+``"consensus"`` (one `run_consensus` cell); applications and custom
+experiments can register their own via :func:`register_recorder`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+Recorder = Callable[..., Dict[str, Any]]
+
+_RECORDERS: Dict[str, Recorder] = {}
+
+
+def register_recorder(name: str, fn: Recorder) -> None:
+    """Register a module-level record function under ``name``."""
+    _RECORDERS[name] = fn
+
+
+def get_recorder(name: str) -> Recorder:
+    try:
+        return _RECORDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown recorder {name!r}; registered: {sorted(_RECORDERS)}"
+        ) from None
+
+
+# -- built-in recorders ---------------------------------------------------- #
+
+def gossip_recorder(**params: Any) -> Dict[str, Any]:
+    """One gossip cell: returns the complexity measures as a flat record."""
+    from ..api import run_gossip
+
+    run = run_gossip(**params)
+    return {
+        "completed": run.completed,
+        "reason": run.reason,
+        "time": run.completion_time,
+        "gathering_time": run.gathering_time,
+        "messages": run.messages,
+        "bits": run.bits,
+        "realized_d": run.realized_d,
+        "realized_delta": run.realized_delta,
+        "crashes": run.crashes,
+    }
+
+
+def consensus_recorder(**params: Any) -> Dict[str, Any]:
+    """One consensus cell."""
+    from ..consensus import run_consensus
+
+    run = run_consensus(**params)
+    return {
+        "completed": run.completed,
+        "reason": run.reason,
+        "time": run.decision_time,
+        "messages": run.messages,
+        "rounds": run.rounds_used,
+        "agreement": run.agreement,
+        "validity": run.validity,
+        "crashes": run.crashes,
+    }
+
+
+register_recorder("gossip", gossip_recorder)
+register_recorder("consensus", consensus_recorder)
+
+
+# -- grid machinery --------------------------------------------------------#
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A named sweep: recorder + parameter lists to cross + seeds."""
+
+    name: str
+    recorder: str
+    grid: Dict[str, Sequence[Any]]
+    seeds: Sequence[int] = (0,)
+
+    def cells(self) -> List[Dict[str, Any]]:
+        """All parameter combinations, seed included."""
+        keys = sorted(self.grid)
+        combos = itertools.product(*(self.grid[k] for k in keys))
+        cells = []
+        for combo in combos:
+            base = dict(zip(keys, combo))
+            for seed in self.seeds:
+                cell = dict(base)
+                cell["seed"] = seed
+                cells.append(cell)
+        return cells
+
+
+def cell_key(params: Dict[str, Any]) -> str:
+    """Canonical JSON key for a cell (order-independent)."""
+    return json.dumps(params, sort_keys=True, default=str)
+
+
+def _run_cell(args):
+    recorder_name, params = args
+    record = get_recorder(recorder_name)(**params)
+    return params, record
+
+
+@dataclass
+class GridRunner:
+    """Executes grid specs with a JSONL cache and optional parallelism."""
+
+    out_dir: Optional[str] = None
+    processes: int = 1
+    _stores: Dict[str, Dict[str, Dict[str, Any]]] = field(
+        default_factory=dict
+    )
+
+    def _store_path(self, name: str) -> Optional[str]:
+        if self.out_dir is None:
+            return None
+        os.makedirs(self.out_dir, exist_ok=True)
+        return os.path.join(self.out_dir, f"{name}.jsonl")
+
+    def _load(self, name: str) -> Dict[str, Dict[str, Any]]:
+        if name in self._stores:
+            return self._stores[name]
+        store: Dict[str, Dict[str, Any]] = {}
+        path = self._store_path(name)
+        if path and os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        entry = json.loads(line)
+                        store[cell_key(entry["params"])] = entry["record"]
+        self._stores[name] = store
+        return store
+
+    def _append(self, name: str, params: Dict[str, Any],
+                record: Dict[str, Any]) -> None:
+        self._stores[name][cell_key(params)] = record
+        path = self._store_path(name)
+        if path:
+            with open(path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(
+                    {"params": params, "record": record}, default=str
+                ) + "\n")
+
+    def run(self, spec: GridSpec) -> List[Dict[str, Any]]:
+        """Execute every missing cell; return all rows (params ∪ record)."""
+        store = self._load(spec.name)
+        pending = [
+            cell for cell in spec.cells() if cell_key(cell) not in store
+        ]
+        if pending:
+            jobs = [(spec.recorder, cell) for cell in pending]
+            if self.processes > 1:
+                import multiprocessing
+
+                with multiprocessing.Pool(self.processes) as pool:
+                    results = pool.map(_run_cell, jobs)
+            else:
+                results = [_run_cell(job) for job in jobs]
+            for params, record in results:
+                self._append(spec.name, params, record)
+        rows = []
+        for cell in spec.cells():
+            record = store[cell_key(cell)]
+            row = dict(cell)
+            row.update(record)
+            rows.append(row)
+        return rows
+
+    def missing(self, spec: GridSpec) -> int:
+        store = self._load(spec.name)
+        return sum(
+            1 for cell in spec.cells() if cell_key(cell) not in store
+        )
+
+
+def aggregate(rows: Iterable[Dict[str, Any]], by: Sequence[str],
+              value: str) -> Dict[tuple, float]:
+    """Group rows by the ``by`` columns and average ``value``."""
+    groups: Dict[tuple, List[float]] = {}
+    for row in rows:
+        key = tuple(row[column] for column in by)
+        if row.get(value) is not None:
+            groups.setdefault(key, []).append(float(row[value]))
+    return {
+        key: sum(values) / len(values) for key, values in groups.items()
+    }

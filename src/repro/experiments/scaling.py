@@ -1,0 +1,188 @@
+"""Experiments FIG-SCALE-M / FIG-SCALE-T: scaling-shape validation.
+
+The paper's Table 1 is asymptotic; these experiments check the *shape* of
+the measured curves. For messages we fit y ≈ c·nᵉ (optionally dividing out
+the bound's declared log factors) and compare the fitted exponent with the
+paper's; the predicted ordering is
+
+    trivial (2) > tears (7/4) > sears (1+ε) > ears (1, plus logs).
+
+For time we check the qualitative claims: EARS grows polylogarithmically
+with n, SEARS and TEARS stay flat in n, everything grows linearly in (d+δ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.fitting import PowerLawFit, fit_power_law, fit_power_law_with_log
+from ..analysis.tables import render_table
+from ..core.params import SearsParams, TearsParams
+from ..workloads.sweeps import SweepPoint, geometric_ns, quarter, sweep_gossip
+
+#: Default SEARS ε for the scaling sweep. Table 1 predicts message exponent
+#: 1 + ε for f a constant fraction of n; ε = 1/4 places SEARS strictly
+#: between EARS (1) and TEARS (7/4) so the headline ordering is measurable.
+SCALING_SEARS_EPS = 0.25
+
+
+def message_shapes(sears_eps: float = SCALING_SEARS_EPS):
+    """Exponent predictions (pure power part) and each bound's log power."""
+    return {
+        "trivial": {"exponent": 2.0, "log_power": 0.0},
+        "ears": {"exponent": 1.0, "log_power": 3.0},
+        "sears": {"exponent": 1.0 + sears_eps, "log_power": 1.0},
+        "tears": {"exponent": 1.75, "log_power": 2.0},
+    }
+
+
+@dataclass
+class ScalingRow:
+    algorithm: str
+    ns: List[int]
+    messages: List[float]
+    times: List[float]
+    raw_fit: PowerLawFit
+    deloged_fit: PowerLawFit
+    predicted_exponent: float
+
+    @property
+    def exponent_error(self) -> float:
+        return abs(self.deloged_fit.exponent - self.predicted_exponent)
+
+
+def run_message_scaling(
+    ns: Optional[Sequence[int]] = None,
+    seeds: Iterable[int] = range(3),
+    algorithms: Sequence[str] = ("trivial", "ears", "sears", "tears"),
+    crash: bool = False,
+    scaled_tears: bool = True,
+    sears_eps: float = SCALING_SEARS_EPS,
+) -> List[ScalingRow]:
+    """Sweep n and fit message-count exponents per algorithm.
+
+    ``scaled_tears`` uses the documented reduced-constant TEARS parameters
+    (DESIGN.md §5.4) so its sub-quadratic regime is visible at these n;
+    ``sears_eps`` defaults to 1/4 so the SEARS exponent sits strictly
+    between EARS and TEARS.
+    """
+    if ns is None:
+        ns = geometric_ns(32, 256)
+    shapes = message_shapes(sears_eps)
+    rows = []
+    for algorithm in algorithms:
+        params_of_n = None
+        if algorithm == "tears" and scaled_tears:
+            params_of_n = lambda n: TearsParams.scaled(0.25)  # noqa: E731
+        elif algorithm == "sears":
+            params_of_n = lambda n: SearsParams(eps=sears_eps)  # noqa: E731
+        points = sweep_gossip(
+            algorithm, ns, quarter, seeds=seeds, crash=crash,
+            params_of_n=params_of_n,
+        )
+        messages = [p.messages.mean for p in points]
+        times = [p.time.mean for p in points]
+        shape = shapes[algorithm]
+        rows.append(
+            ScalingRow(
+                algorithm=algorithm,
+                ns=list(ns),
+                messages=messages,
+                times=times,
+                raw_fit=fit_power_law(list(ns), messages),
+                deloged_fit=fit_power_law_with_log(
+                    list(ns), messages, shape["log_power"]
+                ),
+                predicted_exponent=shape["exponent"],
+            )
+        )
+    return rows
+
+
+def run_time_scaling(
+    ns: Optional[Sequence[int]] = None,
+    seeds: Iterable[int] = range(3),
+    algorithms: Sequence[str] = ("trivial", "ears", "sears", "tears"),
+) -> Dict[str, List[SweepPoint]]:
+    """Sweep n at fixed (d, δ) and return the raw time curves."""
+    if ns is None:
+        ns = geometric_ns(32, 256)
+    return {
+        algorithm: sweep_gossip(algorithm, ns, quarter, seeds=seeds)
+        for algorithm in algorithms
+    }
+
+
+def run_time_vs_failure_fraction(
+    n: int = 96,
+    fractions: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    seeds: Iterable[int] = range(3),
+    algorithm: str = "ears",
+) -> Dict[float, SweepPoint]:
+    """Isolate the n/(n−f) factor in EARS' time bound.
+
+    Table 1 puts EARS at O((n/(n−f))·log²n·(d+δ)): with n, d, δ fixed,
+    completion time should scale like 1/(1 − f/n). The crash plan actually
+    kills f processes early, so the surviving population really is n−f.
+    """
+    out: Dict[float, SweepPoint] = {}
+    for fraction in fractions:
+        f = min(n - 1, int(n * fraction))
+        points = sweep_gossip(
+            algorithm, [n], lambda _: f, seeds=seeds, crash=f > 0,
+        )
+        out[fraction] = points[0]
+    return out
+
+
+def failure_scaling_ratio(points: Dict[float, SweepPoint],
+                          low: float, high: float) -> float:
+    """Measured time ratio between two failure fractions."""
+    return points[high].time.mean / max(1.0, points[low].time.mean)
+
+
+def run_time_vs_latency(
+    algorithm: str = "ears",
+    n: int = 64,
+    d_delta_pairs: Sequence = ((1, 1), (2, 2), (4, 4), (8, 8)),
+    seeds: Iterable[int] = range(3),
+) -> List[SweepPoint]:
+    """Fix n, sweep (d, δ): completion time should grow ~linearly in d+δ."""
+    points = []
+    for d, delta in d_delta_pairs:
+        sweep = sweep_gossip(algorithm, [n], quarter, d=d, delta=delta,
+                             seeds=seeds)
+        points.extend(sweep)
+    return points
+
+
+def format_scaling(rows: Sequence[ScalingRow]) -> str:
+    return render_table(
+        ["algorithm", "fitted exp (raw)", "fitted exp (de-logged)",
+         "predicted exp", "|error|", "R²"],
+        [
+            [r.algorithm, r.raw_fit.exponent, r.deloged_fit.exponent,
+             r.predicted_exponent, r.exponent_error,
+             r.deloged_fit.r_squared]
+            for r in rows
+        ],
+        title="Message-complexity scaling exponents (measured vs. Table 1)",
+    )
+
+
+def ordering_is_correct(rows: Sequence[ScalingRow]) -> bool:
+    """The paper's headline ordering of message growth rates.
+
+    Checked on the raw fitted exponents (at simulatable n the log factors
+    inflate every exponent a little, but the ordering — who grows fastest —
+    is the claim that must survive).
+    """
+    by_name = {r.algorithm: r.raw_fit.exponent for r in rows}
+    try:
+        return (
+            by_name["trivial"] > by_name["tears"] > by_name["sears"]
+            > by_name["ears"]
+        )
+    except KeyError:
+        return False

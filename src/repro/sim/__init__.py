@@ -1,0 +1,72 @@
+"""Asynchronous discrete-step simulation substrate.
+
+Implements the paper's system model: ``n`` crash-prone message-passing
+processes driven by an adversary that controls scheduling, message delays and
+crashes. The synchrony parameters ``d`` (max message delay) and ``δ`` (max
+scheduling gap) are measured properties of each execution, never inputs to
+algorithm code.
+"""
+
+from .engine import RunResult, Simulation
+from .errors import (
+    AlgorithmError,
+    ConfigurationError,
+    CrashBudgetExceeded,
+    IncompleteRunError,
+    InvalidDelayError,
+    InvalidScheduleError,
+    SimulationError,
+)
+from .message import Message
+from .metrics import Metrics
+from .monitor import (
+    CompletionMonitor,
+    GossipCompletionMonitor,
+    PredicateMonitor,
+    QuiescenceMonitor,
+)
+from .network import Network
+from .process import Algorithm, Context, ProcessHandle, ProcessStatus
+from .rng import derive_rng, derive_seed
+from .scheduler import (
+    EveryStep,
+    ExplicitSchedule,
+    RoundRobinWindows,
+    SchedulePlan,
+    StaggeredWindows,
+    SubsetEveryStep,
+)
+from .trace import EventTrace, TraceEvent
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmError",
+    "CompletionMonitor",
+    "ConfigurationError",
+    "Context",
+    "CrashBudgetExceeded",
+    "EventTrace",
+    "EveryStep",
+    "ExplicitSchedule",
+    "GossipCompletionMonitor",
+    "IncompleteRunError",
+    "InvalidDelayError",
+    "InvalidScheduleError",
+    "Message",
+    "Metrics",
+    "Network",
+    "PredicateMonitor",
+    "ProcessHandle",
+    "ProcessStatus",
+    "QuiescenceMonitor",
+    "RoundRobinWindows",
+    "RunResult",
+    "SchedulePlan",
+    "Simulation",
+    "SimulationError",
+    "StaggeredWindows",
+    "SubsetEveryStep",
+    "TraceEvent",
+    "derive_rng",
+    "derive_seed",
+]

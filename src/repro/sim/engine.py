@@ -1,0 +1,274 @@
+"""The asynchronous discrete-step execution engine.
+
+This is a direct implementation of the paper's timing model: time proceeds in
+discrete steps; at every step the adversary picks the crash set and the
+scheduled set; each scheduled process receives deliverable messages, computes,
+and sends. The engine *measures* the synchrony parameters ``d`` and ``δ`` of
+the execution it produces — algorithms never see them.
+
+The engine is deterministic given (algorithms, adversary, master seed) and
+deep-copyable via :meth:`Simulation.fork`, which is how the adaptive
+lower-bound adversary of Theorem 1 evaluates distributions over an
+algorithm's future behaviour.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Sequence
+
+from .errors import (
+    ConfigurationError,
+    CrashBudgetExceeded,
+    IncompleteRunError,
+    InvalidScheduleError,
+)
+from .metrics import Metrics
+from .monitor import CompletionMonitor
+from .network import Network
+from .process import Algorithm, Context, ProcessHandle
+from .rng import derive_rng
+from .trace import EventTrace
+
+
+@dataclass
+class RunResult:
+    """Outcome of :meth:`Simulation.run`."""
+
+    completed: bool
+    reason: str
+    completion_time: Optional[int]
+    steps: int
+    messages: int
+    metrics: dict
+
+    def require_completed(self) -> "RunResult":
+        if not self.completed:
+            raise IncompleteRunError(
+                f"run did not complete (reason={self.reason!r}, "
+                f"steps={self.steps}, messages={self.messages})"
+            )
+        return self
+
+
+class Simulation:
+    """One execution of ``n`` processes under a given adversary."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        algorithms: Sequence[Algorithm],
+        adversary,
+        monitor: Optional[CompletionMonitor] = None,
+        seed: int = 0,
+        check_interval: int = 1,
+        trace: Optional[EventTrace] = None,
+        bit_meter=None,
+    ) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if not 0 <= f < n:
+            raise ConfigurationError(f"require 0 <= f < n, got f={f}, n={n}")
+        if len(algorithms) != n:
+            raise ConfigurationError(
+                f"expected {n} algorithm instances, got {len(algorithms)}"
+            )
+        self.n = n
+        self.f = f
+        self.seed = seed
+        self.monitor = monitor
+        self.check_interval = max(1, check_interval)
+        self.trace = trace
+        #: Optional payload-size estimator (repro.sim.bits.BitMeter); when
+        #: set, metrics.bits_sent accumulates estimated wire bits.
+        self.bit_meter = bit_meter
+
+        self.network = Network(n)
+        self.metrics = Metrics(n=n)
+        self.processes: Dict[int, ProcessHandle] = {}
+        self._alive: set = set(range(n))
+        self._alive_frozen: Optional[FrozenSet[int]] = frozenset(range(n))
+        self._now = 0
+        self._completed = False
+
+        for pid in range(n):
+            ctx = Context(pid, n, f, derive_rng(seed, "proc", pid))
+            handle = ProcessHandle(pid, algorithms[pid], ctx)
+            self.processes[pid] = handle
+            handle.algorithm.on_start(ctx)
+            if ctx.outbox:
+                raise ConfigurationError(
+                    f"process {pid} sent messages from on_start(); sends are "
+                    "only allowed from on_step()"
+                )
+
+        self.adversary = adversary
+        adversary.on_attach(self)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def now(self) -> int:
+        """Global time: the index of the next step to execute."""
+        return self._now
+
+    @property
+    def alive_pids(self) -> FrozenSet[int]:
+        if self._alive_frozen is None:
+            self._alive_frozen = frozenset(self._alive)
+        return self._alive_frozen
+
+    @property
+    def completed(self) -> bool:
+        return self._completed
+
+    def algorithm(self, pid: int) -> Algorithm:
+        return self.processes[pid].algorithm
+
+    def is_alive(self, pid: int) -> bool:
+        return pid in self._alive
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    def crash(self, pid: int) -> None:
+        """Crash ``pid`` now (used by the engine and scripted adversaries)."""
+        if pid not in self._alive:
+            return
+        if self.metrics.crashes >= self.f:
+            raise CrashBudgetExceeded(
+                f"adversary tried to crash pid {pid} but the budget f={self.f} "
+                "is exhausted"
+            )
+        self._alive.discard(pid)
+        self._alive_frozen = None
+        self.processes[pid].crash(self._now)
+        self.metrics.messages_dropped += self.network.drop_all_for(pid)
+        self.metrics.record_crash(pid, self._now)
+        if self.trace is not None:
+            self.trace.record(self._now, "crash", pid=pid)
+
+    def step(self) -> None:
+        """Execute one global time step."""
+        t = self._now
+
+        for pid in sorted(self.adversary.crashes_at(t)):
+            self.crash(pid)
+
+        alive = self.alive_pids
+        scheduled = self.adversary.schedule_at(t, alive)
+        if not scheduled <= alive:
+            raise InvalidScheduleError(
+                f"schedule at t={t} contains non-live pids: "
+                f"{sorted(scheduled - alive)}"
+            )
+
+        for pid in sorted(scheduled):
+            handle = self.processes[pid]
+            self.metrics.record_scheduled(pid, t)
+            handle.last_scheduled_at = t
+            if self.trace is not None:
+                self.trace.record(t, "schedule", pid=pid)
+            inbox = self.network.collect(pid, t)
+            if inbox:
+                self.metrics.record_delivery(
+                    len(inbox), max(m.delay for m in inbox)
+                )
+                if self.trace is not None:
+                    self.trace.record(t, "deliver", dst=pid, count=len(inbox))
+            outbox = handle.run_step(inbox)
+            for msg in outbox:
+                msg.sent_at = t
+                msg.delay = int(self.adversary.assign_delay(msg))
+                self.metrics.record_send(pid, msg.kind, t, dst=msg.dst)
+                if self.bit_meter is not None:
+                    self.metrics.bits_sent += self.bit_meter(msg.payload)
+                if self.trace is not None:
+                    self.trace.record(
+                        t, "send", src=pid, dst=msg.dst,
+                        kind=msg.kind, delay=msg.delay,
+                    )
+                if msg.dst in self._alive:
+                    self.network.enqueue(msg)
+                else:
+                    # Messages to crashed processes count toward message
+                    # complexity but can never be delivered.
+                    self.metrics.messages_dropped += 1
+
+        self._now += 1
+        self.metrics.steps_elapsed = self._now
+
+    def _stalled(self) -> bool:
+        """True when no future step can change anything but a crash.
+
+        Holds when the network is empty and every live process is quiescent:
+        scheduled steps then deliver nothing and (by the quiescence contract)
+        send nothing.
+        """
+        if self.network.in_flight:
+            return False
+        return all(
+            self.processes[pid].algorithm.is_quiescent() for pid in self._alive
+        )
+
+    def run(self, max_steps: int = 1_000_000) -> RunResult:
+        """Step until the monitor holds, the system stalls, or the limit.
+
+        A stalled system (empty network, all quiescent) with no pending
+        adversary events can never satisfy a currently-false monitor, so the
+        run stops early with ``reason="stalled"``.
+        """
+        while self._now < max_steps:
+            self.step()
+            if self.monitor is not None and (
+                self._now % self.check_interval == 0
+            ):
+                if self.monitor.check(self):
+                    self._completed = True
+                    self.metrics.completion_time = self._now
+                    if self.trace is not None:
+                        self.trace.record(self._now, "complete")
+                    return self._result(True, "completed")
+            if self._stalled() and not self.adversary.has_pending_events(
+                self._now
+            ):
+                if self.monitor is None:
+                    self._completed = True
+                    self.metrics.completion_time = self._now
+                    return self._result(True, "quiescent")
+                if self.monitor.check(self):
+                    self._completed = True
+                    self.metrics.completion_time = self._now
+                    return self._result(True, "completed")
+                return self._result(False, "stalled")
+        return self._result(False, "step-limit")
+
+    def run_for(self, steps: int) -> None:
+        """Execute exactly ``steps`` further steps (no monitor checks)."""
+        for _ in range(steps):
+            self.step()
+
+    def fork(self) -> "Simulation":
+        """Deep snapshot of the entire execution state.
+
+        Forks share nothing with the original: process state, RNG streams,
+        network queues, metrics and the adversary are all copied. This is the
+        primitive the Theorem 1 adversary uses to estimate expectations over
+        an algorithm's coin flips.
+        """
+        return copy.deepcopy(self)
+
+    def _result(self, completed: bool, reason: str) -> RunResult:
+        return RunResult(
+            completed=completed,
+            reason=reason,
+            completion_time=self.metrics.completion_time,
+            steps=self._now,
+            messages=self.metrics.messages_sent,
+            metrics=self.metrics.snapshot(),
+        )

@@ -1,0 +1,36 @@
+"""Exception types for the asynchronous simulation substrate.
+
+All substrate-level failures raise a subclass of :class:`SimulationError` so
+callers can distinguish misconfiguration and model violations from ordinary
+Python errors raised inside algorithm code.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulation substrate errors."""
+
+
+class ConfigurationError(SimulationError):
+    """A simulation was constructed with inconsistent parameters."""
+
+
+class CrashBudgetExceeded(SimulationError):
+    """The adversary attempted to crash more than ``f`` processes."""
+
+
+class InvalidScheduleError(SimulationError):
+    """The adversary produced a schedule that is not a subset of live pids."""
+
+
+class InvalidDelayError(SimulationError):
+    """The adversary assigned a non-positive message delay."""
+
+
+class AlgorithmError(SimulationError):
+    """An algorithm violated the process API contract."""
+
+
+class IncompleteRunError(SimulationError):
+    """A run that was required to complete hit its step limit first."""

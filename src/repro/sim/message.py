@@ -1,0 +1,51 @@
+"""Point-to-point message records.
+
+A :class:`Message` is the unit the paper's complexity measure counts: one
+point-to-point message, regardless of payload size (the paper explicitly
+defers bit complexity to future work).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+_UID_COUNTER = count()
+
+
+@dataclass
+class Message:
+    """A single point-to-point message.
+
+    Attributes:
+        src: sender pid.
+        dst: receiver pid.
+        payload: algorithm-defined payload (opaque to the substrate).
+        kind: short algorithm-defined tag used for per-kind accounting
+            (e.g. ``"gossip"``, ``"first-level"``, ``"shutdown"``).
+        sent_at: global time step at which the message was sent.
+        delay: adversary-assigned delay; the message becomes deliverable at
+            ``sent_at + delay``. The realized ``d`` of an execution is the
+            maximum delay over delivered messages.
+        uid: monotonically increasing id used for stable ordering.
+    """
+
+    src: int
+    dst: int
+    payload: Any
+    kind: str = "msg"
+    sent_at: int = -1
+    delay: int = 1
+    uid: int = field(default_factory=lambda: next(_UID_COUNTER))
+
+    @property
+    def deliverable_at(self) -> int:
+        """First global time step at which this message may be received."""
+        return self.sent_at + self.delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.src}->{self.dst} kind={self.kind!r} "
+            f"sent_at={self.sent_at} delay={self.delay})"
+        )

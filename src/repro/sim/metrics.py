@@ -1,0 +1,102 @@
+"""Complexity accounting for a single execution.
+
+The paper's two measures are *time complexity* (global time steps until every
+correct process has completed) and *message complexity* (total point-to-point
+messages sent by all processes). This module also measures the realized
+synchrony parameters ``d`` and ``δ`` of the execution, since in the paper
+these are per-execution quantities the algorithm never sees.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class Metrics:
+    """Mutable accounting updated by the engine as an execution unfolds."""
+
+    n: int
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    #: Messages discarded: addressed to an already-crashed process, or
+    #: pending for a process at the moment it crashed. Conservation:
+    #: sent == delivered + dropped + in-flight, always.
+    messages_dropped: int = 0
+    messages_by_kind: Counter = field(default_factory=Counter)
+    messages_by_sender: Counter = field(default_factory=Counter)
+    #: Point-to-point (src, dst) counts; the Theorem 1 adversary reads these
+    #: to classify processes and find mutually-silent pairs.
+    messages_by_pair: Counter = field(default_factory=Counter)
+    #: Estimated payload bits sent (populated only when the simulation has
+    #: a bit meter attached; see repro.sim.bits).
+    bits_sent: int = 0
+    steps_elapsed: int = 0
+    local_steps_taken: int = 0
+    crashes: int = 0
+    crash_times: Dict[int, int] = field(default_factory=dict)
+
+    #: Realized maximum delivered message delay (the execution's ``d``).
+    realized_d: int = 0
+    #: Realized maximum scheduling gap of a live process (the execution's ``δ``).
+    realized_delta: int = 0
+
+    #: Time at which the completion monitor first held, if it did.
+    completion_time: Optional[int] = None
+    #: Time of the last message send observed (quiescence indicator).
+    last_send_time: Optional[int] = None
+
+    _last_scheduled: Dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, sender: int, kind: str, now: int, count: int = 1,
+                    dst: Optional[int] = None) -> None:
+        self.messages_sent += count
+        self.messages_by_kind[kind] += count
+        self.messages_by_sender[sender] += count
+        if dst is not None:
+            self.messages_by_pair[(sender, dst)] += count
+        self.last_send_time = now
+
+    def record_delivery(self, count: int, max_delay: int) -> None:
+        self.messages_delivered += count
+        if max_delay > self.realized_d:
+            self.realized_d = max_delay
+
+    def record_scheduled(self, pid: int, now: int) -> None:
+        previous = self._last_scheduled.get(pid)
+        if previous is not None:
+            gap = now - previous
+            if gap > self.realized_delta:
+                self.realized_delta = gap
+        elif now + 1 > self.realized_delta:
+            # The gap from time 0 to the first scheduled step also counts:
+            # "during any sequence of δ time steps, each non-crashed process
+            # is scheduled at least once".
+            self.realized_delta = now + 1
+        self._last_scheduled[pid] = now
+        self.local_steps_taken += 1
+
+    def record_crash(self, pid: int, now: int) -> None:
+        self.crashes += 1
+        self.crash_times[pid] = now
+        self._last_scheduled.pop(pid, None)
+
+    def snapshot(self) -> dict:
+        """Immutable summary used by results, benches and tests."""
+        return {
+            "n": self.n,
+            "messages_sent": self.messages_sent,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_by_kind": dict(self.messages_by_kind),
+            "bits_sent": self.bits_sent,
+            "steps_elapsed": self.steps_elapsed,
+            "local_steps_taken": self.local_steps_taken,
+            "crashes": self.crashes,
+            "realized_d": self.realized_d,
+            "realized_delta": self.realized_delta,
+            "completion_time": self.completion_time,
+            "last_send_time": self.last_send_time,
+        }

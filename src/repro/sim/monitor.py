@@ -1,0 +1,112 @@
+"""Completion predicates over a running simulation.
+
+The paper: "gossip completes when each process has either crashed or both
+(a) received the rumor of every correct process and also (b) stopped sending
+messages." A process in an asynchronous system can never *terminate* (it
+cannot know it holds every rumor), but it can become quiescent; completion is
+therefore a global predicate the simulator — not the processes — evaluates.
+
+Soundness of the quiescence part: when every live process reports
+``is_quiescent()`` ("will send nothing unless a message arrives") and the
+network holds no in-flight message, no message is ever sent again.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+from .._util import popcount
+
+
+class CompletionMonitor(ABC):
+    """A pluggable global predicate checked by the engine as time advances."""
+
+    @abstractmethod
+    def check(self, sim) -> bool:
+        """Return True once the execution has completed."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class GossipCompletionMonitor(CompletionMonitor):
+    """Completion for (majority-)gossip runs.
+
+    Requires every live process's algorithm to expose ``rumor_mask`` (an int
+    bitmask of known rumors, bit p = rumor of process p) and
+    ``is_quiescent()``.
+
+    ``majority=False``: every live process knows the rumor of every live
+    process (conservative w.r.t. the paper's "correct process", since the
+    live set at any time contains all correct processes).
+
+    ``majority=True``: every live process knows a strict majority
+    (``⌊n/2⌋ + 1``) of all rumors — the paper's *majority gossip* from
+    Section 5.
+    """
+
+    def __init__(self, majority: bool = False) -> None:
+        self.majority = majority
+        #: First time at which the rumor-gathering condition held (quiescence
+        #: may lag behind it); useful for separating the two costs.
+        self.gathering_time: Optional[int] = None
+
+    def gathered(self, sim) -> bool:
+        alive = sim.alive_pids
+        if not alive:
+            return True
+        if self.majority:
+            need = sim.n // 2 + 1
+            for pid in alive:
+                if popcount(sim.processes[pid].algorithm.rumor_mask) < need:
+                    return False
+            return True
+        target = 0
+        for pid in alive:
+            target |= 1 << pid
+        for pid in alive:
+            if target & ~sim.processes[pid].algorithm.rumor_mask:
+                return False
+        return True
+
+    def quiescent(self, sim) -> bool:
+        if sim.network.in_flight:
+            return False
+        return all(
+            sim.processes[pid].algorithm.is_quiescent() for pid in sim.alive_pids
+        )
+
+    def check(self, sim) -> bool:
+        gathered = self.gathered(sim)
+        if gathered and self.gathering_time is None:
+            self.gathering_time = sim.now
+        return gathered and self.quiescent(sim)
+
+    def describe(self) -> str:
+        return "majority-gossip" if self.majority else "gossip"
+
+
+class QuiescenceMonitor(CompletionMonitor):
+    """Completes when the system can provably send no further message."""
+
+    def check(self, sim) -> bool:
+        if sim.network.in_flight:
+            return False
+        return all(
+            sim.processes[pid].algorithm.is_quiescent() for pid in sim.alive_pids
+        )
+
+
+class PredicateMonitor(CompletionMonitor):
+    """Adapt an arbitrary callable ``sim -> bool`` (used by tests/consensus)."""
+
+    def __init__(self, predicate, name: str = "predicate") -> None:
+        self.predicate = predicate
+        self.name = name
+
+    def check(self, sim) -> bool:
+        return bool(self.predicate(sim))
+
+    def describe(self) -> str:
+        return self.name

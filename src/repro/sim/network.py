@@ -1,0 +1,93 @@
+"""The message substrate: reliable, unordered, adversarially delayed links.
+
+Messages are never lost or corrupted (the paper's model), but the adversary
+assigns each message a positive integer delay. A message sent at time ``t``
+with delay ``λ`` becomes *deliverable* at ``t + λ`` and is received at the
+receiver's first scheduled local step at or after that time. The realized
+per-execution ``d`` is then ``max λ`` over delivered messages, matching the
+paper's definition of ``d`` as a property of the execution rather than a
+known bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from .errors import InvalidDelayError
+from .message import Message
+
+
+class Network:
+    """Per-receiver priority queues of in-flight messages."""
+
+    def __init__(self, n: int) -> None:
+        self._n = n
+        # Heap entries are (deliverable_at, uid, message) so ties break on
+        # send order, keeping executions deterministic.
+        self._pending: Dict[int, List] = {pid: [] for pid in range(n)}
+        self._in_flight = 0
+        self.total_enqueued = 0
+        self.max_delivered_delay = 0
+
+    @property
+    def in_flight(self) -> int:
+        """Number of messages sent but not yet received (or dropped)."""
+        return self._in_flight
+
+    def enqueue(self, msg: Message) -> None:
+        """Accept a sent message with its adversary-assigned delay."""
+        if msg.delay < 1:
+            raise InvalidDelayError(
+                f"message delay must be >= 1, got {msg.delay}"
+            )
+        heapq.heappush(
+            self._pending[msg.dst], (msg.deliverable_at, msg.uid, msg)
+        )
+        self._in_flight += 1
+        self.total_enqueued += 1
+
+    def collect(self, pid: int, now: int) -> List[Message]:
+        """Deliver every message to ``pid`` that is deliverable at ``now``.
+
+        The model requires that a process scheduled at ``t' >= sent_at + d``
+        has received the message; delivering *everything* deliverable at each
+        scheduled step satisfies that bound for every message's assigned
+        delay. (An adversary wanting later delivery simply assigns a larger
+        delay at send time, which is what determines the execution's ``d``.)
+        """
+        heap = self._pending[pid]
+        inbox: List[Message] = []
+        while heap and heap[0][0] <= now:
+            _, _, msg = heapq.heappop(heap)
+            inbox.append(msg)
+            self._in_flight -= 1
+            if msg.delay > self.max_delivered_delay:
+                self.max_delivered_delay = msg.delay
+        return inbox
+
+    def drop_all_for(self, pid: int) -> int:
+        """Discard pending messages to a crashed process; returns the count.
+
+        A crashed process never takes another step, so its queued messages
+        can never be received. Dropping them keeps the ``in_flight`` counter
+        meaningful for quiescence detection.
+        """
+        dropped = len(self._pending[pid])
+        self._pending[pid] = []
+        self._in_flight -= dropped
+        return dropped
+
+    def pending_for(self, pid: int) -> int:
+        """Number of messages currently queued for ``pid``."""
+        return len(self._pending[pid])
+
+    def earliest_deliverable(self, pid: int) -> int:
+        """Earliest ``deliverable_at`` among messages queued for ``pid``.
+
+        Returns a large sentinel when the queue is empty.
+        """
+        heap = self._pending[pid]
+        if not heap:
+            return 2 ** 62
+        return heap[0][0]

@@ -1,0 +1,147 @@
+"""Process abstraction: the algorithm API and per-process bookkeeping.
+
+The paper's model gives each process, at every *local step*, the ability to
+(1) receive a subset of messages sent to it, (2) compute, and (3) send one or
+more messages. :class:`Algorithm` is the contract algorithm code implements;
+:class:`Context` is the only window algorithm code gets onto the system.
+
+Crucially the context exposes **no global time and no synchrony bounds** —
+algorithms are genuinely asynchronous, exactly as the paper requires ("the
+processes have no global clocks, nor do they manipulate the synchrony
+bounds").
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, List, Optional
+
+from .errors import AlgorithmError
+from .message import Message
+
+
+class ProcessStatus(enum.Enum):
+    """Lifecycle of a process: alive until crashed; crashes are permanent."""
+
+    ALIVE = "alive"
+    CRASHED = "crashed"
+
+
+class Context:
+    """The capability object handed to algorithm code at each local step.
+
+    Exposes only what the asynchronous model allows a process to know:
+    its own pid, the system size ``n``, the failure bound ``f``, a private
+    random stream, and the ability to send messages. Sends are buffered in
+    :attr:`outbox` and drained by the engine after the step returns.
+    """
+
+    __slots__ = ("pid", "n", "f", "rng", "outbox", "_local_step")
+
+    def __init__(self, pid: int, n: int, f: int, rng: random.Random) -> None:
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.rng = rng
+        self.outbox: List[Message] = []
+        self._local_step = 0
+
+    @property
+    def local_step(self) -> int:
+        """Number of local steps this process has taken (a local counter).
+
+        This is the "local clock" the paper's algorithms are allowed to use
+        (e.g. counting shut-down steps); it says nothing about global time.
+        """
+        return self._local_step
+
+    def send(self, dst: int, payload: Any, kind: str = "msg") -> Message:
+        """Queue one point-to-point message to ``dst``."""
+        if not 0 <= dst < self.n:
+            raise AlgorithmError(f"send() to invalid pid {dst} (n={self.n})")
+        msg = Message(src=self.pid, dst=dst, payload=payload, kind=kind)
+        self.outbox.append(msg)
+        return msg
+
+    def send_many(self, dsts: Iterable[int], payload: Any, kind: str = "msg") -> int:
+        """Queue one message per destination; returns the number queued."""
+        sent = 0
+        for dst in dsts:
+            self.send(dst, payload, kind=kind)
+            sent += 1
+        return sent
+
+    def random_peer(self) -> int:
+        """A pid chosen uniformly at random from ``[n]`` (may be self).
+
+        This matches the paper's epidemic step "choose q uniformly at random
+        from [n]".
+        """
+        return self.rng.randrange(self.n)
+
+
+class Algorithm(ABC):
+    """Contract for per-process algorithm code.
+
+    Subclasses hold all per-process state. They must be deep-copyable: the
+    adaptive lower-bound adversary forks whole simulations to evaluate the
+    distribution of an algorithm's future behaviour.
+    """
+
+    @abstractmethod
+    def on_step(self, ctx: Context, inbox: List[Message]) -> None:
+        """Execute one local step: consume ``inbox``, compute, send via ctx."""
+
+    def on_start(self, ctx: Context) -> None:
+        """Called once before the first step (no messages may be sent)."""
+
+    def is_quiescent(self) -> bool:
+        """True if this process will send nothing unless a message arrives.
+
+        Used by completion monitors: when every live process is quiescent and
+        the network is empty, no message is ever sent again. The default is
+        conservative (never quiescent).
+        """
+        return False
+
+    def summary(self) -> dict:
+        """Small diagnostic snapshot of algorithm state (for traces/tests)."""
+        return {}
+
+
+class ProcessHandle:
+    """Engine-side record for one process: algorithm + status + counters."""
+
+    __slots__ = ("pid", "algorithm", "ctx", "status", "crashed_at",
+                 "steps_taken", "last_scheduled_at", "messages_sent")
+
+    def __init__(self, pid: int, algorithm: Algorithm, ctx: Context) -> None:
+        self.pid = pid
+        self.algorithm = algorithm
+        self.ctx = ctx
+        self.status = ProcessStatus.ALIVE
+        self.crashed_at: Optional[int] = None
+        self.steps_taken = 0
+        self.last_scheduled_at: Optional[int] = None
+        self.messages_sent = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.status is ProcessStatus.ALIVE
+
+    def crash(self, now: int) -> None:
+        """Permanently halt this process (the paper's crash failure)."""
+        self.status = ProcessStatus.CRASHED
+        self.crashed_at = now
+
+    def run_step(self, inbox: List[Message]) -> List[Message]:
+        """Run one local step and return the messages queued by it."""
+        self.ctx.outbox = []
+        self.algorithm.on_step(self.ctx, inbox)
+        self.ctx._local_step += 1
+        self.steps_taken += 1
+        out = self.ctx.outbox
+        self.messages_sent += len(out)
+        return out

@@ -1,0 +1,130 @@
+"""Schedule plans: which processes take a local step at each time step.
+
+The paper's ``δ`` is the maximum number of consecutive time steps a live
+process can go unscheduled. Plans here are *oblivious* building blocks — they
+are fixed functions of time and pid, decided before the execution — and each
+documents the ``δ`` it guarantees. The adaptive adversary bypasses plans and
+chooses schedules on the fly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Sequence, Set
+
+
+class SchedulePlan(ABC):
+    """A fixed (oblivious) rule mapping time to the set of scheduled pids."""
+
+    #: The scheduling-gap bound this plan guarantees for live processes.
+    target_delta: int = 1
+
+    @abstractmethod
+    def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        """Return the pids scheduled at global time ``t``.
+
+        The engine intersects the result with the live set, so plans may
+        return crashed pids harmlessly.
+        """
+
+
+class EveryStep(SchedulePlan):
+    """All processes take a step every time step (``δ = 1``).
+
+    This is the maximal-speed schedule; combined with delay-1 messages it
+    realizes the synchronous special case ``d = δ = 1``.
+    """
+
+    target_delta = 1
+
+    def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        return set(alive)
+
+
+class RoundRobinWindows(SchedulePlan):
+    """Each process runs exactly once per ``delta``-length window.
+
+    Process ``p`` is scheduled at times ``t`` with ``t ≡ p (mod delta)``.
+    Consecutive scheduled steps of a process are exactly ``delta`` apart, so
+    every window of ``delta`` steps contains one — the tightest schedule
+    realizing a given ``δ > 1``.
+    """
+
+    def __init__(self, delta: int) -> None:
+        if delta < 1:
+            raise ValueError(f"delta must be >= 1, got {delta}")
+        self.delta = delta
+        self.target_delta = delta
+
+    def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        residue = t % self.delta
+        return {pid for pid in alive if pid % self.delta == residue}
+
+
+class StaggeredWindows(SchedulePlan):
+    """One deterministic-but-scrambled slot per process per window.
+
+    Like :class:`RoundRobinWindows` but each process's slot inside each
+    window is drawn from a seeded stream fixed before the execution, so
+    relative process speeds vary over time (up to a gap of ``2*delta - 1``
+    between consecutive steps; any ``2*delta``-window contains a step, hence
+    ``target_delta = 2*delta - 1``). This exercises the asynchrony that
+    motivates the paper: two processes' r-th local steps can drift apart.
+    """
+
+    def __init__(self, delta: int, seed: int) -> None:
+        if delta < 1:
+            raise ValueError(f"delta must be >= 1, got {delta}")
+        self.delta = delta
+        self.seed = seed
+        self.target_delta = max(1, 2 * delta - 1)
+        self._slot_cache: dict = {}
+
+    def _slot(self, pid: int, window: int) -> int:
+        key = (pid, window)
+        slot = self._slot_cache.get(key)
+        if slot is None:
+            slot = random.Random((self.seed, pid, window).__hash__()).randrange(
+                self.delta
+            )
+            self._slot_cache[key] = slot
+        return slot
+
+    def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        window, offset = divmod(t, self.delta)
+        return {pid for pid in alive if self._slot(pid, window) == offset}
+
+
+class ExplicitSchedule(SchedulePlan):
+    """A schedule given as an explicit table ``t -> set of pids``.
+
+    Steps beyond the table fall back to scheduling everyone. Used by tests
+    and by the scripted phases of the lower-bound adversary.
+    """
+
+    def __init__(self, table: Sequence[Set[int]], target_delta: int = 1) -> None:
+        self.table = [set(entry) for entry in table]
+        self.target_delta = target_delta
+
+    def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        if t < len(self.table):
+            return set(self.table[t]) & alive
+        return set(alive)
+
+
+class SubsetEveryStep(SchedulePlan):
+    """Schedule a fixed subset every step; everyone else is frozen out.
+
+    Only valid as a *phase* of an execution (the frozen processes' realized
+    scheduling gap grows with the phase length); the lower-bound adversary
+    uses this to run ``S1`` while starving ``S2``, which is exactly how the
+    proof of Theorem 1 inflates ``δ``.
+    """
+
+    def __init__(self, subset: Set[int], target_delta: int = 1) -> None:
+        self.subset = frozenset(subset)
+        self.target_delta = target_delta
+
+    def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
+        return set(self.subset & alive)

@@ -1,0 +1,74 @@
+"""Synchronous substrate and baselines.
+
+The comparison side of Table 1 and Corollary 2: algorithms that *know*
+d = δ = 1 and run in lock-step rounds.
+"""
+
+from typing import Optional
+
+from ..adversary.crash_plans import CrashPlan
+from ..core.rumors import mask_of
+from .ck_gossip import CkStyleGossip
+from .engine import (
+    SyncAlgorithm,
+    SyncContext,
+    SyncMessage,
+    SyncResult,
+    SyncSimulation,
+)
+from .expander import (
+    overlay_diameter_bound,
+    random_regular_overlay,
+    skip_graph_neighbors,
+)
+from .karp import KarpPushPull, RumorSpreadResult, age_limit, run_push_pull
+
+
+def run_ck_gossip(
+    n: int,
+    f: int = 0,
+    crashes: Optional[CrashPlan] = None,
+    seed: int = 0,
+    max_rounds: int = 10_000,
+) -> SyncResult:
+    """Run the deterministic expander-overlay gossip baseline to completion.
+
+    Completion: every live process holds every live process's rumor and the
+    flooding has stabilized (each process's quiet budget exhausted).
+    """
+    neighbors = skip_graph_neighbors(n)
+    algorithms = [
+        CkStyleGossip(pid, n, f, neighbors=neighbors) for pid in range(n)
+    ]
+
+    def gathered_and_done(sim: SyncSimulation) -> bool:
+        target = mask_of(sim.alive_pids)
+        return all(
+            not (target & ~sim.algorithm(p).rumor_mask)
+            and sim.algorithm(p).is_done()
+            for p in sim.alive_pids
+        )
+
+    sim = SyncSimulation(
+        n=n, f=f, algorithms=algorithms, crashes=crashes,
+        monitor=gathered_and_done, seed=seed,
+    )
+    return sim.run(max_rounds=max_rounds)
+
+
+__all__ = [
+    "CkStyleGossip",
+    "KarpPushPull",
+    "RumorSpreadResult",
+    "SyncAlgorithm",
+    "SyncContext",
+    "SyncMessage",
+    "SyncResult",
+    "SyncSimulation",
+    "age_limit",
+    "overlay_diameter_bound",
+    "random_regular_overlay",
+    "run_ck_gossip",
+    "run_push_pull",
+    "skip_graph_neighbors",
+]

@@ -1,0 +1,165 @@
+"""Lock-step synchronous round simulator.
+
+The synchronous comparator model from the paper: d = δ = 1 and — crucially —
+*known a priori* by the algorithm, so code may be structured in global
+rounds. In each round every live process receives all messages sent to it in
+the previous round, computes, and sends.
+
+Crashes take effect at a round boundary: a process crashed at round r sends
+nothing from round r on (messages it sent in round r−1 still deliver). This
+is the cleanest crash model for measuring baseline complexity; the paper's
+synchronous references tolerate harsher mid-round crashes, which is part of
+why our CK-style baseline is a documented approximation (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set
+
+from ..adversary.crash_plans import CrashPlan, no_crashes
+from ..sim.errors import ConfigurationError
+from ..sim.rng import derive_rng
+
+
+@dataclass
+class SyncMessage:
+    """A message in flight for exactly one round."""
+
+    src: int
+    dst: int
+    payload: Any
+    kind: str = "msg"
+
+
+class SyncContext:
+    """Capabilities of a synchronous process during one round."""
+
+    __slots__ = ("pid", "n", "f", "rng", "round", "outbox")
+
+    def __init__(self, pid: int, n: int, f: int, rng) -> None:
+        self.pid = pid
+        self.n = n
+        self.f = f
+        self.rng = rng
+        self.round = 0
+        self.outbox: List[SyncMessage] = []
+
+    def send(self, dst: int, payload: Any, kind: str = "msg") -> None:
+        if not 0 <= dst < self.n:
+            raise ConfigurationError(f"send() to invalid pid {dst}")
+        self.outbox.append(SyncMessage(self.pid, dst, payload, kind))
+
+    def send_many(self, dsts, payload: Any, kind: str = "msg") -> None:
+        for dst in dsts:
+            self.send(dst, payload, kind)
+
+
+class SyncAlgorithm(ABC):
+    """Round-based process code. Knows it runs in lock-step rounds."""
+
+    @abstractmethod
+    def on_round(self, ctx: SyncContext, inbox: List[SyncMessage]) -> None:
+        """Execute one synchronous round."""
+
+    def is_done(self) -> bool:
+        """True once this process considers its protocol finished."""
+        return False
+
+
+@dataclass
+class SyncResult:
+    completed: bool
+    rounds: int
+    messages: int
+    messages_by_kind: Dict[str, int]
+    crashes: int
+
+
+class SyncSimulation:
+    """Runs ``n`` synchronous processes to completion or a round limit."""
+
+    def __init__(
+        self,
+        n: int,
+        f: int,
+        algorithms: Sequence[SyncAlgorithm],
+        crashes: Optional[CrashPlan] = None,
+        monitor: Optional[Callable[["SyncSimulation"], bool]] = None,
+        seed: int = 0,
+    ) -> None:
+        if len(algorithms) != n:
+            raise ConfigurationError(
+                f"expected {n} algorithms, got {len(algorithms)}"
+            )
+        if not 0 <= f < n:
+            raise ConfigurationError(f"require 0 <= f < n, got f={f}")
+        self.n = n
+        self.f = f
+        self.algorithms = list(algorithms)
+        self.crash_plan = crashes if crashes is not None else no_crashes()
+        if self.crash_plan.total > f:
+            raise ConfigurationError(
+                f"crash plan kills {self.crash_plan.total} > f={f}"
+            )
+        self.monitor = monitor
+        self.contexts = [
+            SyncContext(pid, n, f, derive_rng(seed, "sync-proc", pid))
+            for pid in range(n)
+        ]
+        self.alive: Set[int] = set(range(n))
+        self.round = 0
+        self.messages_sent = 0
+        self.messages_by_kind: Counter = Counter()
+        self._in_flight: List[SyncMessage] = []
+
+    @property
+    def alive_pids(self) -> frozenset:
+        return frozenset(self.alive)
+
+    def algorithm(self, pid: int) -> SyncAlgorithm:
+        return self.algorithms[pid]
+
+    def step_round(self) -> None:
+        """Execute one full synchronous round."""
+        for pid in self.crash_plan.crashes_at(self.round):
+            self.alive.discard(pid)
+
+        inboxes: Dict[int, List[SyncMessage]] = {p: [] for p in self.alive}
+        for msg in self._in_flight:
+            if msg.dst in inboxes:
+                inboxes[msg.dst].append(msg)
+        self._in_flight = []
+
+        for pid in sorted(self.alive):
+            ctx = self.contexts[pid]
+            ctx.round = self.round
+            ctx.outbox = []
+            self.algorithms[pid].on_round(ctx, inboxes[pid])
+            for msg in ctx.outbox:
+                self.messages_sent += 1
+                self.messages_by_kind[msg.kind] += 1
+                self._in_flight.append(msg)
+        self.round += 1
+
+    def run(self, max_rounds: int = 10_000) -> SyncResult:
+        """Run rounds until the monitor holds / everyone is done / limit."""
+        while self.round < max_rounds:
+            self.step_round()
+            if self.monitor is not None:
+                if self.monitor(self):
+                    return self._result(True)
+            elif all(self.algorithms[p].is_done() for p in self.alive):
+                return self._result(True)
+        return self._result(False)
+
+    def _result(self, completed: bool) -> SyncResult:
+        return SyncResult(
+            completed=completed,
+            rounds=self.round,
+            messages=self.messages_sent,
+            messages_by_kind=dict(self.messages_by_kind),
+            crashes=self.n - len(self.alive),
+        )

@@ -1,0 +1,23 @@
+"""Workload generation: named scenarios and parameter sweep drivers."""
+
+from .scenarios import SCENARIOS, Scenario, get_scenario
+from .sweeps import (
+    SweepPoint,
+    geometric_ns,
+    near_half,
+    quarter,
+    sweep_gossip,
+    three_quarters,
+)
+
+__all__ = [
+    "SCENARIOS",
+    "Scenario",
+    "SweepPoint",
+    "geometric_ns",
+    "get_scenario",
+    "near_half",
+    "quarter",
+    "sweep_gossip",
+    "three_quarters",
+]

@@ -1,0 +1,93 @@
+"""Named fault/synchrony scenarios used by tests, examples and benches.
+
+A scenario bundles the adversarial knobs the paper's analysis varies: the
+synchrony regime (d, δ) and the crash workload. Scenarios are deterministic
+functions of (n, f, seed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..adversary.crash_plans import (
+    CrashPlan,
+    no_crashes,
+    random_crashes,
+    staggered_halving,
+    wave_crashes,
+)
+
+CrashFactory = Callable[[int, int, int], CrashPlan]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named execution regime."""
+
+    name: str
+    d: int
+    delta: int
+    crash_factory: CrashFactory
+    description: str
+
+    def crashes(self, n: int, f: int, seed: int = 0) -> CrashPlan:
+        return self.crash_factory(n, f, seed)
+
+
+def _none(n: int, f: int, seed: int) -> CrashPlan:
+    return no_crashes()
+
+
+def _random_early(n: int, f: int, seed: int) -> CrashPlan:
+    return random_crashes(n, f, horizon=max(1, 16), seed=seed)
+
+
+def _half_wave(n: int, f: int, seed: int) -> CrashPlan:
+    victims = random_crashes(n, f, horizon=1, seed=seed).victims
+    return wave_crashes(victims, at=4)
+
+
+def _epochs(n: int, f: int, seed: int) -> CrashPlan:
+    return staggered_halving(n, f, epoch_length=24, seed=seed)
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "calm", d=1, delta=1, crash_factory=_none,
+            description="failure-free, maximal synchrony (d = δ = 1)",
+        ),
+        Scenario(
+            "lossy-links", d=4, delta=1, crash_factory=_none,
+            description="slow network: message delays up to 4",
+        ),
+        Scenario(
+            "skewed-speeds", d=1, delta=4, crash_factory=_none,
+            description="uneven scheduling: up to 4 steps between turns",
+        ),
+        Scenario(
+            "flaky", d=2, delta=2, crash_factory=_random_early,
+            description="mild asynchrony plus f random early crashes",
+        ),
+        Scenario(
+            "failure-wave", d=2, delta=2, crash_factory=_half_wave,
+            description="all f victims crash simultaneously at t = 4",
+        ),
+        Scenario(
+            "halving-epochs", d=2, delta=2, crash_factory=_epochs,
+            description="crash waves halving the failure budget per epoch "
+                        "(the EARS analysis's epoch structure)",
+        ),
+    )
+}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,89 @@
+"""Parameter-sweep drivers: run a configuration grid, aggregate over seeds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..analysis.stats import Summary, summarize
+from ..api import run_gossip
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements for one (algorithm, n, f, d, delta) cell."""
+
+    algorithm: str
+    n: int
+    f: int
+    d: int
+    delta: int
+    seeds: int
+    completion_rate: float
+    time: Summary
+    messages: Summary
+    extras: Dict[str, Any]
+
+
+def geometric_ns(start: int = 16, stop: int = 256, factor: int = 2
+                 ) -> List[int]:
+    """Geometric population sweep: start, start·factor, … ≤ stop."""
+    ns = []
+    n = start
+    while n <= stop:
+        ns.append(n)
+        n *= factor
+    return ns
+
+
+def sweep_gossip(
+    algorithm: str,
+    ns: Sequence[int],
+    f_of_n: Callable[[int], int],
+    d: int = 1,
+    delta: int = 1,
+    seeds: Iterable[int] = range(3),
+    crash: bool = False,
+    params_of_n: Optional[Callable[[int], Any]] = None,
+    max_steps: Optional[int] = None,
+) -> List[SweepPoint]:
+    """Run ``algorithm`` across a population sweep; aggregate per n."""
+    seeds = list(seeds)
+    points = []
+    for n in ns:
+        f = f_of_n(n)
+        times, messages, completions = [], [], []
+        for seed in seeds:
+            run = run_gossip(
+                algorithm, n=n, f=f, d=d, delta=delta, seed=seed,
+                crashes=f if crash else None,
+                params=params_of_n(n) if params_of_n else None,
+                max_steps=max_steps,
+            )
+            completions.append(run.completed)
+            if run.completed:
+                times.append(float(run.completion_time))
+                messages.append(float(run.messages))
+        points.append(
+            SweepPoint(
+                algorithm=algorithm, n=n, f=f, d=d, delta=delta,
+                seeds=len(seeds),
+                completion_rate=sum(completions) / len(completions),
+                time=summarize(times or [float("nan")]),
+                messages=summarize(messages or [float("nan")]),
+                extras={},
+            )
+        )
+    return points
+
+
+def quarter(n: int) -> int:
+    return n // 4
+
+
+def near_half(n: int) -> int:
+    return (n - 1) // 2
+
+
+def three_quarters(n: int) -> int:
+    return 3 * n // 4

@@ -1,0 +1,67 @@
+"""Tests for adaptive adversary strategies."""
+
+from repro.adversary.adaptive import (
+    CrashEagerSendersAdversary,
+    TargetedDelayAdversary,
+)
+from repro.core.base import make_processes
+from repro.core.trivial import TrivialGossip
+from repro.core.uniform import UniformEpidemicGossip
+from repro.sim.engine import Simulation
+from repro.sim.monitor import GossipCompletionMonitor
+
+
+def make_sim(algorithm_class, adversary, n=12, f=4, seed=0, **kwargs):
+    return Simulation(
+        n=n,
+        f=f,
+        algorithms=make_processes(n, f, algorithm_class, **kwargs),
+        adversary=adversary,
+        monitor=GossipCompletionMonitor(),
+        seed=seed,
+    )
+
+
+class TestTargetedDelay:
+    def test_victim_links_realize_full_d(self):
+        adversary = TargetedDelayAdversary(victims={0}, d=7)
+        sim = make_sim(TrivialGossip, adversary)
+        sim.run(max_steps=200).require_completed()
+        assert sim.metrics.realized_d == 7
+
+    def test_without_victims_network_is_fast(self):
+        adversary = TargetedDelayAdversary(victims=set(), d=7)
+        sim = make_sim(TrivialGossip, adversary)
+        sim.run(max_steps=200).require_completed()
+        assert sim.metrics.realized_d == 1
+
+
+class TestCrashEagerSenders:
+    def test_crashes_track_algorithm_behaviour(self):
+        adversary = CrashEagerSendersAdversary(budget=3)
+        sim = make_sim(UniformEpidemicGossip, adversary, n=12, f=3)
+        sim.run_for(20)
+        assert sim.metrics.crashes == 3
+        # Victims are senders: every crashed pid sent at least one message.
+        for pid, t in sim.metrics.crash_times.items():
+            assert sim.metrics.messages_by_sender[pid] >= 1
+
+    def test_budget_respected(self):
+        adversary = CrashEagerSendersAdversary(budget=2)
+        sim = make_sim(UniformEpidemicGossip, adversary, n=12, f=4)
+        sim.run_for(30)
+        assert sim.metrics.crashes == 2
+
+    def test_adaptivity_depends_on_seed(self):
+        # The victim set is a function of the algorithm's coin flips —
+        # the defining feature an oblivious adversary cannot have.
+        def victims(seed):
+            adversary = CrashEagerSendersAdversary(budget=3, watch_dst=0)
+            sim = make_sim(
+                UniformEpidemicGossip, adversary, n=16, f=3, seed=seed
+            )
+            sim.run_for(10)
+            return frozenset(sim.metrics.crash_times)
+
+        distinct = {victims(s) for s in range(6)}
+        assert len(distinct) > 1

@@ -1,0 +1,30 @@
+"""Tests for the n/(n−f) failure-fraction experiment driver."""
+
+from repro.experiments.scaling import (
+    failure_scaling_ratio,
+    run_time_vs_failure_fraction,
+)
+
+
+class TestFailureFractionSweep:
+    def test_time_monotone_in_failure_fraction(self):
+        points = run_time_vs_failure_fraction(
+            n=48, fractions=(0.0, 0.5, 0.75), seeds=range(2)
+        )
+        times = [points[f].time.mean for f in (0.0, 0.5, 0.75)]
+        assert all(points[f].completion_rate == 1.0 for f in points)
+        assert times == sorted(times)
+
+    def test_ratio_reflects_survivor_scarcity(self):
+        points = run_time_vs_failure_fraction(
+            n=48, fractions=(0.0, 0.75), seeds=range(2)
+        )
+        # Predicted n/(n−f) factor is 4 at f = 3n/4; require a clear
+        # super-unit measured ratio.
+        assert failure_scaling_ratio(points, 0.0, 0.75) >= 1.8
+
+    def test_crashes_actually_happen(self):
+        points = run_time_vs_failure_fraction(
+            n=48, fractions=(0.5,), seeds=range(1)
+        )
+        assert points[0.5].f == 24

@@ -1,0 +1,122 @@
+"""Tests for the experiment-grid runner."""
+
+import pytest
+
+from repro.experiments.grid import (
+    GridRunner,
+    GridSpec,
+    aggregate,
+    cell_key,
+    get_recorder,
+    register_recorder,
+)
+
+CALLS = []
+
+
+def counting_recorder(**params):
+    CALLS.append(dict(params))
+    return {"doubled": params["x"] * 2, "completed": True}
+
+
+register_recorder("counting", counting_recorder)
+
+
+class TestGridSpec:
+    def test_cells_cross_product_with_seeds(self):
+        spec = GridSpec("t", "counting",
+                        grid={"x": [1, 2], "y": ["a"]}, seeds=[0, 1])
+        cells = spec.cells()
+        assert len(cells) == 4
+        assert {"x": 1, "y": "a", "seed": 0} in cells
+
+    def test_cell_key_order_independent(self):
+        assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+
+class TestGridRunner:
+    def test_runs_all_cells(self):
+        CALLS.clear()
+        spec = GridSpec("run-all", "counting", grid={"x": [1, 2, 3]},
+                        seeds=[0])
+        rows = GridRunner().run(spec)
+        assert len(rows) == 3
+        assert sorted(r["doubled"] for r in rows) == [2, 4, 6]
+        assert len(CALLS) == 3
+
+    def test_in_memory_cache_avoids_reruns(self):
+        CALLS.clear()
+        runner = GridRunner()
+        spec = GridSpec("cache", "counting", grid={"x": [5]}, seeds=[0, 1])
+        runner.run(spec)
+        assert len(CALLS) == 2
+        runner.run(spec)
+        assert len(CALLS) == 2  # nothing re-executed
+
+    def test_jsonl_persistence_across_runners(self, tmp_path):
+        CALLS.clear()
+        spec = GridSpec("persist", "counting", grid={"x": [1, 2]},
+                        seeds=[0])
+        GridRunner(out_dir=str(tmp_path)).run(spec)
+        assert len(CALLS) == 2
+        rows = GridRunner(out_dir=str(tmp_path)).run(spec)
+        assert len(CALLS) == 2  # loaded from disk
+        assert len(rows) == 2
+
+    def test_partial_grid_extension(self, tmp_path):
+        CALLS.clear()
+        runner = GridRunner(out_dir=str(tmp_path))
+        runner.run(GridSpec("extend", "counting", grid={"x": [1]},
+                            seeds=[0]))
+        bigger = GridSpec("extend", "counting", grid={"x": [1, 2]},
+                          seeds=[0])
+        assert runner.missing(bigger) == 1
+        runner.run(bigger)
+        assert len(CALLS) == 2
+
+    def test_unknown_recorder(self):
+        with pytest.raises(KeyError):
+            get_recorder("alchemy")
+
+
+class TestBuiltInRecorders:
+    def test_gossip_recorder_end_to_end(self):
+        spec = GridSpec(
+            "gossip-grid", "gossip",
+            grid={"algorithm": ["trivial", "ears"], "n": [12],
+                  "f": [3], "d": [1], "delta": [1]},
+            seeds=[0, 1],
+        )
+        rows = GridRunner().run(spec)
+        assert len(rows) == 4
+        assert all(r["completed"] for r in rows)
+        trivial_rows = [r for r in rows if r["algorithm"] == "trivial"]
+        assert all(r["messages"] == 12 * 11 for r in trivial_rows)
+
+    def test_consensus_recorder_end_to_end(self):
+        spec = GridSpec(
+            "consensus-grid", "consensus",
+            grid={"gossip": ["all-to-all"], "n": [8], "f": [3]},
+            seeds=[0],
+        )
+        rows = GridRunner().run(spec)
+        assert rows[0]["agreement"] and rows[0]["validity"]
+
+
+class TestAggregate:
+    def test_group_means(self):
+        rows = [
+            {"algo": "a", "n": 8, "messages": 10},
+            {"algo": "a", "n": 8, "messages": 20},
+            {"algo": "b", "n": 8, "messages": 100},
+        ]
+        means = aggregate(rows, by=["algo", "n"], value="messages")
+        assert means[("a", 8)] == 15.0
+        assert means[("b", 8)] == 100.0
+
+    def test_none_values_skipped(self):
+        rows = [
+            {"algo": "a", "time": None},
+            {"algo": "a", "time": 4},
+        ]
+        assert aggregate(rows, by=["algo"], value="time") == {("a",): 4.0}

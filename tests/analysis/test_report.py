@@ -1,0 +1,69 @@
+"""Tests for the one-shot reproduction report generator and new CLI verbs."""
+
+from repro.cli import main
+from repro.experiments.report import ReportConfig, generate_report
+
+
+class TestGenerateReport:
+    def test_small_report_contains_all_sections(self):
+        report = generate_report(ReportConfig(
+            table1_n=16, table2_n=12, theorem1_n=64, theorem1_f=16,
+            scaling_ns=(16, 32), seeds=1,
+        ))
+        for heading in (
+            "Table 1", "Table 2", "Theorem 1", "Corollary 2",
+            "Scaling shapes", "Verdicts",
+        ):
+            assert heading in report
+        # All verdicts should be true at these (tested) scales.
+        assert "**False**" not in report
+
+    def test_report_is_markdown(self):
+        report = generate_report(ReportConfig(
+            table1_n=16, table2_n=12, theorem1_n=64, theorem1_f=16,
+            scaling_ns=(16, 32), seeds=1,
+        ))
+        assert report.startswith("# Reproduction report")
+        assert "|---|" in report
+
+
+class TestCliInspect:
+    def test_inspect_renders_timeline(self, capsys):
+        code = main(["inspect", "--algorithm", "trivial", "-n", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "legend" in out
+        assert "completed=True" in out
+
+    def test_inspect_with_crashes(self, capsys):
+        code = main(["inspect", "--algorithm", "ears", "-n", "12",
+                     "--crashes", "2", "--seed", "3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "crashed" in out
+
+
+class TestCliReport:
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        # Patch a small config through the CLI path by monkeypatching the
+        # default — the CLI only exposes seeds, so run with 1 seed and
+        # accept the default (small-ish) scale.
+        import repro.experiments.report as report_module
+
+        original = report_module.ReportConfig
+        try:
+            class Tiny(original):
+                def __init__(self, seeds=1, **kwargs):
+                    super().__init__(
+                        table1_n=16, table2_n=12, theorem1_n=64,
+                        theorem1_f=16, scaling_ns=(16, 32), seeds=seeds,
+                    )
+
+            report_module.ReportConfig = Tiny
+            code = main(["report", "--output", str(target), "--seeds", "1"])
+        finally:
+            report_module.ReportConfig = original
+        assert code == 0
+        assert "report written" in capsys.readouterr().out
+        assert target.read_text().startswith("# Reproduction report")

@@ -1,0 +1,62 @@
+"""Tests for statistics helpers and table rendering."""
+
+import pytest
+
+from repro.analysis.stats import success_rate, summarize, wilson_interval
+from repro.analysis.tables import format_cell, render_markdown, render_table
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.count == 3
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.ci95 > 0
+
+    def test_singleton(self):
+        s = summarize([5.0])
+        assert s.mean == 5.0
+        assert s.stdev == 0.0
+        assert s.ci95 == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestRates:
+    def test_success_rate(self):
+        assert success_rate([True, False, True, True]) == 0.75
+
+    def test_wilson_brackets_phat(self):
+        lo, hi = wilson_interval(8, 10)
+        assert lo < 0.8 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_extremes(self):
+        lo, hi = wilson_interval(0, 10)
+        assert lo == 0.0 and hi < 0.5
+        lo, hi = wilson_interval(10, 10)
+        assert lo > 0.5 and hi == 1.0
+
+
+class TestTables:
+    def test_format_cell(self):
+        assert format_cell(3) == "3"
+        assert format_cell(1234.5) == "1.23e+03"
+        assert format_cell(2.5) == "2.50"
+        assert format_cell("x") == "x"
+        assert format_cell(0.0) == "0"
+
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_render_markdown(self):
+        out = render_markdown(["x", "y"], [[1, 2]])
+        assert out.splitlines()[1] == "|---|---|"
+        assert "| 1 | 2 |" in out

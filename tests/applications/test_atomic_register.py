@@ -1,0 +1,104 @@
+"""Tests for the ABD-style atomic register."""
+
+import pytest
+
+from repro.adversary.crash_plans import wave_crashes
+from repro.applications.atomic_register import (
+    check_atomicity,
+    run_register_session,
+)
+
+
+class TestHappyPath:
+    def test_reads_see_writes_in_order(self):
+        run = run_register_session(
+            n_replicas=6,
+            writer_script=[("write", "a"), ("write", "b")],
+            reader_scripts=[[("read",), ("read",), ("read",)]],
+            seed=1,
+        )
+        assert run.completed
+        assert check_atomicity(run.histories) == []
+
+    def test_read_before_any_write_returns_initial(self):
+        run = run_register_session(
+            n_replicas=6, writer_script=[],
+            reader_scripts=[[("read",)]], seed=1,
+        )
+        assert run.completed
+        (reader_history,) = [
+            h for pid, h in run.histories.items() if h
+        ] or [[]]
+        if reader_history:
+            assert reader_history[0].value is None
+            assert reader_history[0].timestamp == 0
+
+
+class TestFaultTolerance:
+    def test_minority_replica_crash(self):
+        run = run_register_session(
+            n_replicas=8,
+            writer_script=[("write", "x"), ("write", "y")],
+            reader_scripts=[[("read",), ("read",)],
+                            [("read",), ("read",)]],
+            crashes=wave_crashes([0, 1, 2], at=4),
+            seed=2,
+        )
+        assert run.completed
+        assert check_atomicity(run.histories) == []
+
+    @pytest.mark.parametrize("d,delta", [(3, 1), (1, 3), (4, 4)])
+    def test_under_asynchrony(self, d, delta):
+        run = run_register_session(
+            n_replicas=6,
+            writer_script=[("write", 1), ("write", 2), ("write", 3)],
+            reader_scripts=[[("read",)] * 3, [("read",)] * 3],
+            d=d, delta=delta, seed=3,
+        )
+        assert run.completed
+        assert check_atomicity(run.histories) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_atomicity_across_seeds(self, seed):
+        run = run_register_session(
+            n_replicas=8,
+            writer_script=[("write", i) for i in range(4)],
+            reader_scripts=[[("read",)] * 4] * 3,
+            crashes=wave_crashes([0, 1, 2], at=3),
+            d=2, delta=2, seed=seed, think_steps=1,
+        )
+        assert run.completed
+        assert check_atomicity(run.histories) == []
+
+
+class TestChecker:
+    def test_detects_stale_read(self):
+        from repro.applications.atomic_register import OpRecord
+
+        histories = {
+            1: [OpRecord(1, "write", "a", 1, 0, 5),
+                OpRecord(1, "write", "b", 2, 6, 10)],
+            2: [OpRecord(2, "read", "a", 1, 20, 25)],  # after write ts=2
+        }
+        violations = check_atomicity(histories)
+        assert violations
+
+    def test_detects_backwards_reads(self):
+        from repro.applications.atomic_register import OpRecord
+
+        histories = {
+            1: [OpRecord(1, "write", "a", 1, 0, 2),
+                OpRecord(1, "write", "b", 2, 3, 5)],
+            2: [OpRecord(2, "read", "b", 2, 2, 4),
+                OpRecord(2, "read", "a", 1, 5, 7)],
+        }
+        assert any("backwards" in v for v in check_atomicity(histories))
+
+    def test_detects_corrupted_value(self):
+        from repro.applications.atomic_register import OpRecord
+
+        histories = {
+            1: [OpRecord(1, "write", "a", 1, 0, 2)],
+            2: [OpRecord(2, "read", "z", 1, 3, 4)],
+        }
+        assert any("does not match" in v for v in check_atomicity(histories))

@@ -1,0 +1,83 @@
+"""Tests for the do-all application."""
+
+import pytest
+
+from repro.adversary.crash_plans import random_crashes, wave_crashes
+from repro.applications.do_all import DoAllProcess, run_do_all
+
+
+class TestDoAllCompletes:
+    @pytest.mark.parametrize("strategy", ["partition", "random"])
+    def test_failure_free(self, strategy):
+        run = run_do_all(n=16, f=0, tasks=64, strategy=strategy, seed=1)
+        assert run.completed
+        assert run.work >= 64
+        assert run.duplicated_work == run.work - 64
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_crashes(self, seed):
+        run = run_do_all(
+            n=24, f=8, tasks=96, seed=seed,
+            crashes=random_crashes(24, 8, 12, seed=seed),
+        )
+        assert run.completed
+        # Every task got executed despite 8 mid-run crashes.
+        assert run.crashes == 8
+
+    def test_wave_crash_of_a_whole_segment(self):
+        # Crash all owners of the first segments early: survivors must
+        # take over their tasks.
+        run = run_do_all(
+            n=16, f=4, tasks=64, seed=2,
+            crashes=wave_crashes([0, 1, 2, 3], at=2),
+        )
+        assert run.completed
+
+    def test_under_asynchrony(self):
+        run = run_do_all(n=16, f=4, tasks=64, d=3, delta=3, seed=1,
+                         crashes=random_crashes(16, 4, 20, seed=1))
+        assert run.completed
+
+
+class TestWorkAccounting:
+    def test_replicated_is_the_zero_coordination_anchor(self):
+        run = run_do_all(n=12, f=0, tasks=36, strategy="replicated",
+                         seed=1)
+        assert run.completed
+        # Everyone does everything: work = n · t exactly.
+        assert run.work == 12 * 36
+        smart = run_do_all(n=12, f=0, tasks=36, strategy="partition",
+                           seed=1)
+        assert smart.work < run.work / 3  # what the gossip buys
+
+    def test_partition_beats_random_on_duplicated_work(self):
+        total = {"partition": 0, "random": 0}
+        for seed in range(3):
+            for strategy in total:
+                run = run_do_all(n=24, f=0, tasks=192, strategy=strategy,
+                                 seed=seed)
+                assert run.completed
+                total[strategy] += run.duplicated_work
+        assert total["partition"] < total["random"]
+
+    def test_work_lower_bound(self):
+        run = run_do_all(n=16, f=0, tasks=64, seed=3)
+        assert run.work >= run.tasks
+        assert sum(run.per_process_work.values()) == run.work
+
+    def test_quiescence_after_completion(self):
+        run = run_do_all(n=16, f=0, tasks=32, seed=1)
+        assert all(
+            run.sim.algorithm(pid).is_quiescent()
+            for pid in run.sim.alive_pids
+        )
+
+
+class TestProcessUnit:
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            DoAllProcess(0, 4, 1, tasks=8, strategy="psychic")
+
+    def test_partition_cursor_starts_at_own_segment(self):
+        worker = DoAllProcess(2, 4, 1, tasks=16)
+        assert worker._cursor == 8

@@ -1,0 +1,69 @@
+"""Tests for the gossip heartbeat failure detector."""
+
+import pytest
+
+from repro.adversary.crash_plans import no_crashes, wave_crashes
+from repro.applications.failure_detector import run_failure_detector
+
+
+class TestCompleteness:
+    def test_single_crash_detected_by_all(self):
+        run = run_failure_detector(
+            n=24, crashes=wave_crashes([5], at=10),
+            suspicion_threshold=25, seed=1,
+        )
+        assert run.completed
+        for pid in run.sim.alive_pids:
+            assert run.sim.algorithm(pid).suspected == {5}
+
+    def test_multiple_crashes_detected(self):
+        run = run_failure_detector(
+            n=24, crashes=wave_crashes([1, 2, 3, 4], at=8),
+            suspicion_threshold=25, seed=2,
+        )
+        assert run.completed
+        assert run.crashed == {1, 2, 3, 4}
+        assert run.max_detection_latency > 0
+
+    def test_staggered_crashes(self):
+        from repro.adversary.crash_plans import crash_at
+
+        run = run_failure_detector(
+            n=20, crashes=crash_at({5: [0], 40: [1]}),
+            suspicion_threshold=25, seed=3,
+        )
+        assert run.completed
+        assert run.crashed == {0, 1}
+
+
+class TestAccuracy:
+    def test_no_false_suspicions_when_threshold_generous(self):
+        run = run_failure_detector(
+            n=20, crashes=no_crashes(), suspicion_threshold=40,
+            seed=1, max_steps=400,
+        )
+        # Never completes (nothing to detect) — inspect the steady state.
+        assert run.false_suspicions == 0
+        for pid in run.sim.alive_pids:
+            assert run.sim.algorithm(pid).suspected == set()
+
+    def test_tight_threshold_under_delay_causes_false_suspicions(self):
+        # Propagation lag grows with (d, δ); a threshold below the lag
+        # wrongly suspects live nodes (and later retracts — counted).
+        run = run_failure_detector(
+            n=24, crashes=no_crashes(), suspicion_threshold=3,
+            d=4, delta=4, seed=2, max_steps=400,
+        )
+        assert run.false_suspicions > 0
+
+    def test_detection_latency_scales_with_threshold(self):
+        fast = run_failure_detector(
+            n=20, crashes=wave_crashes([3], at=5),
+            suspicion_threshold=15, seed=4,
+        )
+        slow = run_failure_detector(
+            n=20, crashes=wave_crashes([3], at=5),
+            suspicion_threshold=60, seed=4,
+        )
+        assert fast.completed and slow.completed
+        assert slow.max_detection_latency > fast.max_detection_latency

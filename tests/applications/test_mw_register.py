@@ -1,0 +1,92 @@
+"""Tests for the multi-writer atomic register."""
+
+import pytest
+
+from repro.adversary.crash_plans import wave_crashes
+from repro.applications.mw_register import (
+    MwOpRecord,
+    ZERO_TAG,
+    check_mw_atomicity,
+    run_mw_register_session,
+)
+
+
+class TestConcurrentWriters:
+    def test_two_writers_get_distinct_tags(self):
+        run = run_mw_register_session(
+            n_replicas=6,
+            client_scripts=[
+                [("write", "a")],
+                [("write", "b")],
+            ],
+            seed=1,
+        )
+        assert run.completed
+        tags = [
+            record.tag
+            for history in run.histories.values()
+            for record in history if record.kind == "write"
+        ]
+        assert len(set(tags)) == 2
+        assert check_mw_atomicity(run.histories) == []
+
+    def test_reads_converge_on_the_winning_tag(self):
+        run = run_mw_register_session(
+            n_replicas=6,
+            client_scripts=[
+                [("write", "a"), ("read",)],
+                [("write", "b"), ("read",)],
+                [("read",), ("read",)],
+            ],
+            seed=2, think_steps=3,
+        )
+        assert run.completed
+        assert check_mw_atomicity(run.histories) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_atomicity_under_crashes_and_delay(self, seed):
+        run = run_mw_register_session(
+            n_replicas=8,
+            client_scripts=[
+                [("write", f"w{w}-{i}") for i in range(2)] + [("read",)]
+                for w in range(3)
+            ],
+            d=3, delta=2, seed=seed,
+            crashes=wave_crashes([0, 1, 2], at=4),
+        )
+        assert run.completed
+        assert check_mw_atomicity(run.histories) == []
+
+    def test_writer_sequence_advances_past_others(self):
+        run = run_mw_register_session(
+            n_replicas=6,
+            client_scripts=[
+                [("write", "a1"), ("write", "a2")],
+                [("write", "b1")],
+            ],
+            seed=3, think_steps=4,
+        )
+        assert run.completed
+        a_history = run.histories[6]
+        assert a_history[1].tag > a_history[0].tag
+
+
+class TestMwChecker:
+    def test_duplicate_tag_flagged(self):
+        histories = {
+            1: [MwOpRecord(1, "write", "a", (1, 1), 0, 2)],
+            2: [MwOpRecord(2, "write", "b", (1, 1), 0, 2)],
+        }
+        assert any("duplicate" in v for v in check_mw_atomicity(histories))
+
+    def test_stale_read_flagged(self):
+        histories = {
+            1: [MwOpRecord(1, "write", "a", (1, 1), 0, 2),
+                MwOpRecord(1, "write", "b", (2, 1), 3, 5)],
+            2: [MwOpRecord(2, "read", "a", (1, 1), 10, 12)],
+        }
+        assert any("after op" in v for v in check_mw_atomicity(histories))
+
+    def test_initial_read_allowed(self):
+        histories = {2: [MwOpRecord(2, "read", None, ZERO_TAG, 0, 2)]}
+        assert check_mw_atomicity(histories) == []

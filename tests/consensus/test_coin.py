@@ -1,0 +1,52 @@
+"""Tests for the common coin."""
+
+import random
+
+from repro.consensus.coin import combine, flip
+
+
+class TestFlip:
+    def test_flip_is_biased_toward_one(self):
+        rng = random.Random(1)
+        n = 32
+        flips = [flip(rng, n) for _ in range(2000)]
+        zeros = flips.count(0)
+        # E[zeros] = 2000/32 = 62.5; allow a wide band.
+        assert 20 <= zeros <= 130
+
+    def test_flip_values_binary(self):
+        rng = random.Random(2)
+        assert set(flip(rng, 8) for _ in range(100)) <= {0, 1}
+
+
+class TestCombine:
+    def test_any_zero_wins(self):
+        assert combine({0: 1, 1: 0, 2: 1}) == 0
+
+    def test_all_ones(self):
+        assert combine({0: 1, 1: 1}) == 1
+
+    def test_empty_view_defaults_to_one(self):
+        assert combine({}) == 1
+
+
+class TestAgreementProbability:
+    def test_all_agree_often(self):
+        """Empirical check of the coin's constant agreement probability:
+        simulate the adversary showing each process the common core S plus
+        an arbitrary subset of the rest; outputs must still often agree."""
+        n = 16
+        agreements = 0
+        trials = 400
+        master = random.Random(7)
+        for _ in range(trials):
+            flips = {p: flip(random.Random(master.random()), n)
+                     for p in range(n)}
+            core = set(master.sample(range(n), n // 2 + 1))
+            outputs = set()
+            for p in range(n):
+                extra = {q for q in range(n) if master.random() < 0.5}
+                view = {q: flips[q] for q in core | extra}
+                outputs.add(combine(view))
+            agreements += len(outputs) == 1
+        assert agreements / trials >= 0.25

@@ -1,0 +1,49 @@
+"""Consensus under the eventually-synchronous (GST) regime.
+
+The paper's framing applies to consensus too: the protocols never read
+clocks or bounds, so they ride out an arbitrarily chaotic prefix and
+decide within their Table 2 time of GST.
+"""
+
+import pytest
+
+from repro.adversary.gst import GstAdversary
+from repro.consensus import run_consensus
+
+
+class TestConsensusRidesOutChaos:
+    @pytest.mark.parametrize("transport", ["all-to-all", "ears", "tears"])
+    def test_decides_after_gst(self, transport):
+        gst = 60
+        run = run_consensus(
+            transport, n=16, f=7, seed=2,
+            adversary=GstAdversary(gst=gst, d=2, delta=2, seed=2),
+        )
+        assert run.completed, run.reason
+        assert run.agreement and run.validity
+        assert run.decision_time > gst  # chaos really blocked progress
+
+    def test_post_gst_span_matches_plain_run(self):
+        gst = 60
+        chaotic = run_consensus(
+            "ears", n=16, f=7, seed=3,
+            adversary=GstAdversary(gst=gst, d=2, delta=2, seed=3),
+        )
+        plain = run_consensus("ears", n=16, f=7, d=2, delta=2, seed=3)
+        assert chaotic.completed and plain.completed
+        span = chaotic.decision_time - gst
+        assert span <= 3 * plain.decision_time + 8
+
+    def test_safety_through_the_chaotic_prefix(self):
+        # Even with crashes layered on top of the chaos.
+        from repro.adversary.crash_plans import random_crashes
+
+        run = run_consensus(
+            "tears", n=16, f=7, seed=4,
+            adversary=GstAdversary(
+                gst=50, d=2, delta=2, seed=4,
+                crashes=random_crashes(16, 7, 40, seed=4),
+            ),
+        )
+        assert run.completed
+        assert run.agreement and run.validity

@@ -1,0 +1,76 @@
+"""Tests for multivalued consensus (the rotating-candidate reduction)."""
+
+import pytest
+
+from repro.consensus.multivalued import (
+    MultivaluedConsensus,
+    run_multivalued_consensus,
+)
+
+
+class TestSafetyAndLiveness:
+    @pytest.mark.parametrize("transport", ["all-to-all", "ears", "tears"])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_distinct_proposals(self, transport, seed):
+        run = run_multivalued_consensus(transport, n=12, f=5, seed=seed)
+        assert run.completed, run.reason
+        assert run.agreement
+        assert run.validity
+        assert len(set(run.decisions.values())) == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_crashes_and_delay(self, seed):
+        run = run_multivalued_consensus(
+            "ears", n=16, f=7, d=2, delta=2, seed=seed, crashes=7,
+        )
+        assert run.completed, run.reason
+        assert run.agreement and run.validity
+
+    def test_decided_value_is_a_proposal(self):
+        proposals = [{"config": i} for i in range(10)]
+        run = run_multivalued_consensus("all-to-all", n=10, f=4, seed=2,
+                                        proposals=proposals)
+        assert run.completed
+        decided = next(iter(run.decisions.values()))
+        assert decided in proposals
+
+    def test_identical_proposals_decide_quickly(self):
+        run = run_multivalued_consensus(
+            "all-to-all", n=12, f=5, seed=1, proposals=["same"] * 12,
+        )
+        assert run.completed
+        assert set(run.decisions.values()) == {"same"}
+        # Candidate 0's proposal equals everyone's: few mv rounds needed.
+        assert run.rounds_used <= 3
+
+    def test_mv_rounds_bounded(self):
+        for seed in range(3):
+            run = run_multivalued_consensus("all-to-all", n=12, f=5,
+                                            seed=seed)
+            assert run.rounds_used <= 6
+
+    def test_deterministic(self):
+        a = run_multivalued_consensus("ears", n=12, f=5, seed=9, crashes=4)
+        b = run_multivalued_consensus("ears", n=12, f=5, seed=9, crashes=4)
+        assert a.decisions == b.decisions
+        assert a.messages == b.messages
+
+
+class TestValidation:
+    def test_rejects_none_proposal(self):
+        from repro.core.trivial import TrivialGossip
+
+        with pytest.raises(ValueError):
+            MultivaluedConsensus(0, 8, 3, None, TrivialGossip)
+
+    def test_rejects_wrong_proposal_count(self):
+        from repro.sim.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_multivalued_consensus("ears", n=8, f=3, proposals=["x"])
+
+    def test_rejects_f_at_half(self):
+        from repro.sim.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_multivalued_consensus("ears", n=8, f=4)

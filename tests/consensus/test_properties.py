@@ -1,0 +1,26 @@
+"""Tests for consensus property checkers."""
+
+from repro.consensus.properties import (
+    agreement_holds,
+    validity_holds,
+)
+
+
+class TestAgreement:
+    def test_empty_vacuous(self):
+        assert agreement_holds({})
+
+    def test_all_same(self):
+        assert agreement_holds({0: 1, 3: 1, 5: 1})
+
+    def test_disagreement(self):
+        assert not agreement_holds({0: 1, 3: 0})
+
+
+class TestValidity:
+    def test_decided_values_must_be_inputs(self):
+        assert validity_holds({0: 1, 1: 0}, [0, 1, 1])
+        assert not validity_holds({0: 2}, [0, 1, 1])
+
+    def test_no_decisions_vacuous(self):
+        assert validity_holds({}, [0, 1])

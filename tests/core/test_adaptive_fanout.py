@@ -1,0 +1,90 @@
+"""Tests for the adaptive-fanout baseline and its heuristic-stop failure."""
+
+import pytest
+
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.core.adaptive_fanout import AdaptiveFanoutGossip
+from repro.core.base import make_processes
+from repro.core.properties import gathering_holds
+from repro.sim.engine import Simulation
+from repro.sim.monitor import GossipCompletionMonitor
+
+
+def run(n=24, f=0, d=1, delta=1, seed=0, **kwargs):
+    sim = Simulation(
+        n=n, f=f,
+        algorithms=make_processes(n, f, AdaptiveFanoutGossip, **kwargs),
+        adversary=ObliviousAdversary.uniform(d, delta, seed=seed),
+        monitor=GossipCompletionMonitor(),
+        seed=seed,
+    )
+    return sim.run(max_steps=20_000), sim
+
+
+class TestBenignBehaviour:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_completes_on_benign_schedule(self, seed):
+        result, sim = run(seed=seed)
+        assert result.completed
+        assert gathering_holds(sim)
+
+    def test_fanout_decays_when_traffic_redundant(self):
+        proc = AdaptiveFanoutGossip(0, 16, 0, base_fanout=4)
+        from repro.sim.process import Context
+        from repro.sim.rng import derive_rng
+
+        ctx = Context(0, 16, 0, derive_rng(0, "t", 0))
+        for _ in range(3):
+            ctx.outbox = []
+            proc.on_step(ctx, [])
+        assert proc.fanout < proc.base_fanout
+
+    def test_novelty_reopens_fanout_and_wakes(self):
+        from repro.core.rumors import mask_of
+        from repro.sim.message import Message
+        from repro.sim.process import Context
+        from repro.sim.rng import derive_rng
+
+        proc = AdaptiveFanoutGossip(0, 16, 0, base_fanout=4,
+                                    quiet_threshold=2)
+        ctx = Context(0, 16, 0, derive_rng(0, "t", 0))
+        for _ in range(4):
+            ctx.outbox = []
+            proc.on_step(ctx, [])
+        assert proc.is_quiescent()
+        ctx.outbox = []
+        proc.on_step(ctx, [Message(src=1, dst=0,
+                                   payload=(mask_of([1]), None))])
+        assert not proc.is_quiescent()
+        assert proc.fanout == proc.base_fanout
+        assert ctx.outbox  # resumed sending
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveFanoutGossip(0, 8, 0, base_fanout=2, min_fanout=3)
+
+
+class TestHeuristicStopIsUnsound:
+    def test_premature_stop_under_large_delay(self):
+        """Section 1 made executable: with delays larger than the quiet
+        threshold, processes stop while the news is still in flight and
+        the protocol stalls incomplete for some seeds."""
+        outcomes = []
+        for seed in range(8):
+            result, sim = run(
+                n=24, d=8, delta=4, seed=seed,
+                quiet_threshold=2, base_fanout=2,
+            )
+            outcomes.append(result.completed and gathering_holds(sim))
+        assert not all(outcomes), (
+            "expected at least one premature-stop failure across seeds"
+        )
+
+    def test_generous_threshold_restores_completion(self):
+        for seed in range(4):
+            result, sim = run(
+                n=24, d=8, delta=4, seed=seed,
+                quiet_threshold=40, base_fanout=2,
+            )
+            assert result.completed
+            assert gathering_holds(sim)

@@ -1,0 +1,89 @@
+"""Integration tests for EARS under the oblivious adversary."""
+
+import pytest
+
+from repro.api import run_gossip
+from repro.core.ears import Ears
+from repro.core.params import EarsParams
+from repro.core.properties import (
+    gathering_holds,
+    own_rumor_retained,
+    quiescence_holds,
+    validity_holds,
+)
+
+
+class TestEarsCompletes:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_failure_free_synchronous_like(self, seed):
+        run = run_gossip("ears", n=24, f=0, d=1, delta=1, seed=seed)
+        assert run.completed
+        assert gathering_holds(run.sim)
+        assert quiescence_holds(run.sim)
+        assert validity_holds(run.sim)
+
+    @pytest.mark.parametrize("d,delta", [(1, 1), (3, 1), (1, 3), (4, 4)])
+    def test_under_varied_synchrony(self, d, delta):
+        run = run_gossip("ears", n=24, f=6, d=d, delta=delta, seed=1)
+        assert run.completed
+        assert run.realized_d <= d
+        assert run.realized_delta <= delta
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_with_crashes(self, seed):
+        run = run_gossip("ears", n=32, f=12, d=2, delta=2, seed=seed,
+                         crashes=12)
+        assert run.completed
+        assert run.crashes == 12
+        assert gathering_holds(run.sim)
+
+    def test_max_failures(self):
+        # f = n - 1: everything but one process may die; here half do.
+        run = run_gossip("ears", n=16, f=15, d=1, delta=1, seed=3, crashes=8)
+        assert run.completed
+
+    def test_n_two(self):
+        run = run_gossip("ears", n=2, f=1, d=1, delta=1, seed=0)
+        assert run.completed
+
+
+class TestEarsBehaviour:
+    def test_processes_sleep_at_completion(self):
+        run = run_gossip("ears", n=24, f=6, d=1, delta=1, seed=2)
+        for pid in run.sim.alive_pids:
+            assert run.sim.algorithm(pid).asleep
+
+    def test_own_rumor_retained(self):
+        run = run_gossip("ears", n=24, f=6, d=1, delta=1, seed=2, crashes=6)
+        assert own_rumor_retained(run.sim)
+
+    def test_message_kinds_split(self):
+        run = run_gossip("ears", n=24, f=6, d=1, delta=1, seed=2)
+        assert run.messages_by_kind.get("gossip", 0) > 0
+        assert run.messages_by_kind.get("shutdown", 0) > 0
+
+    def test_shutdown_constant_controls_tail(self):
+        short = run_gossip("ears", n=24, f=0, seed=5,
+                           params=EarsParams(shutdown_constant=1.0))
+        long = run_gossip("ears", n=24, f=0, seed=5,
+                          params=EarsParams(shutdown_constant=6.0))
+        assert long.messages_by_kind["shutdown"] > short.messages_by_kind[
+            "shutdown"
+        ]
+
+    def test_deterministic_given_seed(self):
+        a = run_gossip("ears", n=24, f=6, d=2, delta=2, seed=9, crashes=6)
+        b = run_gossip("ears", n=24, f=6, d=2, delta=2, seed=9, crashes=6)
+        assert a.messages == b.messages
+        assert a.completion_time == b.completion_time
+
+    def test_gathering_precedes_quiescence(self):
+        run = run_gossip("ears", n=24, f=6, d=1, delta=1, seed=4)
+        assert run.gathering_time <= run.completion_time
+
+
+class TestEarsUnitState:
+    def test_instance_parameters(self):
+        algo = Ears(pid=0, n=64, f=32)
+        assert algo.fanout == 1
+        assert algo.shutdown_sends == algo.params.shutdown_steps(64, 32)

@@ -1,0 +1,178 @@
+"""Tests for the EARS/SEARS shared machinery: V, I, L and shut-down logic."""
+
+import pytest
+
+from repro.core.epidemic import EpidemicGossip, _repunit
+from repro.core.rumors import mask_of
+from repro.sim.message import Message
+from repro.sim.process import Context
+from repro.sim.rng import derive_rng
+
+
+def make_proc(pid=0, n=4, f=1, fanout=1, shutdown_sends=2):
+    algo = EpidemicGossip(pid, n, f, fanout=fanout,
+                          shutdown_sends=shutdown_sends)
+    ctx = Context(pid, n, f, derive_rng(0, "t", pid))
+    return algo, ctx
+
+
+def deliver(algo, ctx, payload, src=1):
+    msg = Message(src=src, dst=algo.pid, payload=payload)
+    ctx.outbox = []
+    algo.on_step(ctx, [msg])
+    return ctx.outbox
+
+
+def step(algo, ctx):
+    ctx.outbox = []
+    algo.on_step(ctx, [])
+    return ctx.outbox
+
+
+class TestRepunit:
+    def test_stamps_each_block(self):
+        n = 4
+        v = mask_of([1, 3])
+        stamped = v * _repunit(n)
+        for q in range(n):
+            assert (stamped >> (q * n)) & mask_of(range(n)) == v
+
+    def test_n_one(self):
+        assert _repunit(1) == 1
+
+
+class TestInformedList:
+    def test_initially_knows_own_rumor_reached_self(self):
+        algo, _ = make_proc(pid=2)
+        assert algo.knows_sent(rumor=2, dst=2)
+        assert not algo.knows_sent(rumor=2, dst=0)
+
+    def test_send_records_pairs_after_snapshot(self):
+        algo, ctx = make_proc(pid=0)
+        out = step(algo, ctx)
+        assert len(out) == 1
+        dst = out[0].dst
+        # The pair (own rumor, dst) is in I(p) now...
+        assert algo.knows_sent(0, dst)
+        # ...but was NOT in the message payload that just left (Figure 2
+        # sends first, records after).
+        _, _, informed_sent = out[0].payload
+        assert not informed_sent >> (dst * algo.n + 0) & 1 or dst == 0
+
+    def test_receiver_infers_rumor_reached_itself(self):
+        algo, ctx = make_proc(pid=0)
+        deliver(algo, ctx, (mask_of([1]), None, 0), src=1)
+        assert 1 in algo.rumors
+        assert algo.knows_sent(rumor=1, dst=0)
+
+    def test_merge_unions_informed_lists(self):
+        algo, ctx = make_proc(pid=0, n=4)
+        remote_informed = mask_of([2]) << (3 * 4)  # (rumor 2 sent to 3)
+        out = deliver(algo, ctx, (mask_of([1, 2]), None, remote_informed),
+                      src=1)
+        assert algo.knows_sent(2, 3)
+        # (rumor 1, dst 3) was not in the merged informed-list; it can only
+        # appear if this step's own epidemic send happened to target 3.
+        if 3 not in {m.dst for m in out}:
+            assert not algo.knows_sent(1, 3)
+        assert not algo.knows_sent(3, 3)  # rumor 3 is unknown entirely
+
+    def test_uncertified_mask_lists_l(self):
+        algo, ctx = make_proc(pid=0, n=3)
+        # Knows only own rumor, sent only to itself: L = {1, 2}.
+        assert algo.uncertified_mask() == mask_of([1, 2])
+        assert not algo.l_is_empty()
+
+
+class TestShutdownLogic:
+    def _fully_informed(self, algo, ctx):
+        """Deliver an informed-list showing everything sent everywhere."""
+        n = algo.n
+        all_rumors = mask_of(range(n))
+        informed = all_rumors * _repunit(n)
+        deliver(algo, ctx, (all_rumors, None, informed), src=1)
+
+    def test_sleep_counter_advances_when_l_empty(self):
+        algo, ctx = make_proc(shutdown_sends=3)
+        self._fully_informed(algo, ctx)
+        assert algo.l_is_empty()
+        assert algo.sleep_cnt == 1
+        assert not algo.asleep
+
+    def test_sends_shutdown_messages_then_sleeps(self):
+        algo, ctx = make_proc(shutdown_sends=2)
+        self._fully_informed(algo, ctx)
+        kinds = []
+        for _ in range(4):
+            out = step(algo, ctx)
+            kinds.extend(m.kind for m in out)
+        # One shutdown send happened inside _fully_informed's step (count 1),
+        # then one more (count 2), then silence.
+        assert kinds.count("shutdown") == 1
+        assert algo.asleep
+        assert algo.is_quiescent()
+        assert step(algo, ctx) == []
+
+    def test_new_rumor_awakens_sleeper(self):
+        algo, ctx = make_proc(n=4, shutdown_sends=1)
+        self._fully_informed(algo, ctx)
+        for _ in range(3):
+            step(algo, ctx)
+        assert algo.asleep
+        # Now a message arrives carrying a rumor with an uncertified pair:
+        # rumor 3 is new to this sleeper and nothing says it was sent
+        # anywhere but here. L(p) becomes non-empty, sleep_cnt resets, and
+        # the process resumes epidemic sends.
+        n = algo.n
+        # Rebuild a sleeper whose knowledge misses rumor n-1 entirely.
+        algo2, ctx2 = make_proc(n=n, shutdown_sends=1)
+        known = mask_of(range(n - 1))
+        deliver(algo2, ctx2, (known, None, known * _repunit(n)), src=1)
+        while not algo2.asleep:
+            step(algo2, ctx2)
+        # Deliver the late rumor n-1 with an empty informed-list.
+        out = deliver(algo2, ctx2, (mask_of([n - 1]), None, 0), src=2)
+        assert algo2.sleep_cnt == 0
+        assert not algo2.asleep
+        assert out and out[0].kind == "gossip"
+
+    def test_wakeup_resets_shutdown_progress(self):
+        algo, ctx = make_proc(n=3, shutdown_sends=5)
+        self._fully_informed(algo, ctx)
+        assert algo.sleep_cnt == 1
+        step(algo, ctx)
+        assert algo.sleep_cnt == 2
+        # Now L becomes non-empty again via a new uncertified pair — deliver
+        # an informed-list that doesn't change anything (no-op) but a rumor
+        # mask can't grow. Verify the counter logic via direct manipulation
+        # of the on_step path: a message with zero new info keeps L empty.
+        deliver(algo, ctx, (algo.rumors.mask, None, 0), src=2)
+        assert algo.sleep_cnt == 3  # still empty, still counting
+
+
+class TestFanout:
+    def test_fanout_many_targets(self):
+        algo, ctx = make_proc(n=32, f=8, fanout=8)
+        out = step(algo, ctx)
+        assert 1 <= len(out) <= 8
+        assert len({m.dst for m in out}) == len(out)  # deduplicated
+
+    def test_fanout_one(self):
+        algo, ctx = make_proc(fanout=1)
+        assert len(step(algo, ctx)) == 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            EpidemicGossip(0, 4, 1, fanout=0)
+        with pytest.raises(ValueError):
+            EpidemicGossip(0, 4, 1, shutdown_sends=0)
+
+
+class TestPayloadCarriage:
+    def test_payloads_ride_with_rumors(self):
+        algo, ctx = make_proc(pid=0, n=3)
+        deliver(algo, ctx, (mask_of([1]), {1: "vote"}, 0), src=1)
+        assert algo.rumors.value_of(1) == "vote"
+        out = step(algo, ctx)
+        _, payloads, _ = out[0].payload
+        assert payloads.get(1) == "vote"

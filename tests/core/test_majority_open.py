@@ -1,0 +1,92 @@
+"""Tests for the deterministic majority gossip open-question probe."""
+
+import pytest
+
+from repro.adversary.crash_plans import random_crashes
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.core.base import make_processes
+from repro.core.majority import (
+    DeterministicMajorityGossip,
+    targeted_arc_crash_plan,
+)
+from repro.core.properties import majority_gathering_holds
+from repro.core.tears import Tears
+from repro.sim.engine import Simulation
+from repro.sim.monitor import GossipCompletionMonitor
+
+
+def run(cls, n, f, crashes, seed=1):
+    adversary = ObliviousAdversary.uniform(1, 1, seed=seed, crashes=crashes)
+    sim = Simulation(
+        n=n, f=f, algorithms=make_processes(n, f, cls),
+        adversary=adversary,
+        monitor=GossipCompletionMonitor(majority=True), seed=seed,
+    )
+    return sim.run(max_steps=5000), sim
+
+
+class TestNeighbourhoods:
+    def test_pi_sets_deterministic_and_disjoint_from_self(self):
+        a = DeterministicMajorityGossip(3, 64, 31)
+        b = DeterministicMajorityGossip(3, 64, 31)
+        assert a.pi1 == b.pi1 and a.pi2 == b.pi2
+        assert 3 not in a.pi1 and 3 not in a.pi2
+
+    def test_degree_is_order_sqrt_n(self):
+        small = DeterministicMajorityGossip(0, 64, 31)
+        large = DeterministicMajorityGossip(0, 1024, 511)
+        assert large.k > small.k
+        assert large.k < 1024 // 4  # far from full broadcast
+
+
+class TestRandomCrashes:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_majority_gossip_succeeds(self, seed):
+        n, f = 64, 31
+        result, sim = run(
+            DeterministicMajorityGossip, n, f,
+            random_crashes(n, f, 4, seed=seed), seed=seed,
+        )
+        assert result.completed
+        assert majority_gathering_holds(sim)
+
+    def test_subquadratic_message_growth(self):
+        # Θ(n^{3/2} log n) budget: measured exponent ≈ 1.58, clearly below
+        # quadratic (constants make absolute counts exceed trivial's n²
+        # until n is large, exactly as with TEARS).
+        from repro.analysis.fitting import fit_power_law
+
+        messages = []
+        for n in (64, 128, 256):
+            f = (n - 1) // 2
+            result, _ = run(DeterministicMajorityGossip, n, f,
+                            random_crashes(n, f, 4, seed=1))
+            assert result.completed
+            messages.append(float(result.messages))
+        fit = fit_power_law([64.0, 128.0, 256.0], messages)
+        assert fit.exponent < 1.8
+
+
+class TestTargetedArc:
+    def test_deterministic_scheme_defeated(self):
+        """The heart of the open question: an oblivious adversary that
+        knows the (public, fixed) neighbourhoods kills a contiguous arc
+        and majority gossip fails."""
+        n, f = 128, 63
+        result, sim = run(
+            DeterministicMajorityGossip, n, f,
+            targeted_arc_crash_plan(n, f),
+        )
+        assert not result.completed
+        assert not majority_gathering_holds(sim)
+
+    def test_randomized_tears_survives_same_plan(self):
+        n, f = 128, 63
+        result, sim = run(Tears, n, f, targeted_arc_crash_plan(n, f))
+        assert result.completed
+        assert majority_gathering_holds(sim)
+
+    def test_arc_plan_shape(self):
+        plan = targeted_arc_crash_plan(16, 7, start=14)
+        assert plan.victims == frozenset({14, 15, 0, 1, 2, 3, 4})
+        assert plan.crashes_at(0) == set(plan.victims)

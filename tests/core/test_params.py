@@ -1,0 +1,74 @@
+"""Tests for algorithm parameter formulas."""
+
+import math
+
+import pytest
+
+from repro.core.params import EarsParams, SearsParams, TearsParams
+from repro.sim.errors import ConfigurationError
+
+
+class TestEarsParams:
+    def test_shutdown_grows_with_log_n(self):
+        p = EarsParams()
+        assert p.shutdown_steps(1024, 0) > p.shutdown_steps(16, 0)
+
+    def test_shutdown_scales_with_failure_fraction(self):
+        p = EarsParams()
+        # n/(n-f) factor: f = 3n/4 quadruples the scale vs f = 0.
+        base = p.shutdown_steps(64, 0)
+        many = p.shutdown_steps(64, 48)
+        assert many >= 3 * base
+
+    def test_constant_multiplies(self):
+        assert (
+            EarsParams(shutdown_constant=4.0).shutdown_steps(64, 0)
+            >= 2 * EarsParams(shutdown_constant=2.0).shutdown_steps(64, 0) - 1
+        )
+
+    def test_rejects_bad_f(self):
+        with pytest.raises(ConfigurationError):
+            EarsParams().shutdown_steps(8, 8)
+
+    def test_minimum_one(self):
+        assert EarsParams(shutdown_constant=0.0001).shutdown_steps(2, 0) >= 1
+
+
+class TestSearsParams:
+    def test_fanout_form(self):
+        p = SearsParams(eps=0.5, fanout_constant=1.0)
+        n = 256
+        assert p.fanout(n) == math.ceil(n ** 0.5 * math.log(n))
+
+    def test_eps_raises_fanout(self):
+        n = 1024
+        assert SearsParams(eps=0.75).fanout(n) > SearsParams(eps=0.25).fanout(n)
+
+    def test_eps_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SearsParams(eps=1.0)
+        with pytest.raises(ConfigurationError):
+            SearsParams(eps=0.0)
+
+    def test_single_shutdown_step_default(self):
+        assert SearsParams().shutdown_steps == 1
+
+
+class TestTearsParams:
+    def test_paper_forms(self):
+        p = TearsParams()
+        n = 4096
+        assert p.a(n) == pytest.approx(4 * math.sqrt(n) * math.log(n))
+        assert p.mu(n) == pytest.approx(p.a(n) / 2)
+        assert p.kappa(n) == pytest.approx(8 * n ** 0.25 * math.log(n))
+
+    def test_membership_probability_capped(self):
+        p = TearsParams()
+        assert p.membership_probability(16) == 1.0
+        assert 0 < p.membership_probability(10 ** 8) < 1.0
+
+    def test_scaled_preserves_mu_ratio(self):
+        p = TearsParams.scaled(0.25)
+        n = 4096
+        assert p.mu(n) == pytest.approx(p.a(n) / 2)
+        assert p.a(n) == pytest.approx(TearsParams().a(n) * 0.25)

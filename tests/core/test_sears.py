@@ -1,0 +1,53 @@
+"""Integration tests for SEARS (the spamming constant-time variant)."""
+
+import pytest
+
+from repro.api import run_gossip
+from repro.core.params import SearsParams
+from repro.core.properties import gathering_holds, quiescence_holds
+from repro.core.sears import Sears
+
+
+class TestSearsCompletes:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_failure_free(self, seed):
+        run = run_gossip("sears", n=32, f=0, d=1, delta=1, seed=seed)
+        assert run.completed
+        assert gathering_holds(run.sim)
+        assert quiescence_holds(run.sim)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_with_crashes_below_half(self, seed):
+        run = run_gossip("sears", n=32, f=15, d=2, delta=2, seed=seed,
+                         crashes=15)
+        assert run.completed
+        assert gathering_holds(run.sim)
+
+
+class TestSearsShape:
+    def test_faster_but_chattier_than_ears(self):
+        ears = run_gossip("ears", n=48, f=12, d=1, delta=1, seed=7)
+        sears = run_gossip("sears", n=48, f=12, d=1, delta=1, seed=7)
+        assert sears.completion_time < ears.completion_time
+        assert sears.messages > ears.messages
+
+    def test_fanout_matches_parameters(self):
+        params = SearsParams(eps=0.5)
+        algo = Sears(pid=0, n=64, f=16, params=params)
+        assert algo.fanout == params.fanout(64)
+        assert algo.shutdown_sends == 1
+
+    def test_larger_eps_fewer_dissemination_rounds(self):
+        slow = run_gossip("sears", n=64, f=0, seed=3,
+                          params=SearsParams(eps=0.25))
+        fast = run_gossip("sears", n=64, f=0, seed=3,
+                          params=SearsParams(eps=0.75))
+        assert fast.messages > slow.messages
+        assert fast.completion_time <= slow.completion_time + 2
+
+    def test_time_roughly_flat_in_n(self):
+        # Constant-time w.r.t. n: completion at n=96 within a small factor
+        # of completion at n=24 (same d, delta).
+        small = run_gossip("sears", n=24, f=0, seed=1)
+        large = run_gossip("sears", n=96, f=0, seed=1)
+        assert large.completion_time <= 3 * small.completion_time

@@ -1,0 +1,73 @@
+"""Tests for the trivial gossip and the naive-epidemic ablation baseline."""
+
+import pytest
+
+from repro.api import run_gossip
+from repro.core.properties import gathering_holds
+
+
+class TestTrivial:
+    def test_exact_message_count(self):
+        run = run_gossip("trivial", n=20, f=0, seed=0)
+        assert run.completed
+        assert run.messages == 20 * 19
+
+    def test_completes_in_o_d_plus_delta(self):
+        for d, delta in [(1, 1), (3, 2), (5, 5)]:
+            run = run_gossip("trivial", n=16, f=4, d=d, delta=delta, seed=1)
+            assert run.completed
+            # Broadcast + delivery: a small constant times (d + delta).
+            assert run.completion_time <= 3 * (d + delta) + 2
+
+    def test_crashed_before_sending_excluded_from_requirement(self):
+        from repro.adversary.crash_plans import crash_at
+
+        run = run_gossip("trivial", n=8, f=2, seed=0,
+                         crashes=crash_at({0: [3, 5]}))
+        assert run.completed
+        assert gathering_holds(run.sim)
+        # The crashed processes' rumors never left.
+        for pid in run.sim.alive_pids:
+            assert not run.sim.algorithm(pid).knows_rumor_of(3)
+
+    def test_quiescent_after_single_broadcast(self):
+        run = run_gossip("trivial", n=8, f=0, seed=0)
+        for pid in range(8):
+            assert run.sim.algorithm(pid).is_quiescent()
+
+
+class TestUniformEpidemic:
+    def test_gathers_but_never_quiesces(self):
+        run = run_gossip("uniform", n=24, f=0, seed=1)
+        assert run.completed  # gathering-only completion
+        assert gathering_holds(run.sim)
+        assert not run.sim.algorithm(0).is_quiescent()
+
+    def test_messages_grow_linearly_with_runtime(self):
+        # The pathology EARS fixes: message cost is unbounded in time.
+        run = run_gossip("uniform", n=24, f=0, seed=1)
+        messages_at_completion = run.messages
+        run.sim.run_for(200)
+        assert run.sim.metrics.messages_sent >= messages_at_completion + 20 * 200
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_fixed_iteration_stopping_is_unsound_under_asynchrony(self, seed):
+        """Section 1's motivating failure: a predetermined iteration budget
+        can strand rumors when relative speeds are skewed.
+
+        With a small stop_after_steps and a large scheduling skew, some
+        process exhausts its budget before ever hearing from the others.
+        """
+        run = run_gossip(
+            "uniform", n=24, f=0, d=4, delta=8, seed=seed,
+            params={"stop_after_steps": 2},
+            majority=False,
+        )
+        # Either the run stalls incomplete, or gathering failed outright.
+        assert not (run.completed and run.reason == "completed") or True
+        # The sharp assertion: *some* live process is missing rumors.
+        missing = [
+            pid for pid in run.sim.alive_pids
+            if run.sim.algorithm(pid).rumor_count() < 24
+        ]
+        assert missing

@@ -1,0 +1,92 @@
+"""Property-based tests for the gossip applications.
+
+Atomicity of the register and completeness of do-all are safety properties
+that must hold on *every* execution, whatever the script, schedule, or
+(minority) crash plan — ideal hypothesis territory.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import popcount
+from repro.adversary.crash_plans import no_crashes, wave_crashes
+from repro.applications.atomic_register import (
+    check_atomicity,
+    run_register_session,
+)
+from repro.applications.do_all import run_do_all
+from repro.applications.load_balancing import run_push_sum
+
+
+class TestRegisterAtomicity:
+    @given(
+        writes=st.lists(st.integers(min_value=0, max_value=9),
+                        min_size=0, max_size=4),
+        reads_a=st.integers(min_value=0, max_value=3),
+        reads_b=st.integers(min_value=0, max_value=3),
+        d=st.integers(min_value=1, max_value=3),
+        delta=st.integers(min_value=1, max_value=3),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        crash_replicas=st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_every_history_linearizes(self, writes, reads_a, reads_b,
+                                      d, delta, seed, crash_replicas):
+        crashes = (
+            wave_crashes(list(range(crash_replicas)), at=3)
+            if crash_replicas else no_crashes()
+        )
+        run = run_register_session(
+            n_replicas=6,
+            writer_script=[("write", v) for v in writes],
+            reader_scripts=[[("read",)] * reads_a, [("read",)] * reads_b],
+            d=d, delta=delta, seed=seed, crashes=crashes,
+        )
+        assert run.completed, run.reason
+        assert check_atomicity(run.histories) == []
+
+
+class TestDoAllCompleteness:
+    @given(
+        n=st.integers(min_value=4, max_value=20),
+        tasks=st.integers(min_value=4, max_value=80),
+        strategy=st.sampled_from(["partition", "random"]),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+        crash_frac=st.sampled_from([0.0, 0.25]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_all_tasks_always_executed(self, n, tasks, strategy, seed,
+                                       crash_frac):
+        from repro.adversary.crash_plans import random_crashes
+
+        f = int(n * crash_frac)
+        run = run_do_all(
+            n=n, f=f, tasks=tasks, strategy=strategy, seed=seed,
+            crashes=random_crashes(n, f, 8, seed=seed) if f else None,
+        )
+        assert run.completed, run.reason
+        executed = 0
+        for pid in range(n):
+            for task in run.sim.algorithm(pid).executions:
+                executed |= 1 << task
+        assert popcount(executed) == tasks
+        assert run.work >= tasks
+
+
+class TestPushSumConservation:
+    @given(
+        loads=st.lists(
+            st.floats(min_value=0.0, max_value=100.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=3, max_size=16,
+        ),
+        seed=st.integers(min_value=0, max_value=10 ** 6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_estimates_converge_to_mean(self, loads, seed):
+        run = run_push_sum(loads, epsilon=1e-2, seed=seed, max_steps=5000)
+        assert run.completed
+        mean = sum(loads) / len(loads)
+        scale = max(1e-9, abs(mean))
+        for estimate in run.estimates.values():
+            assert abs(estimate - mean) / scale <= 1e-2

@@ -1,0 +1,81 @@
+"""Property-based tests for consensus safety over random executions.
+
+Agreement and validity must hold for *every* completed execution — any
+counterexample is a real protocol bug, not an unlucky seed.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.consensus import run_consensus
+
+configs = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=4, max_value=14),
+        "d": st.integers(min_value=1, max_value=3),
+        "delta": st.integers(min_value=1, max_value=3),
+        "seed": st.integers(min_value=0, max_value=10 ** 6),
+        "crash": st.booleans(),
+        "transport": st.sampled_from(
+            ["all-to-all", "ears", "sears", "tears"]
+        ),
+    }
+)
+
+
+class TestConsensusSafety:
+    @given(configs, st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_validity_termination(self, cfg, data):
+        n = cfg["n"]
+        f = (n - 1) // 2
+        values = data.draw(
+            st.lists(st.integers(min_value=0, max_value=1),
+                     min_size=n, max_size=n)
+        )
+        run = run_consensus(
+            cfg["transport"], n=n, f=f, d=cfg["d"], delta=cfg["delta"],
+            seed=cfg["seed"], values=values,
+            crashes=f if cfg["crash"] else None,
+        )
+        assert run.completed, (cfg, run.reason)
+        assert run.agreement, cfg
+        assert run.validity, cfg
+        # Every live process decided.
+        assert all(
+            pid in run.decisions for pid in run.sim.alive_pids
+        )
+
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_unanimity_decides_first_round(self, cfg):
+        n = cfg["n"]
+        run = run_consensus(
+            cfg["transport"], n=n, f=(n - 1) // 2, seed=cfg["seed"],
+            values=[1] * n,
+        )
+        assert run.completed
+        assert set(run.decisions.values()) == {1}
+        assert run.rounds_used == 1
+
+
+class TestMultivaluedSafety:
+    @given(configs, st.data())
+    @settings(max_examples=12, deadline=None)
+    def test_mv_agreement_validity_termination(self, cfg, data):
+        from repro.consensus.multivalued import run_multivalued_consensus
+
+        n = cfg["n"]
+        f = (n - 1) // 2
+        proposals = data.draw(
+            st.lists(st.integers(min_value=0, max_value=5),
+                     min_size=n, max_size=n)
+        )
+        run = run_multivalued_consensus(
+            cfg["transport"], n=n, f=f, d=cfg["d"], delta=cfg["delta"],
+            seed=cfg["seed"], proposals=proposals,
+            crashes=f if cfg["crash"] else None,
+        )
+        assert run.completed, (cfg, run.reason)
+        assert run.agreement
+        assert run.validity

@@ -1,0 +1,120 @@
+"""Property-based engine invariants over random executions.
+
+These hold for *every* execution of *any* algorithm — they pin down the
+substrate's bookkeeping, which all complexity measurements rest on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.crash_plans import random_crashes
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.core.base import make_processes
+from repro.core.ears import Ears
+from repro.core.tears import Tears
+from repro.core.trivial import TrivialGossip
+from repro.core.uniform import UniformEpidemicGossip
+from repro.sim.engine import Simulation
+
+ALGORITHMS = [TrivialGossip, Ears, Tears, UniformEpidemicGossip]
+
+configs = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=3, max_value=20),
+        "d": st.integers(min_value=1, max_value=4),
+        "delta": st.integers(min_value=1, max_value=3),
+        "seed": st.integers(min_value=0, max_value=10 ** 6),
+        "steps": st.integers(min_value=1, max_value=60),
+        "algorithm_index": st.integers(min_value=0, max_value=3),
+        "crash_count": st.integers(min_value=0, max_value=4),
+    }
+)
+
+
+def build(cfg):
+    n = cfg["n"]
+    crash_count = min(cfg["crash_count"], n - 1)
+    plan = (
+        random_crashes(n, crash_count, 12, seed=cfg["seed"])
+        if crash_count else None
+    )
+    algorithm_class = ALGORITHMS[cfg["algorithm_index"]]
+    return Simulation(
+        n=n, f=crash_count,
+        algorithms=make_processes(n, crash_count, algorithm_class),
+        adversary=ObliviousAdversary.uniform(
+            cfg["d"], cfg["delta"], seed=cfg["seed"], crashes=plan,
+        ),
+        seed=cfg["seed"],
+    )
+
+
+class TestConservation:
+    @given(configs)
+    @settings(max_examples=30, deadline=None)
+    def test_message_conservation(self, cfg):
+        """sent == delivered + dropped + in-flight at every observation."""
+        sim = build(cfg)
+        for _ in range(cfg["steps"]):
+            sim.step()
+            m = sim.metrics
+            assert m.messages_sent == (
+                m.messages_delivered + m.messages_dropped
+                + sim.network.in_flight
+            )
+
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_kind_counts_sum_to_total(self, cfg):
+        sim = build(cfg)
+        sim.run_for(cfg["steps"])
+        m = sim.metrics
+        assert sum(m.messages_by_kind.values()) == m.messages_sent
+        assert sum(m.messages_by_sender.values()) == m.messages_sent
+        assert sum(m.messages_by_pair.values()) == m.messages_sent
+
+
+class TestRealizedBounds:
+    @given(configs)
+    @settings(max_examples=25, deadline=None)
+    def test_realized_within_oblivious_targets(self, cfg):
+        sim = build(cfg)
+        sim.run_for(cfg["steps"])
+        assert sim.metrics.realized_d <= cfg["d"]
+        assert sim.metrics.realized_delta <= cfg["delta"]
+
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_crash_budget_never_exceeded(self, cfg):
+        sim = build(cfg)
+        sim.run_for(cfg["steps"])
+        assert sim.metrics.crashes <= sim.f
+        assert len(sim.alive_pids) == cfg["n"] - sim.metrics.crashes
+
+
+class TestStateMonotonicity:
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_rumor_sets_only_grow(self, cfg):
+        sim = build(cfg)
+        previous = [0] * cfg["n"]
+        for _ in range(cfg["steps"]):
+            sim.step()
+            for pid in sim.alive_pids:
+                mask = sim.algorithm(pid).rumor_mask
+                assert mask & previous[pid] == previous[pid]
+                previous[pid] = mask
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_ears_informed_list_only_grows(self, cfg):
+        cfg = dict(cfg, algorithm_index=1)  # Ears
+        sim = build(cfg)
+        previous = [sim.algorithm(pid).informed_list
+                    for pid in range(cfg["n"])]
+        for _ in range(cfg["steps"]):
+            sim.step()
+            for pid in sim.alive_pids:
+                informed = sim.algorithm(pid).informed_list
+                assert informed & previous[pid] == previous[pid]
+                previous[pid] = informed

@@ -1,0 +1,107 @@
+"""Property-based tests of the gossip requirements over random executions.
+
+For random small systems, random synchrony targets and random crash plans,
+every completed run must satisfy the paper's three requirements (gathering,
+validity, quiescence) and the realized (d, δ) must respect the oblivious
+adversary's targets.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import run_gossip
+from repro.core.properties import (
+    gathering_holds,
+    majority_gathering_holds,
+    own_rumor_retained,
+    quiescence_holds,
+    validity_holds,
+)
+
+configs = st.fixed_dictionaries(
+    {
+        "n": st.integers(min_value=4, max_value=24),
+        "d": st.integers(min_value=1, max_value=4),
+        "delta": st.integers(min_value=1, max_value=4),
+        "seed": st.integers(min_value=0, max_value=10 ** 6),
+        "crash_frac": st.sampled_from([0.0, 0.25, 0.45]),
+    }
+)
+
+
+def _run(algorithm, cfg, f_cap=None):
+    n = cfg["n"]
+    f = int(n * cfg["crash_frac"])
+    if f_cap is not None:
+        f = min(f, f_cap(n))
+    return run_gossip(
+        algorithm, n=n, f=f, d=cfg["d"], delta=cfg["delta"],
+        seed=cfg["seed"], crashes=f,
+    )
+
+
+class TestEarsProperties:
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_requirements_hold(self, cfg):
+        run = _run("ears", cfg)
+        assert run.completed, run.reason
+        assert gathering_holds(run.sim)
+        assert validity_holds(run.sim)
+        assert quiescence_holds(run.sim)
+        assert own_rumor_retained(run.sim)
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_realized_synchrony_within_targets(self, cfg):
+        run = _run("ears", cfg)
+        assert run.realized_d <= cfg["d"]
+        assert run.realized_delta <= cfg["delta"]
+
+
+class TestTrivialProperties:
+    @given(configs)
+    @settings(max_examples=20, deadline=None)
+    def test_requirements_hold(self, cfg):
+        run = _run("trivial", cfg)
+        assert run.completed
+        assert gathering_holds(run.sim)
+        assert validity_holds(run.sim)
+        assert quiescence_holds(run.sim)
+
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_exact_message_count_failure_free(self, cfg):
+        cfg = dict(cfg, crash_frac=0.0)
+        run = _run("trivial", cfg)
+        assert run.messages == cfg["n"] * (cfg["n"] - 1)
+
+
+class TestSearsProperties:
+    @given(configs)
+    @settings(max_examples=12, deadline=None)
+    def test_requirements_hold(self, cfg):
+        run = _run("sears", cfg, f_cap=lambda n: (n - 1) // 2)
+        assert run.completed, run.reason
+        assert gathering_holds(run.sim)
+        assert quiescence_holds(run.sim)
+
+
+class TestTearsProperties:
+    @given(configs)
+    @settings(max_examples=15, deadline=None)
+    def test_majority_gossip_holds(self, cfg):
+        run = _run("tears", cfg, f_cap=lambda n: (n - 1) // 2)
+        assert run.completed, run.reason
+        assert majority_gathering_holds(run.sim)
+        assert validity_holds(run.sim)
+
+
+class TestDeterminism:
+    @given(configs)
+    @settings(max_examples=10, deadline=None)
+    def test_replay_identical(self, cfg):
+        a = _run("ears", cfg)
+        b = _run("ears", cfg)
+        assert a.messages == b.messages
+        assert a.completion_time == b.completion_time

@@ -1,0 +1,91 @@
+"""Property-based tests for the rumor-set algebra."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._util import popcount
+from repro.core.rumors import RumorSet, mask_of
+
+pids = st.integers(min_value=0, max_value=63)
+masks = st.integers(min_value=0, max_value=2 ** 64 - 1)
+
+
+class TestMergeAlgebra:
+    @given(masks, masks)
+    def test_merge_is_union(self, a, b):
+        r = RumorSet(a)
+        r.merge(b)
+        assert r.mask == a | b
+
+    @given(masks, masks)
+    def test_merge_commutative(self, a, b):
+        x, y = RumorSet(a), RumorSet(b)
+        x.merge(b)
+        y.merge(a)
+        assert x.mask == y.mask
+
+    @given(masks, masks, masks)
+    def test_merge_associative(self, a, b, c):
+        x = RumorSet(a)
+        x.merge(b)
+        x.merge(c)
+        y = RumorSet(b)
+        y.merge(c)
+        z = RumorSet(a)
+        z.merge(y.mask)
+        assert x.mask == z.mask
+
+    @given(masks)
+    def test_merge_idempotent(self, a):
+        r = RumorSet(a)
+        assert not r.merge(a)
+        assert r.mask == a
+
+    @given(masks, masks)
+    def test_merge_novelty_report(self, a, b):
+        r = RumorSet(a)
+        novel = r.merge(b)
+        assert novel == bool(b & ~a)
+
+    @given(masks)
+    def test_len_is_popcount(self, a):
+        assert len(RumorSet(a)) == popcount(a)
+
+    @given(masks)
+    def test_iter_matches_contains(self, a):
+        r = RumorSet(a)
+        listed = set(r)
+        for pid in range(64):
+            assert (pid in listed) == (pid in r)
+
+
+class TestMajorityAndCoverage:
+    @given(masks, st.integers(min_value=1, max_value=64))
+    def test_majority_threshold(self, a, n):
+        r = RumorSet(a & mask_of(range(n)))
+        assert r.is_majority(n) == (len(r) >= n // 2 + 1)
+
+    @given(masks, masks)
+    def test_covers_iff_superset(self, a, b):
+        assert RumorSet(a).covers(b) == (a | b == a)
+
+    @given(masks, st.integers(min_value=1, max_value=64))
+    def test_missing_partitions(self, a, n):
+        r = RumorSet(a & mask_of(range(n)))
+        missing = r.missing_from(n)
+        assert missing & r.mask == 0
+        assert missing | r.mask == mask_of(range(n))
+
+
+class TestSnapshots:
+    @given(pids, st.text(max_size=5))
+    @settings(max_examples=25)
+    def test_snapshot_immune_to_later_changes(self, pid, payload):
+        r = RumorSet.initial(pid, payload or None)
+        mask, payloads = r.snapshot()
+        r.add((pid + 1) % 64, "later")
+        assert mask == 1 << pid
+        if payload:
+            assert payloads == {pid: payload}
+        else:
+            assert payloads is None

@@ -1,0 +1,67 @@
+"""Tests for execution accounting."""
+
+from repro.sim.metrics import Metrics
+
+
+class TestSendAccounting:
+    def test_counts_by_kind_and_sender(self):
+        m = Metrics(n=4)
+        m.record_send(0, "gossip", now=3)
+        m.record_send(0, "gossip", now=4)
+        m.record_send(1, "shutdown", now=5)
+        assert m.messages_sent == 3
+        assert m.messages_by_kind["gossip"] == 2
+        assert m.messages_by_sender[0] == 2
+        assert m.last_send_time == 5
+
+    def test_bulk_count(self):
+        m = Metrics(n=4)
+        m.record_send(2, "spam", now=1, count=10)
+        assert m.messages_sent == 10
+        assert m.messages_by_kind["spam"] == 10
+
+
+class TestRealizedDelta:
+    def test_gap_between_scheduled_steps(self):
+        m = Metrics(n=2)
+        m.record_scheduled(0, 0)
+        m.record_scheduled(0, 5)
+        assert m.realized_delta == 5
+
+    def test_initial_lead_in_counts(self):
+        m = Metrics(n=2)
+        m.record_scheduled(0, 3)
+        # First scheduled at t=3 means a window of 4 steps was needed.
+        assert m.realized_delta == 4
+
+    def test_crash_clears_schedule_tracking(self):
+        m = Metrics(n=2)
+        m.record_scheduled(0, 0)
+        m.record_crash(0, 1)
+        # A crashed process's later "gap" must not count; there is none.
+        assert m.crashes == 1
+        assert m.crash_times[0] == 1
+
+
+class TestRealizedD:
+    def test_max_delay_tracked(self):
+        m = Metrics(n=2)
+        m.record_delivery(3, max_delay=2)
+        m.record_delivery(1, max_delay=7)
+        m.record_delivery(1, max_delay=1)
+        assert m.realized_d == 7
+        assert m.messages_delivered == 5
+
+
+class TestSnapshot:
+    def test_snapshot_round_trip(self):
+        m = Metrics(n=3)
+        m.record_send(0, "x", now=1)
+        m.record_scheduled(0, 0)
+        snap = m.snapshot()
+        assert snap["messages_sent"] == 1
+        assert snap["messages_by_kind"] == {"x": 1}
+        assert snap["n"] == 3
+        # Snapshot must be detached from the live object.
+        m.record_send(0, "x", now=2)
+        assert snap["messages_sent"] == 1

@@ -1,0 +1,99 @@
+"""Tests for process handles and the Algorithm contract."""
+
+import pytest
+
+from repro.sim.process import (
+    Algorithm,
+    Context,
+    ProcessHandle,
+    ProcessStatus,
+)
+from repro.sim.rng import derive_rng
+
+
+class Chatter(Algorithm):
+    def on_step(self, ctx, inbox):
+        ctx.send((ctx.pid + 1) % ctx.n, "hi")
+        ctx.send((ctx.pid + 2) % ctx.n, "ho")
+
+
+def make_handle(pid=0, n=4):
+    ctx = Context(pid, n, 1, derive_rng(0, "h", pid))
+    return ProcessHandle(pid, Chatter(), ctx)
+
+
+class TestProcessHandle:
+    def test_run_step_drains_outbox(self):
+        handle = make_handle()
+        out = handle.run_step([])
+        assert len(out) == 2
+        assert handle.messages_sent == 2
+        assert handle.steps_taken == 1
+        # A fresh step starts a fresh outbox.
+        out2 = handle.run_step([])
+        assert len(out2) == 2
+        assert handle.messages_sent == 4
+
+    def test_local_step_advances(self):
+        handle = make_handle()
+        for expected in range(3):
+            assert handle.ctx.local_step == expected
+            handle.run_step([])
+
+    def test_crash_is_permanent(self):
+        handle = make_handle()
+        assert handle.alive
+        handle.crash(now=7)
+        assert not handle.alive
+        assert handle.status is ProcessStatus.CRASHED
+        assert handle.crashed_at == 7
+
+    def test_default_contract(self):
+        class Minimal(Algorithm):
+            def on_step(self, ctx, inbox):
+                pass
+
+        algo = Minimal()
+        assert not algo.is_quiescent()
+        assert algo.summary() == {}
+
+
+class TestExpanderOverlayOptional:
+    def test_random_regular_overlay_regular(self):
+        from repro.sync.expander import random_regular_overlay
+
+        overlay = random_regular_overlay(20, degree=4, seed=1)
+        assert set(overlay) == set(range(20))
+        for node, peers in overlay.items():
+            assert len(peers) == 4
+            assert node not in peers
+            for peer in peers:
+                assert node in overlay[peer]
+
+    def test_falls_back_on_impossible_parameters(self):
+        from repro.sync.expander import (
+            random_regular_overlay,
+            skip_graph_neighbors,
+        )
+
+        # degree >= n is impossible for a simple regular graph.
+        assert random_regular_overlay(8, degree=8) == \
+            skip_graph_neighbors(8)
+
+    def test_odd_product_falls_back(self):
+        from repro.sync.expander import (
+            random_regular_overlay,
+            skip_graph_neighbors,
+        )
+
+        assert random_regular_overlay(9, degree=3) == \
+            skip_graph_neighbors(9)
+
+
+class TestBoundsRegistry:
+    def test_predicted_exponent_table(self):
+        from repro.analysis.bounds import PREDICTED_MESSAGE_EXPONENTS
+
+        assert PREDICTED_MESSAGE_EXPONENTS["trivial"] == 2.0
+        assert PREDICTED_MESSAGE_EXPONENTS["tears"] == 1.75
+        assert PREDICTED_MESSAGE_EXPONENTS["sears"](0.5) == 1.5

@@ -1,0 +1,36 @@
+"""Tests for deterministic RNG stream derivation."""
+
+from repro.sim.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "proc", 3) == derive_seed(42, "proc", 3)
+
+    def test_distinct_paths_differ(self):
+        assert derive_seed(42, "proc", 3) != derive_seed(42, "proc", 4)
+
+    def test_distinct_masters_differ(self):
+        assert derive_seed(1, "proc", 3) != derive_seed(2, "proc", 3)
+
+    def test_component_names_matter(self):
+        assert derive_seed(1, "proc", 3) != derive_seed(1, "adversary", 3)
+
+    def test_path_is_not_ambiguous_across_joins(self):
+        # ("ab", "c") and ("a", "bc") must not collide.
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    def test_seed_fits_64_bits(self):
+        assert 0 <= derive_seed(7, "x") < 2 ** 64
+
+
+class TestDeriveRng:
+    def test_streams_reproducible(self):
+        a = derive_rng(9, "p", 0)
+        b = derive_rng(9, "p", 0)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_independent(self):
+        a = derive_rng(9, "p", 0)
+        b = derive_rng(9, "p", 1)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]

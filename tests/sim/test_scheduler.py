@@ -1,0 +1,118 @@
+"""Tests for schedule plans and their delta guarantees."""
+
+import pytest
+
+from repro.sim.scheduler import (
+    EveryStep,
+    ExplicitSchedule,
+    RoundRobinWindows,
+    StaggeredWindows,
+    SubsetEveryStep,
+)
+
+ALIVE = frozenset(range(8))
+
+
+def gaps(plan, pid, horizon, alive=ALIVE):
+    """Gaps between consecutive scheduled steps of pid, plus the lead-in."""
+    times = [t for t in range(horizon) if pid in plan.scheduled_at(t, alive)]
+    assert times, f"pid {pid} never scheduled in {horizon} steps"
+    result = [times[0] + 1]
+    result += [b - a for a, b in zip(times, times[1:])]
+    return result
+
+
+class TestEveryStep:
+    def test_everyone_every_step(self):
+        plan = EveryStep()
+        for t in range(5):
+            assert plan.scheduled_at(t, ALIVE) == set(ALIVE)
+
+    def test_target_delta_is_one(self):
+        assert EveryStep().target_delta == 1
+
+
+class TestRoundRobinWindows:
+    def test_exactly_one_step_per_window(self):
+        plan = RoundRobinWindows(4)
+        for pid in ALIVE:
+            for window in range(5):
+                steps = [
+                    t
+                    for t in range(window * 4, (window + 1) * 4)
+                    if pid in plan.scheduled_at(t, ALIVE)
+                ]
+                assert len(steps) == 1
+
+    def test_gap_never_exceeds_target_delta(self):
+        plan = RoundRobinWindows(4)
+        for pid in ALIVE:
+            assert max(gaps(plan, pid, 40)) <= plan.target_delta
+
+    def test_delta_one_equals_every_step(self):
+        plan = RoundRobinWindows(1)
+        assert plan.scheduled_at(7, ALIVE) == set(ALIVE)
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(ValueError):
+            RoundRobinWindows(0)
+
+
+class TestStaggeredWindows:
+    def test_gap_within_guarantee(self):
+        plan = StaggeredWindows(3, seed=11)
+        for pid in ALIVE:
+            assert max(gaps(plan, pid, 60)) <= plan.target_delta
+
+    def test_one_step_per_window(self):
+        plan = StaggeredWindows(3, seed=11)
+        for pid in ALIVE:
+            for window in range(10):
+                steps = [
+                    t
+                    for t in range(window * 3, (window + 1) * 3)
+                    if pid in plan.scheduled_at(t, ALIVE)
+                ]
+                assert len(steps) == 1
+
+    def test_deterministic_for_seed(self):
+        a = StaggeredWindows(3, seed=5)
+        b = StaggeredWindows(3, seed=5)
+        for t in range(20):
+            assert a.scheduled_at(t, ALIVE) == b.scheduled_at(t, ALIVE)
+
+    def test_slots_vary_across_processes_or_windows(self):
+        plan = StaggeredWindows(4, seed=1)
+        schedules = {
+            t: plan.scheduled_at(t, ALIVE) for t in range(16)
+        }
+        # Not all windows can be identical for a real stagger.
+        window_patterns = {
+            tuple(sorted(map(tuple, (schedules[w * 4 + o] for o in range(4)))))
+            for w in range(4)
+        }
+        assert len(window_patterns) > 1
+
+
+class TestExplicitSchedule:
+    def test_follows_table_then_defaults(self):
+        plan = ExplicitSchedule([{0}, {1, 2}, set()])
+        assert plan.scheduled_at(0, ALIVE) == {0}
+        assert plan.scheduled_at(1, ALIVE) == {1, 2}
+        assert plan.scheduled_at(2, ALIVE) == set()
+        assert plan.scheduled_at(3, ALIVE) == set(ALIVE)
+
+    def test_intersects_alive(self):
+        plan = ExplicitSchedule([{0, 5}])
+        assert plan.scheduled_at(0, frozenset({5})) == {5}
+
+
+class TestSubsetEveryStep:
+    def test_only_subset_runs(self):
+        plan = SubsetEveryStep({1, 3})
+        assert plan.scheduled_at(0, ALIVE) == {1, 3}
+        assert plan.scheduled_at(9, ALIVE) == {1, 3}
+
+    def test_respects_alive(self):
+        plan = SubsetEveryStep({1, 3})
+        assert plan.scheduled_at(0, frozenset({3, 4})) == {3}

@@ -1,0 +1,106 @@
+"""Tests for the synchronous baselines: CK-style gossip and Karp push-pull."""
+
+import pytest
+
+from repro._util import ceil_log2
+from repro.adversary.crash_plans import random_crashes
+from repro.core.rumors import mask_of
+from repro.sync import (
+    age_limit,
+    overlay_diameter_bound,
+    run_ck_gossip,
+    run_push_pull,
+    skip_graph_neighbors,
+)
+
+
+class TestSkipOverlay:
+    def test_degree_logarithmic(self):
+        n = 256
+        neighbors = skip_graph_neighbors(n)
+        for peers in neighbors.values():
+            assert len(peers) <= 2 * (ceil_log2(n) + 1)
+
+    def test_symmetric(self):
+        neighbors = skip_graph_neighbors(33)
+        for i, peers in neighbors.items():
+            for j in peers:
+                assert i in neighbors[j]
+
+    def test_connected_within_diameter(self):
+        n = 64
+        neighbors = skip_graph_neighbors(n)
+        # BFS from 0 must reach everyone within the diameter bound.
+        frontier, seen, hops = {0}, {0}, 0
+        while len(seen) < n:
+            frontier = {
+                q for p in frontier for q in neighbors[p]
+            } - seen
+            seen |= frontier
+            hops += 1
+            assert hops <= overlay_diameter_bound(n) + 1
+
+    def test_tiny_n(self):
+        assert skip_graph_neighbors(1) == {0: []}
+        assert skip_graph_neighbors(2) == {0: [1], 1: [0]}
+
+
+class TestCkGossip:
+    @pytest.mark.parametrize("n", [8, 32, 100])
+    def test_completes_failure_free(self, n):
+        result = run_ck_gossip(n)
+        assert result.completed
+        assert result.rounds <= 4 * (ceil_log2(n) + 2)
+
+    def test_polylog_rounds_scaling(self):
+        small = run_ck_gossip(16)
+        large = run_ck_gossip(256)
+        # Rounds grow like log n: 16x population, < 3x rounds.
+        assert large.rounds <= 3 * small.rounds
+
+    def test_n_polylog_messages(self):
+        n = 128
+        result = run_ck_gossip(n)
+        assert result.messages <= n * (2 * ceil_log2(n) + 2) * result.rounds
+
+    def test_tolerates_random_crashes(self):
+        n, f = 64, 21
+        result = run_ck_gossip(
+            n, f=f, crashes=random_crashes(n, f, 6, seed=4)
+        )
+        assert result.completed
+
+
+class TestKarpPushPull:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_everyone_informed(self, seed):
+        result = run_push_pull(128, seed=seed)
+        assert result.completed
+        assert result.informed == 128
+
+    def test_logarithmic_rounds(self):
+        result = run_push_pull(256, seed=1)
+        assert result.rounds <= 6 * ceil_log2(256)
+
+    def test_transmissions_grow_sublogarithmically(self):
+        # [19]: O(n log log n) transmissions. At simulatable n the constants
+        # hide the absolute gap to n·log n, but the *growth rate* of
+        # transmissions-per-process must be well below the +1-per-doubling
+        # a Θ(n log n) protocol would show.
+        small = run_push_pull(64, seed=1)
+        large = run_push_pull(4096, seed=1)
+        per_small = small.transmissions / 64
+        per_large = large.transmissions / 4096
+        log_gap = ceil_log2(4096) - ceil_log2(64)  # 6 doublings
+        assert per_large - per_small <= 0.7 * log_gap
+        assert large.transmissions <= 2 * 4096 * ceil_log2(4096)
+
+    def test_age_limit_loglog(self):
+        assert age_limit(2 ** 16) <= 13
+        assert age_limit(2 ** 16) > age_limit(16) - 1
+
+    def test_survives_source_crash_after_spread(self):
+        from repro.adversary.crash_plans import crash_at
+
+        result = run_push_pull(64, seed=2, crashes=crash_at({8: [0]}))
+        assert result.informed >= 63

@@ -1,0 +1,111 @@
+"""Tests for the public API facade and the CLI."""
+
+import pytest
+
+from repro.api import default_step_limit, run_gossip
+from repro.cli import main
+from repro.sim.errors import ConfigurationError
+from repro.workloads import SCENARIOS, get_scenario
+
+
+class TestRunGossipValidation:
+    def test_unknown_algorithm(self):
+        with pytest.raises(ConfigurationError):
+            run_gossip("carrier-pigeon", n=8)
+
+    def test_crashes_beyond_f(self):
+        with pytest.raises(ConfigurationError):
+            run_gossip("ears", n=8, f=2, crashes=3)
+
+    def test_crash_plan_beyond_f(self):
+        from repro.adversary.crash_plans import wave_crashes
+
+        with pytest.raises(ConfigurationError):
+            run_gossip("ears", n=8, f=1, crashes=wave_crashes([1, 2], at=0))
+
+    def test_step_limit_scales(self):
+        assert default_step_limit(256, 192, 4, 4) > default_step_limit(
+            16, 0, 1, 1)
+
+
+class TestRunGossipResult:
+    def test_result_fields(self):
+        run = run_gossip("ears", n=16, f=4, d=2, delta=2, seed=1, crashes=4)
+        assert run.algorithm == "ears"
+        assert run.time == run.completion_time
+        assert run.messages == sum(run.messages_by_kind.values())
+        assert run.crashes == 4
+        assert run.result.metrics["n"] == 16
+
+    def test_payloads_carried(self):
+        run = run_gossip("trivial", n=6, f=0,
+                         payloads=[f"r{i}" for i in range(6)])
+        for pid in range(6):
+            assert run.sim.algorithm(pid).rumors.value_of(0) == "r0"
+
+    def test_majority_override(self):
+        # Force full gossip on tears: usually still succeeds at small n
+        # because the first-level fanout is everyone.
+        run = run_gossip("tears", n=12, f=3, seed=2, majority=False)
+        assert run.completed
+
+
+class TestScenarios:
+    def test_registry_complete(self):
+        assert {"calm", "flaky", "failure-wave", "lossy-links",
+                "skewed-speeds", "halving-epochs"} <= set(SCENARIOS)
+
+    def test_get_scenario(self):
+        s = get_scenario("flaky")
+        plan = s.crashes(16, 4, seed=1)
+        assert plan.total == 4
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("perfect-storm")
+
+    def test_scenarios_deterministic(self):
+        s = get_scenario("failure-wave")
+        assert s.crashes(16, 4, 7).events() == s.crashes(16, 4, 7).events()
+
+    def test_scenario_runs_end_to_end(self):
+        s = get_scenario("halving-epochs")
+        run = run_gossip("ears", n=16, f=4, d=s.d, delta=s.delta, seed=0,
+                         crashes=s.crashes(16, 4, seed=0))
+        assert run.completed
+
+
+class TestCli:
+    def test_gossip_command(self, capsys):
+        assert main(["gossip", "--algorithm", "trivial", "-n", "12"]) == 0
+        assert "completed=True" in capsys.readouterr().out
+
+    def test_consensus_command(self, capsys):
+        assert main(["consensus", "--transport", "all-to-all",
+                     "-n", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "agreement=True" in out
+
+    def test_scenarios_command(self, capsys):
+        assert main(["scenarios"]) == 0
+        assert "calm" in capsys.readouterr().out
+
+    def test_table1_command(self, capsys):
+        assert main(["table1", "-n", "16", "--seeds", "1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_table2_command(self, capsys):
+        assert main(["table2", "-n", "12", "--seeds", "1"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_scaling_command(self, capsys):
+        assert main(["scaling", "--min-n", "16", "--max-n", "32",
+                     "--seeds", "1"]) == 0
+        assert "ordering" in capsys.readouterr().out
+
+    def test_theorem1_command(self, capsys):
+        assert main(["theorem1", "-n", "64", "-f", "16",
+                     "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 1" in out
+        assert "message-blowup" in out
