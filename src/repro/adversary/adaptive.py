@@ -74,6 +74,20 @@ class ScriptedAdversary(AdaptiveAdversary):
             return max(self.delay, self.suppress_delivery_until - msg.sent_at)
         return self.delay
 
+    def clone_into(self, sim) -> "ScriptedAdversary":
+        """O(state) copy: the phase script is a few scalars and pid sets.
+
+        This is the hot path of the Theorem 1 Phase B sampler, which forks
+        the simulation once per Monte-Carlo sample.
+        """
+        dup = ScriptedAdversary()
+        dup.scheduled = None if self.scheduled is None else set(self.scheduled)
+        dup.delay = self.delay
+        dup._crash_queue = set(self._crash_queue)
+        dup.suppress_delivery_until = self.suppress_delivery_until
+        dup.sim = sim
+        return dup
+
 
 class TargetedDelayAdversary(AdaptiveAdversary):
     """Delays every message touching a victim set by ``d``; others are fast.

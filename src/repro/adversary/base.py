@@ -9,6 +9,7 @@ before the execution (independently of the algorithm's coin flips); an
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import FrozenSet, Set
 
@@ -21,6 +22,24 @@ class Adversary(ABC):
     def on_attach(self, sim) -> None:
         """Called once when the simulation is constructed."""
         self.sim = sim
+
+    def clone_into(self, sim) -> "Adversary":
+        """An independent copy of this adversary bound to a forked ``sim``.
+
+        Part of the engine's snapshot protocol. The default is a deepcopy
+        with the currently-attached simulation memoized to the fork, so
+        adversaries that hold ``self.sim`` are rebound to the fork instead
+        of dragging a second copy of the (already-cloned) simulation along.
+        Subclasses with known-small or immutable state override this with
+        an O(state) copy.
+        """
+        memo: dict = {}
+        current = getattr(self, "sim", None)
+        if current is not None:
+            memo[id(current)] = sim
+        dup = copy.deepcopy(self, memo)
+        dup.sim = sim
+        return dup
 
     @abstractmethod
     def crashes_at(self, t: int) -> Set[int]:

@@ -94,6 +94,7 @@ class LowerBoundExperiment:
         promiscuity_factor: float = 32.0,
         silence_threshold: float = 0.25,
         slow_quiesce_threshold: Optional[int] = None,
+        pool=None,
     ) -> None:
         if not 0 < f < n:
             raise ConfigurationError(f"require 0 < f < n, got f={f}, n={n}")
@@ -121,6 +122,18 @@ class LowerBoundExperiment:
             slow_quiesce_threshold if slow_quiesce_threshold is not None
             else self.f
         )
+
+        if pool is None:
+            # Imported lazily: repro.experiments.theorem1 imports this
+            # module, so a top-level import would be circular.
+            from ..experiments.pool import TrialPool
+
+            pool = TrialPool()
+        #: Executes the Phase B Monte-Carlo clone batch. Forked live
+        #: simulations cannot cross a process boundary (their observer
+        #: handler lists hold bound methods), so samples go through the
+        #: pool's in-process batch path.
+        self.pool = pool
 
         self.s2_size = self.f // 2
         self.s2 = list(range(n - self.s2_size, n))
@@ -206,6 +219,33 @@ class LowerBoundExperiment:
 
     # -- Phase B: Monte-Carlo promiscuity classification ------------------ #
 
+    def _phase_b_sample(
+        self, sim: Simulation, p: int, i: int, peers: Sequence[int]
+    ) -> Tuple[int, set]:
+        """One Monte-Carlo sample of ``p``'s isolated future.
+
+        Forks the whole execution, re-seeds ``p``'s private randomness for
+        sample ``i``, and runs ``p`` alone with all delivery withheld.
+        Returns (messages p sent, subset of ``peers`` it contacted).
+        """
+        fork = sim.fork()
+        fork_adversary: ScriptedAdversary = fork.adversary
+        fork_adversary.scheduled = {p}
+        fork_adversary.suppress_delivery_until = _FAR_FUTURE
+        fork.processes[p].ctx.rng = derive_rng(
+            self.seed, "lb-sample", p, i
+        )
+        base_sent = fork.metrics.messages_by_sender[p]
+        base_pairs = {
+            q: fork.metrics.messages_by_pair[(p, q)] for q in peers
+        }
+        fork.run_for(self.isolated_steps)
+        contacted = {
+            q for q in peers
+            if fork.metrics.messages_by_pair[(p, q)] > base_pairs[q]
+        }
+        return fork.metrics.messages_by_sender[p] - base_sent, contacted
+
     def _run_phase_b(
         self, sim: Simulation
     ) -> Tuple[Dict[int, float], Dict[int, Dict[int, float]]]:
@@ -214,33 +254,24 @@ class LowerBoundExperiment:
         Each sample forks the entire execution and re-seeds the subject's
         private randomness, sampling its future coin flips i.i.d. — the
         distribution over which the proof defines promiscuity and N(p).
+        The per-subject sample batch executes through :attr:`pool`; the
+        forks hold live engine state, so the batch runs in-process.
         """
         expected: Dict[int, float] = {}
         silence: Dict[int, Dict[int, float]] = {}
         for p in self.s2:
-            totals = []
-            contact_counts = {q: 0 for q in self.s2 if q != p}
-            for i in range(self.samples):
-                fork = sim.fork()
-                fork_adversary: ScriptedAdversary = fork.adversary
-                fork_adversary.scheduled = {p}
-                fork_adversary.suppress_delivery_until = _FAR_FUTURE
-                fork.processes[p].ctx.rng = derive_rng(
-                    self.seed, "lb-sample", p, i
-                )
-                base_sent = fork.metrics.messages_by_sender[p]
-                base_pairs = {
-                    q: fork.metrics.messages_by_pair[(p, q)]
-                    for q in contact_counts
-                }
-                fork.run_for(self.isolated_steps)
-                totals.append(fork.metrics.messages_by_sender[p] - base_sent)
-                for q in contact_counts:
-                    if fork.metrics.messages_by_pair[(p, q)] > base_pairs[q]:
-                        contact_counts[q] += 1
+            peers = [q for q in self.s2 if q != p]
+            outcomes = self.pool.run_local([
+                (lambda p=p, i=i, peers=peers:
+                 self._phase_b_sample(sim, p, i, peers))
+                for i in range(self.samples)
+            ])
+            totals = [sent for sent, _ in outcomes]
             expected[p] = sum(totals) / len(totals)
             silence[p] = {
-                q: contact_counts[q] / self.samples for q in contact_counts
+                q: sum(1 for _, contacted in outcomes if q in contacted)
+                / self.samples
+                for q in peers
             }
         return expected, silence
 

@@ -8,13 +8,14 @@ and TEARS efficient.
 
 from __future__ import annotations
 
+import copy
 from typing import FrozenSet, Optional, Set
 
 from ..sim.message import Message
 from ..sim.scheduler import EveryStep, RoundRobinWindows, SchedulePlan
 from .base import Adversary
 from .crash_plans import CrashPlan, no_crashes
-from .delay_plans import DelayPlan, FixedDelay, HashDelay
+from .delay_plans import DelayPlan, FixedDelay, HashDelay, MutableDelay
 
 
 class ObliviousAdversary(Adversary):
@@ -78,3 +79,19 @@ class ObliviousAdversary(Adversary):
 
     def has_pending_events(self, t: int) -> bool:
         return self.crashes.has_pending(t)
+
+    def clone_into(self, sim) -> "ObliviousAdversary":
+        """O(1) copy for simulation forking.
+
+        The composed plans are decided before the execution and never
+        mutated while it runs (StaggeredWindows keeps only a pure memo
+        cache), so the fork shares them. The one exception is
+        :class:`MutableDelay`, whose bound a driver may swap between
+        phases — forks get their own copy so phase changes on one
+        execution never leak into another.
+        """
+        dup = copy.copy(self)
+        if isinstance(self.delays, MutableDelay):
+            dup.delays = MutableDelay(self.delays.target_d)
+        dup.sim = sim
+        return dup

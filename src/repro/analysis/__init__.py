@@ -5,10 +5,12 @@ from . import bounds
 from .coa import CoaReport, coa_report
 from .convergence import (
     DisseminationCurve,
+    SCurveSampler,
     curves_over_latency,
     measure_dissemination,
     render_curve,
 )
+from .timeline import TimelineRecorder, crash_summary, render_timeline
 from .memory import StateFootprint, compare_state, measure_state
 from .fitting import (
     PowerLawFit,
@@ -23,12 +25,16 @@ __all__ = [
     "CoaReport",
     "DisseminationCurve",
     "PowerLawFit",
+    "SCurveSampler",
     "StateFootprint",
     "Summary",
+    "TimelineRecorder",
     "bounds",
     "coa_report",
     "compare_state",
+    "crash_summary",
     "curves_over_latency",
+    "render_timeline",
     "doubling_ratio",
     "measure_dissemination",
     "measure_state",

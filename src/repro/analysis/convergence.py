@@ -18,6 +18,7 @@ from ..adversary.crash_plans import CrashPlan, no_crashes
 from ..adversary.oblivious import ObliviousAdversary
 from ..core.base import make_processes
 from ..sim.engine import Simulation
+from ..sim.events import Observer
 from ..sim.monitor import GossipCompletionMonitor
 
 
@@ -65,6 +66,58 @@ class DisseminationCurve:
         return all(b >= a for a, b in zip(self.holders, self.holders[1:]))
 
 
+class SCurveSampler(Observer):
+    """Observer that samples one rumor's audience at every step end.
+
+    Attach to any simulation (directly or via ``run_gossip(observers=…)``)
+    to collect the S-curve while the run proceeds — no bespoke stepping
+    loop required. At each ``on_step_end`` the sampler counts the live
+    processes whose rumor mask contains the tagged rumor; :meth:`curve`
+    packages the samples as a :class:`DisseminationCurve`.
+    """
+
+    def __init__(self, tagged: int = 0) -> None:
+        self.tagged = tagged
+        self.times: List[int] = []
+        self.holders: List[int] = []
+        self._sim = None
+
+    def on_attach(self, engine) -> None:
+        self._sim = engine
+
+    def on_step_end(self, t: int) -> None:
+        sim = self._sim
+        bit = 1 << self.tagged
+        count = sum(
+            1 for pid in sim.alive_pids
+            if sim.algorithm(pid).rumor_mask & bit
+        )
+        # sim.now has already advanced past step t, matching the sampling
+        # instant of the historical step-then-count measurement loop.
+        self.times.append(sim.now)
+        self.holders.append(count)
+
+    def saturated(self) -> bool:
+        """True once the audience is the entire live population."""
+        return (
+            bool(self.holders)
+            and self.holders[-1] == len(self._sim.alive_pids)
+        )
+
+    def curve(self, n: int) -> DisseminationCurve:
+        return DisseminationCurve(
+            n=n, tagged=self.tagged,
+            times=list(self.times), holders=list(self.holders),
+        )
+
+    def clone(self) -> "SCurveSampler":
+        # Never deepcopy: self._sim is the whole engine; forks re-attach.
+        dup = SCurveSampler(self.tagged)
+        dup.times = list(self.times)
+        dup.holders = list(self.holders)
+        return dup
+
+
 def measure_dissemination(
     algorithm_class,
     n: int = 64,
@@ -80,6 +133,7 @@ def measure_dissemination(
     """Run a gossip algorithm, sampling the tagged rumor's audience."""
     plan = crashes if crashes is not None else no_crashes()
     adversary = ObliviousAdversary.uniform(d, delta, seed=seed, crashes=plan)
+    sampler = SCurveSampler(tagged=tagged)
     sim = Simulation(
         n=n, f=f,
         algorithms=make_processes(n, f, algorithm_class,
@@ -87,27 +141,18 @@ def measure_dissemination(
         adversary=adversary,
         monitor=GossipCompletionMonitor(),
         seed=seed,
+        observers=(sampler,),
     )
-    times: List[int] = []
-    holders: List[int] = []
-    bit = 1 << tagged
     while sim.now < max_steps:
         sim.step()
-        count = sum(
-            1 for pid in sim.alive_pids
-            if sim.algorithm(pid).rumor_mask & bit
-        )
-        times.append(sim.now)
-        holders.append(count)
         # The curve is complete once the tagged rumor's audience is the
         # whole live population (or the system can make no further
         # progress).
-        if count == len(sim.alive_pids):
+        if sampler.saturated():
             break
         if sim._stalled() and not sim.adversary.has_pending_events(sim.now):
             break
-    return DisseminationCurve(n=n, tagged=tagged, times=times,
-                              holders=holders)
+    return sampler.curve(n)
 
 
 def curves_over_latency(

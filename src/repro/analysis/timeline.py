@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from ..sim.events import TraceObserver
 from ..sim.trace import EventTrace
 
 GLYPH_IDLE = "."
@@ -93,3 +94,43 @@ def crash_summary(trace: EventTrace) -> List[str]:
         f"t={event.t}: pid {event.get('pid')} crashed"
         for event in sorted(trace.of_kind("crash"), key=lambda e: e.t)
     ]
+
+
+class TimelineRecorder(TraceObserver):
+    """Observer that records an execution and renders it on demand.
+
+    A :class:`~repro.sim.events.TraceObserver` that also remembers the
+    engine's process count, so callers get a timeline without wiring an
+    :class:`~repro.sim.trace.EventTrace` through the constructor::
+
+        recorder = TimelineRecorder()
+        sim = Simulation(..., observers=(recorder,))
+        sim.run()
+        print(recorder.render(width=80))
+
+    Works on both engines (synchronous rounds render as time steps).
+    """
+
+    def __init__(self, trace: Optional[EventTrace] = None) -> None:
+        super().__init__(trace)
+        self.n: Optional[int] = None
+
+    def on_attach(self, engine) -> None:
+        self.n = engine.n
+
+    def render(self, **kwargs) -> str:
+        """Render the recorded execution (kwargs as :func:`render_timeline`)."""
+        if self.n is None:
+            raise ValueError(
+                "TimelineRecorder was never attached to a simulation"
+            )
+        return render_timeline(self.trace, n=self.n, **kwargs)
+
+    def crash_lines(self) -> List[str]:
+        """One line per recorded crash, in time order."""
+        return crash_summary(self.trace)
+
+    def clone(self) -> "TimelineRecorder":
+        dup = TimelineRecorder(self.trace.clone())
+        dup.n = self.n
+        return dup

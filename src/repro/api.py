@@ -25,6 +25,7 @@ from .core.trivial import TrivialGossip
 from .core.uniform import UniformEpidemicGossip
 from .sim.engine import RunResult, Simulation
 from .sim.errors import ConfigurationError
+from .sim.events import Observer
 from .sim.monitor import GossipCompletionMonitor, PredicateMonitor
 
 GOSSIP_ALGORITHMS = {
@@ -117,6 +118,7 @@ def run_gossip(
     majority: Optional[bool] = None,
     check_interval: int = 1,
     measure_bits: bool = False,
+    observers: Sequence[Observer] = (),
 ) -> GossipRun:
     """Run one gossip execution under a uniform oblivious (d, δ)-adversary.
 
@@ -139,6 +141,8 @@ def run_gossip(
         majority: override the completion notion; default is majority
             gossip for ``tears`` and full gossip otherwise.
         check_interval: how often (in steps) the monitor is evaluated.
+        observers: :class:`~repro.sim.events.Observer` instances to
+            subscribe on the simulation (tracers, profilers, samplers).
 
     Returns:
         A :class:`GossipRun` with completion status, the time and message
@@ -189,6 +193,7 @@ def run_gossip(
         seed=seed,
         check_interval=check_interval,
         bit_meter=bit_meter,
+        observers=observers,
     )
     limit = max_steps if max_steps is not None else default_step_limit(
         n, f, d, delta

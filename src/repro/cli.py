@@ -11,6 +11,8 @@ figure of the paper can be regenerated from a shell:
     repro-gossip corollary2 -n 64 -f 16
     repro-gossip scaling --max-n 256
     repro-gossip scenarios
+    repro-gossip grid --algorithms ears,tears --ns 32,64 --processes 4
+    repro-gossip sweep --algorithm ears --max-n 128 --profile
 """
 
 from __future__ import annotations
@@ -22,6 +24,9 @@ from typing import List, Optional
 from .api import GOSSIP_ALGORITHMS, run_gossip
 from .consensus import run_consensus
 from .experiments import (
+    GridRunner,
+    GridSpec,
+    aggregate,
     format_corollary2,
     format_scaling,
     format_table1,
@@ -34,8 +39,38 @@ from .experiments import (
     run_table2,
     run_theorem1,
 )
+from .experiments.grid import gossip_recorder, register_recorder
+from .sim.events import StepProfiler
 from .workloads import SCENARIOS
-from .workloads.sweeps import geometric_ns
+from .workloads.sweeps import (
+    geometric_ns,
+    near_half,
+    quarter,
+    sweep_gossip,
+    three_quarters,
+)
+
+_F_RULES = {
+    "quarter": quarter,
+    "near-half": near_half,
+    "three-quarters": three_quarters,
+}
+
+
+def _gossip_frac_recorder(**params):
+    """Grid recorder: like ``gossip`` but with f given as a fraction of n.
+
+    Registered at import time of this module so parallel grid workers
+    (which import ``repro.cli`` from the job's recorder-module field) can
+    resolve it even under spawn-style multiprocessing.
+    """
+    params = dict(params)
+    frac = params.pop("f_frac", 0.25)
+    params.setdefault("f", int(params["n"] * frac))
+    return gossip_recorder(**params)
+
+
+register_recorder("gossip-frac", _gossip_frac_recorder)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -88,6 +123,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=2)
 
     sub.add_parser("scenarios", help="list named workload scenarios")
+
+    p = sub.add_parser(
+        "grid",
+        help="run a cached algorithm × n grid (JSONL cache, parallelizable)",
+    )
+    p.add_argument("--algorithms", default="ears,sears,tears",
+                   help="comma-separated algorithm names")
+    p.add_argument("--ns", default="32,64",
+                   help="comma-separated process counts")
+    p.add_argument("-d", type=int, default=1, help="target max delay")
+    p.add_argument("--delta", type=int, default=1,
+                   help="target max scheduling gap")
+    p.add_argument("--f-frac", type=float, default=0.25,
+                   help="failure bound as a fraction of n")
+    p.add_argument("--seeds", type=int, default=2)
+    p.add_argument("--name", default="cli-grid",
+                   help="grid (and cache file) name")
+    p.add_argument("--out-dir", default=None,
+                   help="JSONL cache directory (no caching if omitted)")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes (default: sequential)")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase wall time from the observer bus "
+                        "(forces sequential, uncached execution)")
+
+    p = sub.add_parser(
+        "sweep",
+        help="population sweep for one algorithm, aggregated per n",
+    )
+    p.add_argument("--algorithm", default="ears",
+                   choices=sorted(GOSSIP_ALGORITHMS))
+    p.add_argument("--min-n", type=int, default=16)
+    p.add_argument("--max-n", type=int, default=128)
+    p.add_argument("--factor", type=int, default=2,
+                   help="geometric growth factor for n")
+    p.add_argument("--f-rule", default="quarter",
+                   choices=sorted(_F_RULES),
+                   help="how the failure bound scales with n")
+    p.add_argument("-d", type=int, default=1, help="target max delay")
+    p.add_argument("--delta", type=int, default=1,
+                   help="target max scheduling gap")
+    p.add_argument("--seeds", type=int, default=3)
+    p.add_argument("--crash", action="store_true",
+                   help="crash the full failure budget")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes (default: sequential)")
+    p.add_argument("--profile", action="store_true",
+                   help="print per-phase wall time from the observer bus "
+                        "(forces sequential execution)")
 
     p = sub.add_parser("report",
                        help="run every experiment; emit a markdown report")
@@ -179,6 +263,71 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{ordering_is_correct(rows)}")
         return 0
 
+    if args.command == "grid":
+        algorithms = [a.strip() for a in args.algorithms.split(",")
+                      if a.strip()]
+        ns = [int(x) for x in args.ns.split(",") if x.strip()]
+        spec = GridSpec(
+            name=args.name,
+            recorder="gossip-frac",
+            grid={"algorithm": algorithms, "n": ns, "d": [args.d],
+                  "delta": [args.delta], "f_frac": [args.f_frac]},
+            seeds=list(range(args.seeds)),
+        )
+        if args.profile:
+            # Profiling wants the observer on every step of every cell, so
+            # run the cells directly (sequential, bypassing the cache).
+            profiler = StepProfiler()
+            rows = []
+            for cell in spec.cells():
+                run = run_gossip(
+                    cell["algorithm"], n=cell["n"],
+                    f=int(cell["n"] * cell["f_frac"]),
+                    d=cell["d"], delta=cell["delta"], seed=cell["seed"],
+                    observers=(profiler,),
+                )
+                rows.append({
+                    "algorithm": cell["algorithm"], "n": cell["n"],
+                    "time": run.completion_time, "messages": run.messages,
+                })
+        else:
+            profiler = None
+            runner = GridRunner(out_dir=args.out_dir,
+                                processes=args.processes)
+            rows = runner.run(spec)
+        time_by = aggregate(rows, ["algorithm", "n"], "time")
+        msgs_by = aggregate(rows, ["algorithm", "n"], "messages")
+        print(f"{'algorithm':>16s} {'n':>6s} {'time':>9s} {'messages':>11s}")
+        for key in sorted(time_by):
+            algorithm, n = key
+            print(f"{algorithm:>16s} {n:6d} {time_by[key]:9.1f} "
+                  f"{msgs_by.get(key, float('nan')):11.1f}")
+        if profiler is not None:
+            print()
+            print(profiler.report())
+        return 0
+
+    if args.command == "sweep":
+        profiler = StepProfiler() if args.profile else None
+        points = sweep_gossip(
+            args.algorithm,
+            geometric_ns(args.min_n, args.max_n, args.factor),
+            f_of_n=_F_RULES[args.f_rule],
+            d=args.d, delta=args.delta,
+            seeds=range(args.seeds), crash=args.crash,
+            processes=1 if args.profile else args.processes,
+            profile=profiler,
+        )
+        for point in points:
+            print(f"{args.algorithm}: n={point.n:5d} f={point.f:4d} "
+                  f"completion={point.completion_rate:4.2f} "
+                  f"time={point.time.mean:9.1f} "
+                  f"messages={point.messages.mean:11.1f}")
+        if profiler is not None:
+            print()
+            print(profiler.report())
+        return 0
+
     if args.command == "scenarios":
         for name, scenario in sorted(SCENARIOS.items()):
             print(f"{name:16s} d={scenario.d} delta={scenario.delta}  "
@@ -200,12 +349,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "inspect":
         from .adversary.crash_plans import random_crashes
         from .adversary.oblivious import ObliviousAdversary
-        from .analysis.timeline import crash_summary, render_timeline
+        from .analysis.timeline import TimelineRecorder
         from .api import GOSSIP_ALGORITHMS as registry
         from .core.base import make_processes
         from .sim.engine import Simulation
         from .sim.monitor import GossipCompletionMonitor
-        from .sim.trace import EventTrace
 
         n = args.n
         f = args.f if args.f is not None else n // 4
@@ -214,7 +362,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                            seed=args.seed)
             if args.crashes else None
         )
-        trace = EventTrace()
+        recorder = TimelineRecorder()
         sim = Simulation(
             n=n, f=f,
             algorithms=make_processes(n, f, registry[args.algorithm]),
@@ -225,11 +373,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 majority=args.algorithm == "tears"
             ),
             seed=args.seed,
-            trace=trace,
+            observers=(recorder,),
         )
         result = sim.run(max_steps=100_000)
-        print(render_timeline(trace, n=n, width=args.width))
-        for line in crash_summary(trace):
+        print(recorder.render(width=args.width))
+        for line in recorder.crash_lines():
             print(line)
         print(
             f"{args.algorithm}: completed={result.completed} "

@@ -8,6 +8,7 @@ process.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, List, Optional, Sequence
 
 from ..sim.process import Algorithm
@@ -41,6 +42,22 @@ class GossipAlgorithm(Algorithm):
             "rumors": self.rumor_count(),
             "quiescent": self.is_quiescent(),
         }
+
+    def clone(self) -> "GossipAlgorithm":
+        """O(state) copy for simulation forking.
+
+        Every core gossip algorithm keeps exactly one shared-mutable object
+        — its :class:`RumorSet` — plus immutable scalars (counters, flags,
+        params objects) and build-once lists that are reassigned, never
+        mutated in place (TEARS' pi1/pi2). A shallow ``copy.copy`` plus a
+        fresh rumor set is therefore a faithful independent copy.
+
+        Subclasses that add mutable containers beyond the rumor set must
+        override this (or fall back to ``copy.deepcopy(self)``).
+        """
+        dup = copy.copy(self)
+        dup.rumors = self.rumors.clone()
+        return dup
 
 
 AlgorithmFactory = Callable[[int], Algorithm]

@@ -70,6 +70,12 @@ class RumorSet:
     def merge_set(self, other: "RumorSet") -> bool:
         return self.merge(other.mask, other.payloads)
 
+    def clone(self) -> "RumorSet":
+        """Independent copy. Payload *values* are shared: rumor content is
+        immutable once created (module contract above), so only the dict
+        needs duplicating."""
+        return RumorSet(self.mask, self.payloads)
+
     def snapshot(self) -> Tuple[int, Optional[Dict[int, Any]]]:
         """An immutable-enough copy safe to put in a message payload.
 

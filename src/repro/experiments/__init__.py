@@ -19,9 +19,12 @@ from .grid import (
     GridRunner,
     GridSpec,
     aggregate,
+    canonicalize_params,
+    cell_key,
     get_recorder,
     register_recorder,
 )
+from .pool import TrialPool
 from .lemmas import (
     EarsMilestones,
     TearsLemmaReport,
@@ -56,6 +59,9 @@ __all__ = [
     "Table2Row",
     "TearsLemmaReport",
     "Theorem1Row",
+    "TrialPool",
+    "canonicalize_params",
+    "cell_key",
     "format_corollary2",
     "generate_report",
     "measure_ears_milestones",

@@ -20,20 +20,34 @@ experiments can register their own via :func:`register_recorder`.
 
 from __future__ import annotations
 
+import importlib
 import itertools
 import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from .pool import TrialPool
+
 Recorder = Callable[..., Dict[str, Any]]
 
 _RECORDERS: Dict[str, Recorder] = {}
+#: Where each recorder was registered from; shipped with parallel jobs so a
+#: freshly spawned worker can import the module (whose import re-registers).
+_RECORDER_MODULES: Dict[str, str] = {}
 
 
 def register_recorder(name: str, fn: Recorder) -> None:
-    """Register a module-level record function under ``name``."""
+    """Register a module-level record function under ``name``.
+
+    For parallel grids the registration must happen at import time of
+    ``fn``'s module: workers receive the module path alongside each job
+    and import it before resolving the recorder, which is what makes
+    custom recorders work under spawn-style multiprocessing (where child
+    processes do not inherit the parent's registry).
+    """
     _RECORDERS[name] = fn
+    _RECORDER_MODULES[name] = getattr(fn, "__module__", "") or ""
 
 
 def get_recorder(name: str) -> Recorder:
@@ -111,14 +125,46 @@ class GridSpec:
         return cells
 
 
+def canonicalize_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Round-trip ``params`` through JSON, as the JSONL store does.
+
+    Tuples become lists, non-string dict keys become strings, and
+    non-JSON-native values collapse to their ``str()`` form — exactly the
+    shape ``json.loads`` hands back when a store is reloaded. Keying on
+    the canonical form guarantees a cell written in one process run is a
+    cache hit in the next, whatever Python types the live spec used.
+    """
+    return json.loads(json.dumps(params, sort_keys=True, default=str))
+
+
 def cell_key(params: Dict[str, Any]) -> str:
-    """Canonical JSON key for a cell (order-independent)."""
-    return json.dumps(params, sort_keys=True, default=str)
+    """Canonical JSON key for a cell (order- and type-representation-
+    independent: live params and their JSONL round-trip key identically)."""
+    return json.dumps(canonicalize_params(params), sort_keys=True)
 
 
 def _run_cell(args):
-    recorder_name, params = args
-    record = get_recorder(recorder_name)(**params)
+    """Execute one cell in a (possibly child) process.
+
+    ``args`` carries the recorder's registration module so spawn-started
+    workers — which begin with an empty registry — can import it; if the
+    import does not re-register the recorder, fail with a message that
+    says what to fix rather than a bare KeyError.
+    """
+    recorder_name, recorder_module, params = args
+    if recorder_name not in _RECORDERS and recorder_module:
+        try:
+            importlib.import_module(recorder_module)
+        except ImportError:
+            pass
+    if recorder_name not in _RECORDERS:
+        raise KeyError(
+            f"recorder {recorder_name!r} is not registered in this worker "
+            f"process (importing {recorder_module!r} did not register it). "
+            "Parallel grids need register_recorder() to run at import time "
+            "of a module importable from the worker."
+        )
+    record = _RECORDERS[recorder_name](**params)
     return params, record
 
 
@@ -169,14 +215,10 @@ class GridRunner:
             cell for cell in spec.cells() if cell_key(cell) not in store
         ]
         if pending:
-            jobs = [(spec.recorder, cell) for cell in pending]
-            if self.processes > 1:
-                import multiprocessing
-
-                with multiprocessing.Pool(self.processes) as pool:
-                    results = pool.map(_run_cell, jobs)
-            else:
-                results = [_run_cell(job) for job in jobs]
+            module = _RECORDER_MODULES.get(spec.recorder, "")
+            jobs = [(spec.recorder, module, cell) for cell in pending]
+            with TrialPool(self.processes) as pool:
+                results = pool.map(_run_cell, jobs)
             for params, record in results:
                 self._append(spec.name, params, record)
         rows = []

@@ -20,6 +20,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 from ..adversary.lower_bound import LowerBoundReport, run_lower_bound
 from ..analysis.stats import success_rate, summarize
 from ..analysis.tables import render_table
+from .pool import TrialPool
 from ..core.ears import Ears
 from ..core.sears import Sears
 from ..core.sparse import SparseGossip
@@ -44,6 +45,23 @@ PORTFOLIO: Dict[str, Callable] = {
     "uniform": _make(UniformEpidemicGossip),
     "sparse": _make(SparseGossip, budget=1),
 }
+
+
+def _theorem1_job(args):
+    """One (algorithm, seed) lower-bound execution.
+
+    Module-level so parallel runs can ship it to worker processes; the
+    algorithm factory is looked up in :data:`PORTFOLIO` by name in the
+    worker (the factories themselves are closures and not picklable).
+    """
+    (name, n, f, seed, samples, phase1_cap, promiscuity_factor,
+     slow_quiesce_threshold) = args
+    return run_lower_bound(
+        PORTFOLIO[name], n=n, f=f, seed=seed, samples=samples,
+        phase1_cap=phase1_cap,
+        promiscuity_factor=promiscuity_factor,
+        slow_quiesce_threshold=slow_quiesce_threshold,
+    )
 
 
 @dataclass
@@ -81,21 +99,27 @@ def run_theorem1(
     phase1_cap: int = 1500,
     promiscuity_factor: float = 32.0,
     slow_quiesce_threshold: Optional[int] = None,
+    processes: int = 1,
 ) -> List[Theorem1Row]:
-    """Run the Theorem 1 adversary against each portfolio strategy."""
+    """Run the Theorem 1 adversary against each portfolio strategy.
+
+    With ``processes > 1`` the (algorithm × seed) executions run across a
+    :class:`~repro.experiments.pool.TrialPool`; each execution is a
+    deterministic function of its arguments, so results are identical to
+    the sequential run.
+    """
     names = list(algorithms) if algorithms else list(PORTFOLIO)
     seeds = list(seeds)
+    jobs = [
+        (name, n, f, seed, samples, phase1_cap, promiscuity_factor,
+         slow_quiesce_threshold)
+        for name in names for seed in seeds
+    ]
+    with TrialPool(processes) as pool:
+        all_reports = pool.map(_theorem1_job, jobs)
     rows = []
-    for name in names:
-        reports = [
-            run_lower_bound(
-                PORTFOLIO[name], n=n, f=f, seed=seed, samples=samples,
-                phase1_cap=phase1_cap,
-                promiscuity_factor=promiscuity_factor,
-                slow_quiesce_threshold=slow_quiesce_threshold,
-            )
-            for seed in seeds
-        ]
+    for index, name in enumerate(names):
+        reports = all_reports[index * len(seeds):(index + 1) * len(seeds)]
         cases: Dict[str, int] = {}
         for report in reports:
             cases[report.case] = cases.get(report.case, 0) + 1

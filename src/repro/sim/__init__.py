@@ -7,7 +7,8 @@ scheduling gap) are measured properties of each execution, never inputs to
 algorithm code.
 """
 
-from .engine import RunResult, Simulation
+from .base import EngineCore
+from .engine import RunResult, SimSnapshot, Simulation
 from .errors import (
     AlgorithmError,
     ConfigurationError,
@@ -16,6 +17,12 @@ from .errors import (
     InvalidDelayError,
     InvalidScheduleError,
     SimulationError,
+)
+from .events import (
+    BitMeterObserver,
+    Observer,
+    StepProfiler,
+    TraceObserver,
 )
 from .message import Message
 from .metrics import Metrics
@@ -27,7 +34,7 @@ from .monitor import (
 )
 from .network import Network
 from .process import Algorithm, Context, ProcessHandle, ProcessStatus
-from .rng import derive_rng, derive_seed
+from .rng import clone_rng, derive_rng, derive_seed
 from .scheduler import (
     EveryStep,
     ExplicitSchedule,
@@ -41,10 +48,12 @@ from .trace import EventTrace, TraceEvent
 __all__ = [
     "Algorithm",
     "AlgorithmError",
+    "BitMeterObserver",
     "CompletionMonitor",
     "ConfigurationError",
     "Context",
     "CrashBudgetExceeded",
+    "EngineCore",
     "EventTrace",
     "EveryStep",
     "ExplicitSchedule",
@@ -55,6 +64,7 @@ __all__ = [
     "Message",
     "Metrics",
     "Network",
+    "Observer",
     "PredicateMonitor",
     "ProcessHandle",
     "ProcessStatus",
@@ -62,11 +72,15 @@ __all__ = [
     "RoundRobinWindows",
     "RunResult",
     "SchedulePlan",
+    "SimSnapshot",
     "Simulation",
     "SimulationError",
     "StaggeredWindows",
+    "StepProfiler",
     "SubsetEveryStep",
     "TraceEvent",
+    "TraceObserver",
+    "clone_rng",
     "derive_rng",
     "derive_seed",
 ]

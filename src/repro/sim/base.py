@@ -1,0 +1,108 @@
+"""Shared lifecycle for both execution engines.
+
+The asynchronous engine (:mod:`repro.sim.engine`) and the lock-step
+synchronous engine (:mod:`repro.sync.engine`) differ in their timing model
+but share everything else: population validation, the crash budget, the
+:class:`~repro.sim.metrics.Metrics` accounting, the observer bus, and the
+:class:`RunResult` they hand back. :class:`EngineCore` is that common base.
+
+Engines call ``_init_core`` during construction and then emit events through
+the per-event handler lists (``_obs_send``, ``_obs_deliver``, ...). The
+lists contain exactly the callbacks each registered observer *overrides*, so
+an engine with no observers tests one empty list per emission site and does
+nothing else — the zero-observer fast path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .errors import ConfigurationError, IncompleteRunError
+from .events import EVENT_METHODS, Observer, overridden_events
+from .metrics import Metrics
+
+
+@dataclass
+class RunResult:
+    """Outcome of an engine run (async steps or synchronous rounds).
+
+    ``steps`` counts global time steps on the asynchronous engine and
+    rounds on the synchronous one; ``metrics`` is the
+    :meth:`~repro.sim.metrics.Metrics.snapshot` dict of the execution.
+    """
+
+    completed: bool
+    reason: str
+    completion_time: Optional[int]
+    steps: int
+    messages: int
+    metrics: dict
+
+    def require_completed(self) -> "RunResult":
+        if not self.completed:
+            raise IncompleteRunError(
+                f"run did not complete (reason={self.reason!r}, "
+                f"steps={self.steps}, messages={self.messages})"
+            )
+        return self
+
+
+class EngineCore:
+    """Validation, metrics, and observer dispatch shared by both engines."""
+
+    def _init_core(self, n: int, f: int, seed: int, monitor) -> None:
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {n}")
+        if not 0 <= f < n:
+            raise ConfigurationError(f"require 0 <= f < n, got f={f}, n={n}")
+        self.n = n
+        self.f = f
+        self.seed = seed
+        self.monitor = monitor
+        self.metrics = Metrics(n=n)
+        self._reset_observers()
+
+    # -- observer registry ------------------------------------------------ #
+
+    def _reset_observers(self) -> None:
+        self._observers: List[Observer] = []
+        self._obs_step_begin: list = []
+        self._obs_crash: list = []
+        self._obs_schedule: list = []
+        self._obs_deliver: list = []
+        self._obs_send: list = []
+        self._obs_step_end: list = []
+        self._obs_complete: list = []
+
+    @property
+    def observers(self) -> Tuple[Observer, ...]:
+        return tuple(self._observers)
+
+    def add_observer(self, observer: Observer) -> Observer:
+        """Subscribe ``observer``; only its overridden callbacks are wired.
+
+        Returns the observer for call chaining. Observers added mid-run see
+        only subsequent events.
+        """
+        observer.on_attach(self)
+        self._observers.append(observer)
+        for kind in overridden_events(observer):
+            handler = getattr(observer, EVENT_METHODS[kind])
+            getattr(self, "_obs_" + kind).append(handler)
+        return observer
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Unsubscribe ``observer`` and rebuild the handler lists."""
+        remaining = [obs for obs in self._observers if obs is not observer]
+        self._reset_observers()
+        for obs in remaining:
+            self._observers.append(obs)
+            for kind in overridden_events(obs):
+                handler = getattr(obs, EVENT_METHODS[kind])
+                getattr(self, "_obs_" + kind).append(handler)
+
+    def _emit_complete(self, t: int) -> None:
+        if self._obs_complete:
+            for handler in self._obs_complete:
+                handler(t)

@@ -6,53 +6,59 @@ scheduled set; each scheduled process receives deliverable messages, computes,
 and sends. The engine *measures* the synchrony parameters ``d`` and ``δ`` of
 the execution it produces — algorithms never see them.
 
-The engine is deterministic given (algorithms, adversary, master seed) and
-deep-copyable via :meth:`Simulation.fork`, which is how the adaptive
-lower-bound adversary of Theorem 1 evaluates distributions over an
-algorithm's future behaviour.
+The engine is deterministic given (algorithms, adversary, master seed).
+Instrumentation (event traces, bit metering, profilers, samplers) attaches
+through the observer bus (:mod:`repro.sim.events`); a run with no observers
+pays one empty-list check per emission site.
+
+:meth:`Simulation.fork` produces an independent copy via the component
+snapshot protocol — each part (network, metrics, process handles, RNG
+streams, adversary) implements an O(own-state) ``clone`` — which is how the
+adaptive lower-bound adversary of Theorem 1 evaluates distributions over an
+algorithm's future behaviour without paying ``copy.deepcopy`` per sample.
 """
 
 from __future__ import annotations
 
 import copy
-from dataclasses import dataclass
 from typing import Dict, FrozenSet, Optional, Sequence
 
+from .base import EngineCore, RunResult
 from .errors import (
     ConfigurationError,
     CrashBudgetExceeded,
-    IncompleteRunError,
     InvalidScheduleError,
 )
-from .metrics import Metrics
+from .events import BitMeterObserver, Observer, TraceObserver
 from .monitor import CompletionMonitor
 from .network import Network
 from .process import Algorithm, Context, ProcessHandle
 from .rng import derive_rng
 from .trace import EventTrace
 
-
-@dataclass
-class RunResult:
-    """Outcome of :meth:`Simulation.run`."""
-
-    completed: bool
-    reason: str
-    completion_time: Optional[int]
-    steps: int
-    messages: int
-    metrics: dict
-
-    def require_completed(self) -> "RunResult":
-        if not self.completed:
-            raise IncompleteRunError(
-                f"run did not complete (reason={self.reason!r}, "
-                f"steps={self.steps}, messages={self.messages})"
-            )
-        return self
+__all__ = ["RunResult", "SimSnapshot", "Simulation"]
 
 
-class Simulation:
+class SimSnapshot:
+    """A reusable point-in-time capture of a :class:`Simulation`.
+
+    Internally a detached fork; :meth:`Simulation.restore` re-clones its
+    components back into a live simulation, so one snapshot supports any
+    number of restores (each restore yields an independent continuation).
+    """
+
+    __slots__ = ("_frozen",)
+
+    def __init__(self, frozen: "Simulation") -> None:
+        self._frozen = frozen
+
+    @property
+    def now(self) -> int:
+        """Global time at which the snapshot was taken."""
+        return self._frozen.now
+
+
+class Simulation(EngineCore):
     """One execution of ``n`` processes under a given adversary."""
 
     def __init__(
@@ -66,32 +72,35 @@ class Simulation:
         check_interval: int = 1,
         trace: Optional[EventTrace] = None,
         bit_meter=None,
+        observers: Sequence[Observer] = (),
     ) -> None:
-        if n < 1:
-            raise ConfigurationError(f"n must be >= 1, got {n}")
-        if not 0 <= f < n:
-            raise ConfigurationError(f"require 0 <= f < n, got f={f}, n={n}")
+        self._init_core(n, f, seed, monitor)
         if len(algorithms) != n:
             raise ConfigurationError(
                 f"expected {n} algorithm instances, got {len(algorithms)}"
             )
-        self.n = n
-        self.f = f
-        self.seed = seed
-        self.monitor = monitor
         self.check_interval = max(1, check_interval)
-        self.trace = trace
-        #: Optional payload-size estimator (repro.sim.bits.BitMeter); when
-        #: set, metrics.bits_sent accumulates estimated wire bits.
-        self.bit_meter = bit_meter
 
         self.network = Network(n)
-        self.metrics = Metrics(n=n)
         self.processes: Dict[int, ProcessHandle] = {}
         self._alive: set = set(range(n))
         self._alive_frozen: Optional[FrozenSet[int]] = frozenset(range(n))
         self._now = 0
         self._completed = False
+
+        # The trace=/bit_meter= keywords are shims over the observer bus,
+        # preserved so existing call sites (and forks of their sims) keep
+        # working; sim.trace / sim.bit_meter read back through them.
+        self._trace_observer: Optional[TraceObserver] = None
+        self._bit_observer: Optional[BitMeterObserver] = None
+        for observer in observers:
+            self.add_observer(observer)
+        if trace is not None:
+            self._trace_observer = TraceObserver(trace)
+            self.add_observer(self._trace_observer)
+        if bit_meter is not None:
+            self._bit_observer = BitMeterObserver(bit_meter)
+            self.add_observer(self._bit_observer)
 
         for pid in range(n):
             ctx = Context(pid, n, f, derive_rng(seed, "proc", pid))
@@ -126,6 +135,20 @@ class Simulation:
     def completed(self) -> bool:
         return self._completed
 
+    @property
+    def trace(self) -> Optional[EventTrace]:
+        """The trace behind the ``trace=`` shim, if one was attached."""
+        if self._trace_observer is None:
+            return None
+        return self._trace_observer.trace
+
+    @property
+    def bit_meter(self):
+        """The meter behind the ``bit_meter=`` shim, if one was attached."""
+        if self._bit_observer is None:
+            return None
+        return self._bit_observer.meter
+
     def algorithm(self, pid: int) -> Algorithm:
         return self.processes[pid].algorithm
 
@@ -150,12 +173,16 @@ class Simulation:
         self.processes[pid].crash(self._now)
         self.metrics.messages_dropped += self.network.drop_all_for(pid)
         self.metrics.record_crash(pid, self._now)
-        if self.trace is not None:
-            self.trace.record(self._now, "crash", pid=pid)
+        if self._obs_crash:
+            for handler in self._obs_crash:
+                handler(self._now, pid)
 
     def step(self) -> None:
         """Execute one global time step."""
         t = self._now
+        if self._obs_step_begin:
+            for handler in self._obs_step_begin:
+                handler(t)
 
         for pid in sorted(self.adversary.crashes_at(t)):
             self.crash(pid)
@@ -172,27 +199,25 @@ class Simulation:
             handle = self.processes[pid]
             self.metrics.record_scheduled(pid, t)
             handle.last_scheduled_at = t
-            if self.trace is not None:
-                self.trace.record(t, "schedule", pid=pid)
+            if self._obs_schedule:
+                for handler in self._obs_schedule:
+                    handler(t, pid)
             inbox = self.network.collect(pid, t)
             if inbox:
                 self.metrics.record_delivery(
                     len(inbox), max(m.delay for m in inbox)
                 )
-                if self.trace is not None:
-                    self.trace.record(t, "deliver", dst=pid, count=len(inbox))
+                if self._obs_deliver:
+                    for handler in self._obs_deliver:
+                        handler(t, pid, inbox)
             outbox = handle.run_step(inbox)
             for msg in outbox:
                 msg.sent_at = t
                 msg.delay = int(self.adversary.assign_delay(msg))
                 self.metrics.record_send(pid, msg.kind, t, dst=msg.dst)
-                if self.bit_meter is not None:
-                    self.metrics.bits_sent += self.bit_meter(msg.payload)
-                if self.trace is not None:
-                    self.trace.record(
-                        t, "send", src=pid, dst=msg.dst,
-                        kind=msg.kind, delay=msg.delay,
-                    )
+                if self._obs_send:
+                    for handler in self._obs_send:
+                        handler(t, msg)
                 if msg.dst in self._alive:
                     self.network.enqueue(msg)
                 else:
@@ -202,6 +227,9 @@ class Simulation:
 
         self._now += 1
         self.metrics.steps_elapsed = self._now
+        if self._obs_step_end:
+            for handler in self._obs_step_end:
+                handler(t)
 
     def _stalled(self) -> bool:
         """True when no future step can change anything but a crash.
@@ -231,8 +259,7 @@ class Simulation:
                 if self.monitor.check(self):
                     self._completed = True
                     self.metrics.completion_time = self._now
-                    if self.trace is not None:
-                        self.trace.record(self._now, "complete")
+                    self._emit_complete(self._now)
                     return self._result(True, "completed")
             if self._stalled() and not self.adversary.has_pending_events(
                 self._now
@@ -240,10 +267,12 @@ class Simulation:
                 if self.monitor is None:
                     self._completed = True
                     self.metrics.completion_time = self._now
+                    self._emit_complete(self._now)
                     return self._result(True, "quiescent")
                 if self.monitor.check(self):
                     self._completed = True
                     self.metrics.completion_time = self._now
+                    self._emit_complete(self._now)
                     return self._result(True, "completed")
                 return self._result(False, "stalled")
         return self._result(False, "step-limit")
@@ -253,15 +282,79 @@ class Simulation:
         for _ in range(steps):
             self.step()
 
-    def fork(self) -> "Simulation":
-        """Deep snapshot of the entire execution state.
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol
+    # ------------------------------------------------------------------ #
 
-        Forks share nothing with the original: process state, RNG streams,
-        network queues, metrics and the adversary are all copied. This is the
-        primitive the Theorem 1 adversary uses to estimate expectations over
-        an algorithm's coin flips.
+    def fork(self) -> "Simulation":
+        """An independent copy of the entire execution state.
+
+        Forks share nothing mutable with the original: process state, RNG
+        streams, network queues, metrics, observers and the adversary are
+        all copied via their component ``clone`` methods (in-flight
+        :class:`Message` objects are shared — they are frozen once
+        enqueued). This is the primitive the Theorem 1 adversary uses to
+        estimate expectations over an algorithm's coin flips, so it must be
+        O(live state), not O(object graph).
         """
-        return copy.deepcopy(self)
+        clone = Simulation.__new__(Simulation)
+        self._copy_into(clone)
+        return clone
+
+    def snapshot(self) -> SimSnapshot:
+        """Capture the current state for later :meth:`restore`.
+
+        Unlike :meth:`fork`, the captured state is inert (never stepped),
+        and one snapshot can seed any number of restores.
+        """
+        return SimSnapshot(self.fork())
+
+    def restore(self, snap: SimSnapshot) -> "Simulation":
+        """Rewind this simulation to ``snap``'s state; returns ``self``.
+
+        The snapshot's components are re-cloned on the way in, so the same
+        snapshot can be restored again later.
+        """
+        if snap._frozen.n != self.n:
+            raise ConfigurationError(
+                f"snapshot is for n={snap._frozen.n}, this simulation has "
+                f"n={self.n}"
+            )
+        snap._frozen._copy_into(self)
+        return self
+
+    def _copy_into(self, target: "Simulation") -> None:
+        """Clone every component of this simulation into ``target``."""
+        target.n = self.n
+        target.f = self.f
+        target.seed = self.seed
+        target.check_interval = self.check_interval
+        # Monitors hold a little mutable state (e.g. gathering_time) with no
+        # references into the simulation, so deepcopy is both correct and
+        # cheap here.
+        target.monitor = copy.deepcopy(self.monitor)
+        target.network = self.network.clone()
+        target.metrics = self.metrics.clone()
+        target.processes = {
+            pid: handle.clone() for pid, handle in self.processes.items()
+        }
+        target._alive = set(self._alive)
+        target._alive_frozen = frozenset(target._alive)
+        target._now = self._now
+        target._completed = self._completed
+
+        target._reset_observers()
+        target._trace_observer = None
+        target._bit_observer = None
+        for observer in self._observers:
+            dup = observer.clone()
+            target.add_observer(dup)
+            if observer is self._trace_observer:
+                target._trace_observer = dup
+            if observer is self._bit_observer:
+                target._bit_observer = dup
+
+        target.adversary = self.adversary.clone_into(target)
 
     def _result(self, completed: bool, reason: str) -> RunResult:
         return RunResult(

@@ -83,6 +83,30 @@ class Metrics:
         self.crash_times[pid] = now
         self._last_scheduled.pop(pid, None)
 
+    def clone(self) -> "Metrics":
+        """O(state) copy for simulation forking: counters and dicts are
+        rebuilt, scalars carried over. Equivalent to ``copy.deepcopy`` but
+        without the recursive traversal."""
+        return Metrics(
+            n=self.n,
+            messages_sent=self.messages_sent,
+            messages_delivered=self.messages_delivered,
+            messages_dropped=self.messages_dropped,
+            messages_by_kind=Counter(self.messages_by_kind),
+            messages_by_sender=Counter(self.messages_by_sender),
+            messages_by_pair=Counter(self.messages_by_pair),
+            bits_sent=self.bits_sent,
+            steps_elapsed=self.steps_elapsed,
+            local_steps_taken=self.local_steps_taken,
+            crashes=self.crashes,
+            crash_times=dict(self.crash_times),
+            realized_d=self.realized_d,
+            realized_delta=self.realized_delta,
+            completion_time=self.completion_time,
+            last_send_time=self.last_send_time,
+            _last_scheduled=dict(self._last_scheduled),
+        )
+
     def snapshot(self) -> dict:
         """Immutable summary used by results, benches and tests."""
         return {

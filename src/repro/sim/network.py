@@ -78,6 +78,24 @@ class Network:
         self._in_flight -= dropped
         return dropped
 
+    def clone(self) -> "Network":
+        """O(in-flight) copy for simulation forking.
+
+        Heaps are list copies (heap order is preserved by ``list()``), and
+        the :class:`Message` objects themselves are **shared** between the
+        original and the clone: a message is frozen once enqueued — the
+        engine assigns ``sent_at``/``delay`` before :meth:`enqueue` and no
+        one mutates it afterwards — so sharing is safe and keeps the fork
+        cost proportional to queue length, not payload size.
+        """
+        dup = Network.__new__(Network)
+        dup._n = self._n
+        dup._pending = {pid: list(heap) for pid, heap in self._pending.items()}
+        dup._in_flight = self._in_flight
+        dup.total_enqueued = self.total_enqueued
+        dup.max_delivered_delay = self.max_delivered_delay
+        return dup
+
     def pending_for(self, pid: int) -> int:
         """Number of messages currently queued for ``pid``."""
         return len(self._pending[pid])

@@ -13,6 +13,7 @@ bounds").
 
 from __future__ import annotations
 
+import copy
 import enum
 import random
 from abc import ABC, abstractmethod
@@ -20,6 +21,7 @@ from typing import Any, Iterable, List, Optional
 
 from .errors import AlgorithmError
 from .message import Message
+from .rng import clone_rng
 
 
 class ProcessStatus(enum.Enum):
@@ -81,6 +83,17 @@ class Context:
         """
         return self.rng.randrange(self.n)
 
+    def clone(self) -> "Context":
+        """O(1) copy for simulation forking.
+
+        The RNG stream is duplicated at its current state; the outbox starts
+        empty because the engine resets it at every ``run_step`` anyway (a
+        fork between steps never observes a populated outbox).
+        """
+        dup = Context(self.pid, self.n, self.f, clone_rng(self.rng))
+        dup._local_step = self._local_step
+        return dup
+
 
 class Algorithm(ABC):
     """Contract for per-process algorithm code.
@@ -110,6 +123,16 @@ class Algorithm(ABC):
         """Small diagnostic snapshot of algorithm state (for traces/tests)."""
         return {}
 
+    def clone(self) -> "Algorithm":
+        """Independent copy of all per-process state, for simulation forks.
+
+        The default is ``copy.deepcopy`` — always correct, never fast.
+        Subclasses whose mutable state is small and known (the core gossip
+        algorithms: a rumor set plus scalars) override this with an O(state)
+        copy; see :meth:`repro.core.base.GossipAlgorithm.clone`.
+        """
+        return copy.deepcopy(self)
+
 
 class ProcessHandle:
     """Engine-side record for one process: algorithm + status + counters."""
@@ -135,6 +158,19 @@ class ProcessHandle:
         """Permanently halt this process (the paper's crash failure)."""
         self.status = ProcessStatus.CRASHED
         self.crashed_at = now
+
+    def clone(self) -> "ProcessHandle":
+        """Copy for simulation forking: algorithm + context + counters."""
+        dup = ProcessHandle.__new__(ProcessHandle)
+        dup.pid = self.pid
+        dup.algorithm = self.algorithm.clone()
+        dup.ctx = self.ctx.clone()
+        dup.status = self.status
+        dup.crashed_at = self.crashed_at
+        dup.steps_taken = self.steps_taken
+        dup.last_scheduled_at = self.last_scheduled_at
+        dup.messages_sent = self.messages_sent
+        return dup
 
     def run_step(self, inbox: List[Message]) -> List[Message]:
         """Run one local step and return the messages queued by it."""

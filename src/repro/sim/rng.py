@@ -38,3 +38,16 @@ def derive_seed(master_seed: int, *path: PathPart) -> int:
 def derive_rng(master_seed: int, *path: PathPart) -> random.Random:
     """Return a fresh :class:`random.Random` seeded via :func:`derive_seed`."""
     return random.Random(derive_seed(master_seed, *path))
+
+
+def clone_rng(rng: random.Random) -> random.Random:
+    """An independent stream continuing from exactly ``rng``'s state.
+
+    ``getstate()/setstate()`` round-trips the Mersenne Twister state tuple
+    directly, so the clone produces the same future draws as the original
+    without the traversal cost of ``copy.deepcopy``. This is the RNG leg of
+    the engine's snapshot protocol.
+    """
+    dup = random.Random()
+    dup.setstate(rng.getstate())
+    return dup

@@ -10,18 +10,26 @@ nothing from round r on (messages it sent in round r−1 still deliver). This
 is the cleanest crash model for measuring baseline complexity; the paper's
 synchronous references tolerate harsher mid-round crashes, which is part of
 why our CK-style baseline is a documented approximation (DESIGN.md §5).
+
+The engine sits on the same :class:`~repro.sim.base.EngineCore` substrate as
+the asynchronous engine: shared :class:`~repro.sim.metrics.Metrics`
+accounting, the observer bus (event traces and bit metering work on
+synchronous runs exactly as on asynchronous ones), and a
+:class:`~repro.sim.base.RunResult`-compatible result type.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set
 
 from ..adversary.crash_plans import CrashPlan, no_crashes
+from ..sim.base import EngineCore, RunResult
 from ..sim.errors import ConfigurationError
+from ..sim.events import BitMeterObserver, Observer, TraceObserver
 from ..sim.rng import derive_rng
+from ..sim.trace import EventTrace
 
 
 @dataclass
@@ -32,6 +40,9 @@ class SyncMessage:
     dst: int
     payload: Any
     kind: str = "msg"
+    #: Synchronous messages always deliver next round; the attribute exists
+    #: so observers (trace, bit meter) see the same shape as async messages.
+    delay: int = 1
 
 
 class SyncContext:
@@ -70,15 +81,28 @@ class SyncAlgorithm(ABC):
 
 
 @dataclass
-class SyncResult:
-    completed: bool
-    rounds: int
-    messages: int
-    messages_by_kind: Dict[str, int]
-    crashes: int
+class SyncResult(RunResult):
+    """A :class:`RunResult` whose ``steps`` count synchronous rounds.
+
+    The historical field names remain available as properties so existing
+    drivers (Table 1, Corollary 2, Karp push-pull) keep reading
+    ``result.rounds`` / ``result.messages_by_kind`` / ``result.crashes``.
+    """
+
+    @property
+    def rounds(self) -> int:
+        return self.steps
+
+    @property
+    def messages_by_kind(self) -> Dict[str, int]:
+        return self.metrics["messages_by_kind"]
+
+    @property
+    def crashes(self) -> int:
+        return self.metrics["crashes"]
 
 
-class SyncSimulation:
+class SyncSimulation(EngineCore):
     """Runs ``n`` synchronous processes to completion or a round limit."""
 
     def __init__(
@@ -89,60 +113,103 @@ class SyncSimulation:
         crashes: Optional[CrashPlan] = None,
         monitor: Optional[Callable[["SyncSimulation"], bool]] = None,
         seed: int = 0,
+        trace: Optional[EventTrace] = None,
+        bit_meter=None,
+        observers: Sequence[Observer] = (),
     ) -> None:
         if len(algorithms) != n:
             raise ConfigurationError(
                 f"expected {n} algorithms, got {len(algorithms)}"
             )
-        if not 0 <= f < n:
-            raise ConfigurationError(f"require 0 <= f < n, got f={f}")
-        self.n = n
-        self.f = f
+        self._init_core(n, f, seed, monitor)
         self.algorithms = list(algorithms)
         self.crash_plan = crashes if crashes is not None else no_crashes()
         if self.crash_plan.total > f:
             raise ConfigurationError(
                 f"crash plan kills {self.crash_plan.total} > f={f}"
             )
-        self.monitor = monitor
+        for observer in observers:
+            self.add_observer(observer)
+        if trace is not None:
+            self.add_observer(TraceObserver(trace))
+        if bit_meter is not None:
+            self.add_observer(BitMeterObserver(bit_meter))
         self.contexts = [
             SyncContext(pid, n, f, derive_rng(seed, "sync-proc", pid))
             for pid in range(n)
         ]
         self.alive: Set[int] = set(range(n))
         self.round = 0
-        self.messages_sent = 0
-        self.messages_by_kind: Counter = Counter()
         self._in_flight: List[SyncMessage] = []
 
     @property
     def alive_pids(self) -> frozenset:
         return frozenset(self.alive)
 
+    @property
+    def messages_sent(self) -> int:
+        """Total messages so far (compat alias for ``metrics.messages_sent``)."""
+        return self.metrics.messages_sent
+
+    @property
+    def messages_by_kind(self):
+        """Per-kind counter (compat alias for ``metrics.messages_by_kind``)."""
+        return self.metrics.messages_by_kind
+
     def algorithm(self, pid: int) -> SyncAlgorithm:
         return self.algorithms[pid]
 
     def step_round(self) -> None:
         """Execute one full synchronous round."""
-        for pid in self.crash_plan.crashes_at(self.round):
-            self.alive.discard(pid)
+        r = self.round
+        if self._obs_step_begin:
+            for handler in self._obs_step_begin:
+                handler(r)
+
+        for pid in self.crash_plan.crashes_at(r):
+            if pid in self.alive:
+                self.alive.discard(pid)
+                self.metrics.record_crash(pid, r)
+                if self._obs_crash:
+                    for handler in self._obs_crash:
+                        handler(r, pid)
 
         inboxes: Dict[int, List[SyncMessage]] = {p: [] for p in self.alive}
+        dropped = 0
         for msg in self._in_flight:
             if msg.dst in inboxes:
                 inboxes[msg.dst].append(msg)
+            else:
+                dropped += 1
+        self.metrics.messages_dropped += dropped
         self._in_flight = []
 
         for pid in sorted(self.alive):
             ctx = self.contexts[pid]
-            ctx.round = self.round
+            ctx.round = r
             ctx.outbox = []
-            self.algorithms[pid].on_round(ctx, inboxes[pid])
+            self.metrics.record_scheduled(pid, r)
+            if self._obs_schedule:
+                for handler in self._obs_schedule:
+                    handler(r, pid)
+            inbox = inboxes[pid]
+            if inbox:
+                self.metrics.record_delivery(len(inbox), 1)
+                if self._obs_deliver:
+                    for handler in self._obs_deliver:
+                        handler(r, pid, inbox)
+            self.algorithms[pid].on_round(ctx, inbox)
             for msg in ctx.outbox:
-                self.messages_sent += 1
-                self.messages_by_kind[msg.kind] += 1
+                self.metrics.record_send(pid, msg.kind, r, dst=msg.dst)
+                if self._obs_send:
+                    for handler in self._obs_send:
+                        handler(r, msg)
                 self._in_flight.append(msg)
         self.round += 1
+        self.metrics.steps_elapsed = self.round
+        if self._obs_step_end:
+            for handler in self._obs_step_end:
+                handler(r)
 
     def run(self, max_rounds: int = 10_000) -> SyncResult:
         """Run rounds until the monitor holds / everyone is done / limit."""
@@ -150,16 +217,20 @@ class SyncSimulation:
             self.step_round()
             if self.monitor is not None:
                 if self.monitor(self):
-                    return self._result(True)
+                    return self._result(True, "completed")
             elif all(self.algorithms[p].is_done() for p in self.alive):
-                return self._result(True)
-        return self._result(False)
+                return self._result(True, "completed")
+        return self._result(False, "round-limit")
 
-    def _result(self, completed: bool) -> SyncResult:
+    def _result(self, completed: bool, reason: str) -> SyncResult:
+        if completed:
+            self.metrics.completion_time = self.round
+            self._emit_complete(self.round)
         return SyncResult(
             completed=completed,
-            rounds=self.round,
-            messages=self.messages_sent,
-            messages_by_kind=dict(self.messages_by_kind),
-            crashes=self.n - len(self.alive),
+            reason=reason,
+            completion_time=self.metrics.completion_time,
+            steps=self.round,
+            messages=self.metrics.messages_sent,
+            metrics=self.metrics.snapshot(),
         )

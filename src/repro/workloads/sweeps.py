@@ -7,6 +7,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..analysis.stats import Summary, summarize
 from ..api import run_gossip
+from ..sim.events import StepProfiler
 
 
 @dataclass
@@ -36,6 +37,34 @@ def geometric_ns(start: int = 16, stop: int = 256, factor: int = 2
     return ns
 
 
+def _sweep_job(args):
+    """One (n, seed) gossip run, reduced to the aggregated fields.
+
+    Module-level so parallel sweeps can ship it to worker processes.
+    """
+    algorithm, n, f, d, delta, seed, crashes, params, max_steps = args
+    run = run_gossip(
+        algorithm, n=n, f=f, d=d, delta=delta, seed=seed,
+        crashes=crashes, params=params, max_steps=max_steps,
+    )
+    return run.completed, run.completion_time, run.messages
+
+
+def run_and_profile(args, profiler: StepProfiler):
+    """As :func:`_sweep_job`, with ``profiler`` observing every step.
+
+    The same profiler instance rides along every run, so its buckets
+    accumulate the whole sweep's per-phase wall time.
+    """
+    algorithm, n, f, d, delta, seed, crashes, params, max_steps = args
+    run = run_gossip(
+        algorithm, n=n, f=f, d=d, delta=delta, seed=seed,
+        crashes=crashes, params=params, max_steps=max_steps,
+        observers=(profiler,),
+    )
+    return run.completed, run.completion_time, run.messages
+
+
 def sweep_gossip(
     algorithm: str,
     ns: Sequence[int],
@@ -46,24 +75,50 @@ def sweep_gossip(
     crash: bool = False,
     params_of_n: Optional[Callable[[int], Any]] = None,
     max_steps: Optional[int] = None,
+    processes: int = 1,
+    profile: Optional[StepProfiler] = None,
 ) -> List[SweepPoint]:
-    """Run ``algorithm`` across a population sweep; aggregate per n."""
+    """Run ``algorithm`` across a population sweep; aggregate per n.
+
+    ``processes > 1`` distributes the (n × seed) runs over a
+    :class:`~repro.experiments.pool.TrialPool` (each run is a
+    deterministic function of its parameters, so aggregates are identical
+    to the sequential sweep). ``profile`` attaches a
+    :class:`~repro.sim.events.StepProfiler` to every run, accumulating a
+    per-phase wall-time breakdown; profiled sweeps run sequentially so
+    the observer sees every step.
+    """
+    # Lazy import: repro.experiments.scaling imports this module, so a
+    # top-level import of the pool would be circular.
+    from ..experiments.pool import TrialPool
+
     seeds = list(seeds)
-    points = []
+    jobs = []
     for n in ns:
         f = f_of_n(n)
-        times, messages, completions = [], [], []
+        params = params_of_n(n) if params_of_n else None
         for seed in seeds:
-            run = run_gossip(
-                algorithm, n=n, f=f, d=d, delta=delta, seed=seed,
-                crashes=f if crash else None,
-                params=params_of_n(n) if params_of_n else None,
-                max_steps=max_steps,
-            )
-            completions.append(run.completed)
-            if run.completed:
-                times.append(float(run.completion_time))
-                messages.append(float(run.messages))
+            jobs.append((algorithm, n, f, d, delta, seed,
+                         f if crash else None, params, max_steps))
+
+    if profile is not None:
+        outcomes = [
+            run_and_profile(job, profile) for job in jobs
+        ]
+    else:
+        with TrialPool(processes) as pool:
+            outcomes = pool.map(_sweep_job, jobs)
+
+    points = []
+    for index, n in enumerate(ns):
+        f = f_of_n(n)
+        per_n = outcomes[index * len(seeds):(index + 1) * len(seeds)]
+        times, messages, completions = [], [], []
+        for completed, completion_time, message_count in per_n:
+            completions.append(completed)
+            if completed:
+                times.append(float(completion_time))
+                messages.append(float(message_count))
         points.append(
             SweepPoint(
                 algorithm=algorithm, n=n, f=f, d=d, delta=delta,

@@ -1,0 +1,15 @@
+"""Fixture module: registers a grid recorder at import time.
+
+Used by tests/analysis/test_grid.py to verify that parallel grid workers
+can resolve a custom recorder by importing the module shipped with the job
+(the contract spawn-started children rely on).
+"""
+
+from repro.experiments.grid import register_recorder
+
+
+def fixture_recorder(**params):
+    return {"tripled": params["x"] * 3}
+
+
+register_recorder("fixture-recorder", fixture_recorder)

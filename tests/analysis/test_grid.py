@@ -1,11 +1,16 @@
 """Tests for the experiment-grid runner."""
 
+import sys
+
 import pytest
 
 from repro.experiments.grid import (
+    _RECORDERS,
     GridRunner,
     GridSpec,
+    _run_cell,
     aggregate,
+    canonicalize_params,
     cell_key,
     get_recorder,
     register_recorder,
@@ -32,6 +37,19 @@ class TestGridSpec:
 
     def test_cell_key_order_independent(self):
         assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+    def test_cell_key_matches_json_round_trip(self):
+        # A key computed from live Python params must equal the key of the
+        # same params after a JSONL round trip (tuples -> lists, int dict
+        # keys -> strings); otherwise reloads never hit the cache.
+        import json
+
+        params = {"pair": (2, 3), "plan": {0: [1]}, "seed": 0}
+        reloaded = json.loads(json.dumps(params, default=str))
+        assert cell_key(params) == cell_key(reloaded)
+
+    def test_canonicalize_params_normalizes_tuples(self):
+        assert canonicalize_params({"pair": (1, 2)}) == {"pair": [1, 2]}
 
 
 class TestGridRunner:
@@ -77,6 +95,60 @@ class TestGridRunner:
     def test_unknown_recorder(self):
         with pytest.raises(KeyError):
             get_recorder("alchemy")
+
+    def test_tuple_valued_params_hit_cache_after_reload(self, tmp_path):
+        # Regression: tuple-valued params (e.g. a (d, delta) pair) must be
+        # cache hits when the JSONL store — where they come back as lists —
+        # is reloaded by a fresh runner.
+        CALLS.clear()
+        spec = GridSpec("tuples", "counting",
+                        grid={"x": [7], "pair": [(1, 2), (3, 4)]},
+                        seeds=[0])
+        GridRunner(out_dir=str(tmp_path)).run(spec)
+        assert len(CALLS) == 2
+        fresh = GridRunner(out_dir=str(tmp_path))
+        assert fresh.missing(spec) == 0
+        rows = fresh.run(spec)
+        assert len(CALLS) == 2  # all cells served from the reloaded store
+        assert len(rows) == 2
+
+    def test_parallel_run_matches_sequential(self, tmp_path):
+        spec = GridSpec(
+            "par", "gossip",
+            grid={"algorithm": ["trivial"], "n": [8, 12], "f": [0],
+                  "d": [1], "delta": [1]},
+            seeds=[0],
+        )
+        sequential = GridRunner().run(spec)
+        parallel = GridRunner(processes=2).run(spec)
+        assert sequential == parallel
+
+
+class TestRecorderShipping:
+    """Parallel cells resolve recorders inside the worker process."""
+
+    def test_run_cell_reimports_recorder_module(self):
+        # Simulate a spawn-started worker: empty registry, module not yet
+        # imported. _run_cell must import the shipped module (whose import
+        # re-registers) and execute the cell.
+        module = "tests.analysis._recorder_fixture"
+        _RECORDERS.pop("fixture-recorder", None)
+        sys.modules.pop(module, None)
+        params, record = _run_cell(
+            ("fixture-recorder", module, {"x": 21, "seed": 0})
+        )
+        assert record == {"tripled": 63}
+        assert "fixture-recorder" in _RECORDERS
+
+    def test_run_cell_fails_fast_when_import_does_not_register(self):
+        _RECORDERS.pop("ghost", None)
+        with pytest.raises(KeyError, match="register_recorder"):
+            _run_cell(("ghost", "json", {"x": 1}))
+
+    def test_run_cell_fails_fast_without_module(self):
+        _RECORDERS.pop("ghost", None)
+        with pytest.raises(KeyError, match="not registered"):
+            _run_cell(("ghost", "", {"x": 1}))
 
 
 class TestBuiltInRecorders:

@@ -1,0 +1,77 @@
+"""TrialPool: ordering, parallel/sequential equivalence, local batches."""
+
+import pytest
+
+from repro.experiments.pool import TrialPool
+
+
+def _square(x):
+    return x * x
+
+
+def _run_cell_like(args):
+    name, value = args
+    return name, value + 1
+
+
+class TestSequential:
+    def test_map_preserves_order(self):
+        with TrialPool() as pool:
+            assert pool.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_empty(self):
+        assert TrialPool().map(_square, []) == []
+
+    def test_rejects_zero_processes(self):
+        with pytest.raises(ValueError):
+            TrialPool(processes=0)
+
+    def test_run_local_preserves_order_and_closures(self):
+        captured = []
+
+        def thunk(i):
+            return lambda: (captured.append(i), i * 10)[1]
+
+        results = TrialPool().run_local([thunk(i) for i in range(4)])
+        assert results == [0, 10, 20, 30]
+        assert captured == [0, 1, 2, 3]
+
+
+class TestParallel:
+    def test_parallel_matches_sequential(self):
+        jobs = list(range(20))
+        sequential = TrialPool(1).map(_square, jobs)
+        with TrialPool(2) as pool:
+            parallel = pool.map(_square, jobs)
+        assert parallel == sequential
+
+    def test_pool_is_reusable_across_maps(self):
+        with TrialPool(2) as pool:
+            first = pool.map(_square, range(8))
+            second = pool.map(_square, range(8, 16))
+        assert first == [x * x for x in range(8)]
+        assert second == [x * x for x in range(8, 16)]
+
+    def test_tuple_jobs(self):
+        jobs = [("a", 1), ("b", 2)]
+        with TrialPool(2) as pool:
+            assert pool.map(_run_cell_like, jobs) == [("a", 2), ("b", 3)]
+
+    def test_single_job_runs_inline(self):
+        pool = TrialPool(4)
+        assert pool.map(_square, [5]) == [25]
+        # One job never warrants spinning up workers.
+        assert pool._pool is None
+
+    def test_explicit_chunk_size(self):
+        with TrialPool(2, chunk_size=3) as pool:
+            assert pool.map(_square, range(10)) == [
+                x * x for x in range(10)
+            ]
+
+    def test_close_is_idempotent(self):
+        pool = TrialPool(2)
+        pool.map(_square, range(4))
+        pool.close()
+        pool.close()
+        assert pool._pool is None

@@ -1,0 +1,273 @@
+"""Observer bus: dispatch, fast path, shims, cross-engine parity."""
+
+import pytest
+
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.core.base import make_processes
+from repro.core.ears import Ears
+from repro.sim.bits import BitMeter
+from repro.sim.engine import Simulation
+from repro.sim.events import (
+    EVENT_METHODS,
+    BitMeterObserver,
+    Observer,
+    StepProfiler,
+    TraceObserver,
+    overridden_events,
+)
+from repro.sim.monitor import GossipCompletionMonitor
+from repro.sim.trace import EventTrace
+from repro.sync.engine import SyncContext, SyncSimulation
+from repro.sync.ck_gossip import CkStyleGossip
+
+
+class RecordingObserver(Observer):
+    """Appends (kind, t) for every event it sees."""
+
+    def __init__(self):
+        self.seen = []
+        self.attached_to = None
+
+    def on_attach(self, engine):
+        self.attached_to = engine
+
+    def on_step_begin(self, t):
+        self.seen.append(("step_begin", t))
+
+    def on_crash(self, t, pid):
+        self.seen.append(("crash", t, pid))
+
+    def on_schedule(self, t, pid):
+        self.seen.append(("schedule", t, pid))
+
+    def on_deliver(self, t, pid, inbox):
+        self.seen.append(("deliver", t, pid, len(inbox)))
+
+    def on_send(self, t, msg):
+        self.seen.append(("send", t, msg.src, msg.dst))
+
+    def on_step_end(self, t):
+        self.seen.append(("step_end", t))
+
+    def on_complete(self, t):
+        self.seen.append(("complete", t))
+
+
+class SendOnlyObserver(Observer):
+    def __init__(self):
+        self.sends = 0
+
+    def on_send(self, t, msg):
+        self.sends += 1
+
+
+def make_sim(n=8, f=2, seed=0, **kwargs):
+    return Simulation(
+        n=n, f=f,
+        algorithms=make_processes(n, f, Ears),
+        adversary=ObliviousAdversary.uniform(2, 2, seed=seed),
+        monitor=GossipCompletionMonitor(),
+        seed=seed,
+        **kwargs,
+    )
+
+
+class TestOverriddenEvents:
+    def test_base_observer_overrides_nothing(self):
+        assert overridden_events(Observer()) == []
+
+    def test_partial_observer_overrides_only_its_events(self):
+        assert overridden_events(SendOnlyObserver()) == ["send"]
+
+    def test_full_observer_overrides_everything(self):
+        assert set(overridden_events(RecordingObserver())) == set(
+            EVENT_METHODS
+        )
+
+
+class TestDispatch:
+    def test_zero_observer_handler_lists_are_empty(self):
+        sim = make_sim()
+        for kind in EVENT_METHODS:
+            assert getattr(sim, f"_obs_{kind}") == []
+
+    def test_partial_observer_registers_only_overridden(self):
+        sim = make_sim()
+        sim.add_observer(SendOnlyObserver())
+        assert len(sim._obs_send) == 1
+        assert sim._obs_schedule == []
+        assert sim._obs_step_begin == []
+
+    def test_attach_callback_fires(self):
+        observer = RecordingObserver()
+        sim = make_sim(observers=(observer,))
+        assert observer.attached_to is sim
+
+    def test_events_fire_in_step_order(self):
+        observer = RecordingObserver()
+        sim = make_sim(observers=(observer,))
+        sim.step()
+        kinds = [event[0] for event in observer.seen]
+        assert kinds[0] == "step_begin"
+        assert kinds[-1] == "step_end"
+        assert "schedule" in kinds and "send" in kinds
+
+    def test_complete_fires_once_on_completion(self):
+        observer = RecordingObserver()
+        sim = make_sim(observers=(observer,))
+        result = sim.run()
+        assert result.completed
+        completes = [e for e in observer.seen if e[0] == "complete"]
+        assert len(completes) == 1
+        assert completes[0][1] == result.completion_time
+
+    def test_remove_observer_unsubscribes(self):
+        observer = SendOnlyObserver()
+        sim = make_sim(observers=(observer,))
+        sim.remove_observer(observer)
+        assert sim._obs_send == []
+        sim.run()
+        assert observer.sends == 0
+
+    def test_observer_does_not_change_metrics(self):
+        plain = make_sim().run()
+        observed = make_sim(observers=(RecordingObserver(),)).run()
+        assert plain.completion_time == observed.completion_time
+        assert plain.messages == observed.messages
+        assert plain.metrics == observed.metrics
+
+
+class TestShims:
+    def test_trace_kwarg_equals_trace_observer(self):
+        trace_a, trace_b = EventTrace(), EventTrace()
+        make_sim(trace=trace_a).run()
+        make_sim(observers=(TraceObserver(trace_b),)).run()
+        records = lambda t: [  # noqa: E731
+            (e.t, e.kind, tuple(sorted(e.fields))) for e in t.events
+        ]
+        assert records(trace_a) == records(trace_b)
+
+    def test_trace_readback_property(self):
+        trace = EventTrace()
+        sim = make_sim(trace=trace)
+        assert sim.trace is trace
+        assert make_sim().trace is None
+
+    def test_bit_meter_kwarg_equals_bit_observer(self):
+        run_a = make_sim(bit_meter=BitMeter(8)).run()
+        run_b = make_sim(
+            observers=(BitMeterObserver(BitMeter(8)),)
+        ).run()
+        assert run_a.metrics["bits_sent"] == run_b.metrics["bits_sent"] > 0
+
+    def test_bit_meter_readback_property(self):
+        meter = BitMeter(8)
+        sim = make_sim(bit_meter=meter)
+        assert sim.bit_meter is meter
+        assert make_sim().bit_meter is None
+
+
+class SyncCounter:
+    """Minimal sync algorithm: everyone pings pid 0 each round."""
+
+    def on_round(self, ctx: SyncContext, inbox):
+        if ctx.round < 3 and ctx.pid != 0:
+            ctx.send(0, payload=ctx.pid)
+
+    def is_done(self):
+        return True
+
+
+class TestSyncEngineObservers:
+    """The sync engine reports through the same bus (new capability)."""
+
+    def test_trace_on_sync_run(self):
+        trace = EventTrace()
+        sim = SyncSimulation(4, 0, [SyncCounter() for _ in range(4)],
+                             trace=trace)
+        sim.run(max_rounds=5)
+        assert trace.count("send") == sim.metrics.messages_sent > 0
+        assert trace.count("schedule") > 0
+        sends = [e for e in trace.events if e.kind == "send"]
+        assert all(e.get("delay") == 1 for e in sends)
+
+    def test_bit_meter_on_sync_run(self):
+        sim = SyncSimulation(4, 0, [SyncCounter() for _ in range(4)],
+                             bit_meter=BitMeter(4))
+        sim.run(max_rounds=5)
+        assert sim.metrics.bits_sent > 0
+
+    def test_recording_observer_on_ck_gossip(self):
+        n = 8
+        observer = RecordingObserver()
+        sim = SyncSimulation(
+            n, 0, [CkStyleGossip(pid=p, n=n, f=0) for p in range(n)],
+            observers=(observer,),
+        )
+        result = sim.run()
+        assert result.completed
+        kinds = [event[0] for event in observer.seen]
+        assert kinds.count("complete") == 1
+        assert kinds.count("step_begin") == result.rounds
+
+    def test_zero_observer_sync_lists_empty(self):
+        sim = SyncSimulation(3, 0, [SyncCounter() for _ in range(3)])
+        for kind in EVENT_METHODS:
+            assert getattr(sim, f"_obs_{kind}") == []
+
+
+class TestStepProfiler:
+    def test_profiler_buckets_fill(self):
+        profiler = StepProfiler()
+        make_sim(observers=(profiler,)).run()
+        assert profiler.steps > 0
+        assert profiler.seconds
+        assert "compute+send" in profiler.counts
+        assert "total" in profiler.report()
+
+    def test_merge_accumulates(self):
+        a, b = StepProfiler(), StepProfiler()
+        make_sim(observers=(a,)).run()
+        make_sim(seed=1, observers=(b,)).run()
+        steps = a.steps + b.steps
+        a.merge(b)
+        assert a.steps == steps
+
+    def test_profiler_works_on_sync_engine(self):
+        profiler = StepProfiler()
+        sim = SyncSimulation(4, 0, [SyncCounter() for _ in range(4)],
+                             observers=(profiler,))
+        sim.run(max_rounds=5)
+        assert profiler.steps > 0
+
+
+class TestForkCarriesObservers:
+    def test_forked_trace_diverges_independently(self):
+        trace = EventTrace()
+        sim = make_sim(trace=trace)
+        sim.run_for(3)
+        fork = sim.fork()
+        assert fork.trace is not None
+        assert fork.trace is not trace
+        before = len(trace.events)
+        fork.run_for(2)
+        assert len(trace.events) == before
+        assert len(fork.trace.events) > before
+
+    def test_forked_recording_observer_rebinds(self):
+        observer = RecordingObserver()
+        sim = make_sim(observers=(observer,))
+        sim.run_for(2)
+        fork = sim.fork()
+        assert len(fork.observers) == 1
+        assert fork.observers[0] is not observer
+        assert fork.observers[0].attached_to is fork
+
+
+def test_unknown_algorithm_count_still_validates():
+    with pytest.raises(Exception):
+        Simulation(
+            n=4, f=0,
+            algorithms=make_processes(3, 0, Ears),
+            adversary=ObliviousAdversary.uniform(1, 1),
+        )

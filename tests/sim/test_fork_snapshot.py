@@ -1,0 +1,148 @@
+"""Fork/snapshot determinism: clones must be bit-equivalent continuations.
+
+The O(state) snapshot protocol replaced ``copy.deepcopy``; these tests pin
+its contract: a simulation forked mid-flight and its original, run to
+completion, produce identical RunResults — for every gossip algorithm and
+for adaptive adversaries (which hold references back into the simulation).
+"""
+
+import pytest
+
+from repro.adversary.adaptive import (
+    CrashEagerSendersAdversary,
+    ScriptedAdversary,
+    TargetedDelayAdversary,
+)
+from repro.adversary.crash_plans import crash_at
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.api import GOSSIP_ALGORITHMS
+from repro.core.base import make_processes
+from repro.sim.engine import Simulation
+from repro.sim.monitor import GossipCompletionMonitor
+
+
+def make_sim(algorithm="ears", n=16, f=4, seed=0, adversary=None):
+    cls = GOSSIP_ALGORITHMS[algorithm]
+    if adversary is None:
+        adversary = ObliviousAdversary.uniform(
+            2, 2, seed=seed, crashes=crash_at({3: [n - 1]})
+        )
+    return Simulation(
+        n=n, f=f,
+        algorithms=make_processes(n, f, cls),
+        adversary=adversary,
+        monitor=GossipCompletionMonitor(majority=algorithm == "tears"),
+        seed=seed,
+    )
+
+
+def finish(sim):
+    result = sim.run(max_steps=20_000)
+    return (
+        result.completed, result.reason, result.completion_time,
+        result.steps, result.messages, result.metrics,
+    )
+
+
+class TestForkEquivalence:
+    @pytest.mark.parametrize("algorithm", sorted(GOSSIP_ALGORITHMS))
+    def test_fork_midflight_matches_original(self, algorithm):
+        sim = make_sim(algorithm)
+        sim.run_for(5)
+        fork = sim.fork()
+        assert finish(fork) == finish(sim)
+
+    def test_fork_at_time_zero_matches(self):
+        sim = make_sim("ears")
+        fork = sim.fork()
+        assert finish(fork) == finish(sim)
+
+    def test_fork_shares_nothing_mutable(self):
+        sim = make_sim("ears")
+        sim.run_for(5)
+        fork = sim.fork()
+        fork.run_for(5)
+        assert sim.now == 5 and fork.now == 10
+        assert sim.metrics.messages_sent < fork.metrics.messages_sent
+
+    @pytest.mark.parametrize("kind", ["targeted-delay", "crash-eager"])
+    def test_fork_with_adaptive_adversary(self, kind):
+        if kind == "targeted-delay":
+            adversary = TargetedDelayAdversary(victims={0, 1}, d=3)
+        else:
+            adversary = CrashEagerSendersAdversary(budget=2)
+        sim = make_sim("ears", adversary=adversary)
+        sim.run_for(4)
+        fork = sim.fork()
+        assert fork.adversary is not sim.adversary
+        assert fork.adversary.sim is fork
+        assert finish(fork) == finish(sim)
+
+    def test_fork_with_scripted_adversary_is_independent(self):
+        adversary = ScriptedAdversary()
+        adversary.scheduled = {0, 1, 2, 3}
+        sim = make_sim("trivial", adversary=adversary)
+        sim.run_for(3)
+        fork = sim.fork()
+        fork.adversary.scheduled = {0}
+        fork.run_for(2)
+        # Mutating the fork's script must not leak into the original.
+        assert sim.adversary.scheduled == {0, 1, 2, 3}
+        sim.run_for(2)
+        assert sim.metrics.messages_sent != 0
+
+
+class TestSnapshotRestore:
+    def test_restore_rewinds_to_snapshot(self):
+        sim = make_sim("ears")
+        sim.run_for(5)
+        snap = sim.snapshot()
+        reference = finish(sim)
+        sim.restore(snap)
+        assert sim.now == snap.now == 5
+        assert finish(sim) == reference
+
+    def test_snapshot_survives_multiple_restores(self):
+        sim = make_sim("sears")
+        sim.run_for(4)
+        snap = sim.snapshot()
+        first = finish(sim)
+        second = finish(sim.restore(snap))
+        third = finish(sim.restore(snap))
+        assert first == second == third
+
+    def test_restore_rejects_mismatched_n(self):
+        small = make_sim("ears", n=8, f=2)
+        big = make_sim("ears", n=16, f=4)
+        with pytest.raises(Exception):
+            big.restore(small.snapshot())
+
+    def test_snapshot_is_inert(self):
+        sim = make_sim("ears")
+        sim.run_for(5)
+        snap = sim.snapshot()
+        sim.run_for(5)
+        assert snap.now == 5
+
+
+class TestLowerBoundForkPath:
+    """The Theorem 1 Phase B usage pattern: fork, reseed, diverge."""
+
+    def test_reseeded_forks_diverge_original_untouched(self):
+        from repro.sim.rng import derive_rng
+
+        adversary = ScriptedAdversary()
+        adversary.scheduled = set(range(12))
+        sim = make_sim("ears", adversary=adversary)
+        sim.run_for(4)
+        messages_before = sim.metrics.messages_sent
+        totals = set()
+        for i in range(3):
+            fork = sim.fork()
+            fork.adversary.scheduled = {15}
+            fork.adversary.suppress_delivery_until = 2 ** 40
+            fork.processes[15].ctx.rng = derive_rng(0, "resample", 15, i)
+            fork.run_for(8)
+            totals.add(fork.metrics.messages_sent)
+        assert sim.metrics.messages_sent == messages_before
+        assert sim.now == 4

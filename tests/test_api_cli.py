@@ -109,3 +109,44 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Theorem 1" in out
         assert "message-blowup" in out
+
+    def test_grid_command(self, capsys):
+        assert main(["grid", "--algorithms", "trivial,ears", "--ns", "12",
+                     "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "trivial" in out and "ears" in out
+
+    def test_grid_command_cached_and_parallel(self, capsys, tmp_path):
+        argv = ["grid", "--algorithms", "trivial", "--ns", "8,12",
+                "--seeds", "1", "--out-dir", str(tmp_path),
+                "--processes", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0  # second run: every cell a cache hit
+        assert capsys.readouterr().out == first
+
+    def test_grid_command_profile(self, capsys):
+        assert main(["grid", "--algorithms", "trivial", "--ns", "8",
+                     "--seeds", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "compute+send" in out
+
+    def test_sweep_command(self, capsys):
+        assert main(["sweep", "--algorithm", "trivial", "--min-n", "8",
+                     "--max-n", "16", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "n=" in out and "completion=1.00" in out
+
+    def test_sweep_command_parallel_matches_sequential(self, capsys):
+        argv = ["sweep", "--algorithm", "ears", "--min-n", "8",
+                "--max-n", "16", "--seeds", "2"]
+        assert main(argv) == 0
+        sequential = capsys.readouterr().out
+        assert main(argv + ["--processes", "2"]) == 0
+        assert capsys.readouterr().out == sequential
+
+    def test_sweep_command_profile(self, capsys):
+        assert main(["sweep", "--algorithm", "trivial", "--min-n", "8",
+                     "--max-n", "8", "--seeds", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "phase" in out and "seconds" in out
