@@ -14,31 +14,46 @@ The package provides:
   protocols built on each gossip algorithm (Section 6);
 * :mod:`repro.analysis` — complexity bound formulas, scaling-exponent
   fits, and cost-of-asynchrony ratios;
-* :mod:`repro.experiments` — the per-table/figure reproduction drivers.
+* :mod:`repro.experiments` — the per-table/figure reproduction drivers;
+* :mod:`repro.spec` — the declarative configuration plane: frozen
+  :class:`~repro.spec.runspec.RunSpec` descriptions with canonical
+  hashes, central registries, and the spec→simulation builder;
+* :mod:`repro.store` — the provenance-stamped JSONL artifact store
+  (a stored spec hash is a cache hit).
 
 Quickstart::
 
     from repro import run_gossip
     result = run_gossip("ears", n=64, f=16, d=2, delta=2, seed=1)
     print(result.completion_time, result.messages)
+
+or, declaratively::
+
+    from repro import RunSpec, execute
+    result = execute(RunSpec(algorithm="ears", n=64, f=16,
+                             d=2, delta=2, seed=1))
 """
 
 from .api import GossipRun, run_consensus, run_gossip
 from .core import Ears, Sears, Tears, TrivialGossip, UniformEpidemicGossip
 from .sim import RunResult, Simulation
+from .spec import RunSpec, build, execute
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Ears",
     "GossipRun",
     "RunResult",
+    "RunSpec",
     "Sears",
     "Simulation",
     "Tears",
     "TrivialGossip",
     "UniformEpidemicGossip",
     "__version__",
+    "build",
+    "execute",
     "run_consensus",
     "run_gossip",
 ]

@@ -1,107 +1,34 @@
 """High-level one-call API for running gossip and consensus executions.
 
 This is the entry point a downstream user (and the examples/) should reach
-for; everything here composes the lower-level building blocks — algorithms,
-adversaries, monitors, the engine — with sensible defaults.
+for.  Since the declarative configuration plane landed, both calls are
+thin shims: they pack their arguments into a
+:class:`~repro.spec.runspec.RunSpec` and hand it to
+:func:`repro.spec.builder.execute`, which owns algorithm resolution,
+crash-plan defaulting, adversary construction and the run loop.  Results
+are bit-identical to the historical implementations (pinned by
+``tests/test_seed_regression.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
-from ._util import ceil_log2
-from .adversary.crash_plans import CrashPlan, no_crashes, random_crashes
-from .adversary.oblivious import ObliviousAdversary
-from .core.adaptive_fanout import AdaptiveFanoutGossip
-from .core.base import make_processes
-from .core.ears import Ears
-from .core.properties import gathering_holds
-from .core.push_pull import PushPullGossip
-from .core.sears import Sears
-from .core.sparse import SparseGossip
-from .core.tears import Tears
-from .core.trivial import TrivialGossip
-from .core.uniform import UniformEpidemicGossip
-from .sim.engine import RunResult, Simulation
-from .sim.errors import ConfigurationError
+from .adversary.crash_plans import CrashPlan
 from .sim.events import Observer
-from .sim.monitor import GossipCompletionMonitor, PredicateMonitor
+from .spec.builder import crash_plan_config, default_step_limit, execute
+from .spec.registry import GOSSIP_ALGORITHMS, MAJORITY_ALGORITHMS
+from .spec.results import GossipRun
+from .spec.runspec import RunSpec
 
-GOSSIP_ALGORITHMS = {
-    "trivial": TrivialGossip,
-    "ears": Ears,
-    "sears": Sears,
-    "tears": Tears,
-    "uniform": UniformEpidemicGossip,
-    "adaptive-fanout": AdaptiveFanoutGossip,
-    "sparse": SparseGossip,
-    "push-pull": PushPullGossip,
-}
-
-#: Algorithms that solve the weaker *majority gossip* problem (Section 5).
-MAJORITY_ALGORITHMS = frozenset({"tears"})
-
-
-@dataclass
-class GossipRun:
-    """Outcome of a gossip execution plus the complexity measurements."""
-
-    algorithm: str
-    n: int
-    f: int
-    completed: bool
-    reason: str
-    completion_time: Optional[int]
-    gathering_time: Optional[int]
-    messages: int
-    messages_by_kind: Dict[str, int]
-    #: Estimated payload bits sent; 0 unless measure_bits=True was passed.
-    bits: int
-    realized_d: int
-    realized_delta: int
-    crashes: int
-    result: RunResult
-    sim: Simulation
-
-    @property
-    def time(self) -> Optional[int]:
-        """Alias for the paper's time complexity measure."""
-        return self.completion_time
-
-
-def _resolve_crash_plan(
-    crashes: Union[None, int, CrashPlan],
-    n: int,
-    f: int,
-    d: int,
-    delta: int,
-    seed: int,
-) -> CrashPlan:
-    if crashes is None:
-        return no_crashes()
-    if isinstance(crashes, CrashPlan):
-        if crashes.total > f:
-            raise ConfigurationError(
-                f"crash plan kills {crashes.total} > f={f} processes"
-            )
-        return crashes
-    count = int(crashes)
-    if count > f:
-        raise ConfigurationError(f"cannot crash {count} > f={f} processes")
-    horizon = max(1, 8 * (d + delta))
-    return random_crashes(n, count, horizon, seed=seed)
-
-
-def default_step_limit(n: int, f: int, d: int, delta: int) -> int:
-    """A generous ceiling: ~100× the slowest algorithm's expected completion.
-
-    EARS completes in O((n/(n−f)) log² n (d+δ)) w.h.p.; the limit leaves two
-    orders of magnitude of slack so a hit limit signals a real bug, not an
-    unlucky seed.
-    """
-    scale = n / max(1, n - f)
-    return int(max(10_000, 400 * scale * ceil_log2(n) ** 2 * (d + delta)))
+__all__ = [
+    "GOSSIP_ALGORITHMS",
+    "GossipRun",
+    "MAJORITY_ALGORITHMS",
+    "default_step_limit",
+    "run_consensus",
+    "run_gossip",
+]
 
 
 def run_gossip(
@@ -148,77 +75,31 @@ def run_gossip(
         A :class:`GossipRun` with completion status, the time and message
         complexity measures, and the realized per-execution d and δ.
     """
-    try:
-        algorithm_class = GOSSIP_ALGORITHMS[algorithm]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown algorithm {algorithm!r}; "
-            f"choose from {sorted(GOSSIP_ALGORITHMS)}"
-        ) from None
-
-    plan = _resolve_crash_plan(crashes, n, f, d, delta, seed)
-    adversary = ObliviousAdversary.uniform(d, delta, seed=seed, crashes=plan)
-
-    if majority is None:
-        majority = algorithm in MAJORITY_ALGORITHMS
-
-    monitor: Any
-    if algorithm == "uniform" and not isinstance(params, dict):
-        # The naive epidemic never quiesces; completion = gathering only.
-        monitor = PredicateMonitor(
-            lambda sim: gathering_holds(sim), name="gathering-only"
-        )
-    else:
-        monitor = GossipCompletionMonitor(majority=majority)
-
-    kwargs: Dict[str, Any] = {}
-    if params is not None and algorithm != "trivial":
-        if isinstance(params, dict):
-            kwargs.update(params)
-        else:
-            kwargs["params"] = params
-
-    processes = make_processes(n, f, algorithm_class, payloads, **kwargs)
-    bit_meter = None
-    if measure_bits:
-        from .sim.bits import BitMeter
-
-        bit_meter = BitMeter(n)
-    sim = Simulation(
-        n=n,
-        f=f,
-        algorithms=processes,
-        adversary=adversary,
-        monitor=monitor,
-        seed=seed,
-        check_interval=check_interval,
-        bit_meter=bit_meter,
-        observers=observers,
-    )
-    limit = max_steps if max_steps is not None else default_step_limit(
-        n, f, d, delta
-    )
-    result = sim.run(max_steps=limit)
-
-    gathering_time = getattr(monitor, "gathering_time", None)
-    if gathering_time is None and result.completed:
-        gathering_time = result.completion_time
-    return GossipRun(
+    # Serializable arguments go into the spec (so this call has the same
+    # provenance as a declarative run); live objects ride as overrides.
+    spec = RunSpec(
+        kind="gossip",
         algorithm=algorithm,
         n=n,
         f=f,
-        completed=result.completed,
-        reason=result.reason,
-        completion_time=result.completion_time,
-        gathering_time=gathering_time,
-        messages=result.messages,
-        messages_by_kind=dict(result.metrics["messages_by_kind"]),
-        bits=result.metrics["bits_sent"],
-        realized_d=result.metrics["realized_d"],
-        realized_delta=result.metrics["realized_delta"],
-        crashes=result.metrics["crashes"],
-        result=result,
-        sim=sim,
+        d=d,
+        delta=delta,
+        seed=seed,
+        params=params if isinstance(params, dict) else None,
+        crashes=(
+            crash_plan_config(crashes) if isinstance(crashes, CrashPlan)
+            else crashes
+        ),
+        majority=majority,
+        measure_bits=measure_bits,
+        check_interval=check_interval,
+        max_steps=max_steps,
+    )
+    return execute(
+        spec,
+        observers=observers,
+        payloads=payloads,
+        params=None if isinstance(params, dict) else params,
     )
 
 

@@ -13,6 +13,8 @@ figure of the paper can be regenerated from a shell:
     repro-gossip scenarios
     repro-gossip grid --algorithms ears,tears --ns 32,64 --processes 4
     repro-gossip sweep --algorithm ears --max-n 128 --profile
+    repro-gossip list
+    repro-gossip run --spec examples/spec_ears.json --store runs.jsonl
 """
 
 from __future__ import annotations
@@ -173,6 +175,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print per-phase wall time from the observer bus "
                         "(forces sequential execution)")
 
+    p = sub.add_parser(
+        "run",
+        help="execute one declarative RunSpec from a JSON file",
+    )
+    p.add_argument("--spec", required=True,
+                   help="path to a RunSpec JSON file")
+    p.add_argument("--store", default=None,
+                   help="JSONL artifact store; a stored spec hash is a "
+                        "cache hit and runs no simulation")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the full provenance record as JSON")
+
+    sub.add_parser(
+        "list",
+        help="list every registered algorithm, transport, adversary, "
+             "crash plan and scenario",
+    )
+
     p = sub.add_parser("report",
                        help="run every experiment; emit a markdown report")
     p.add_argument("--output", default=None,
@@ -332,6 +352,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, scenario in sorted(SCENARIOS.items()):
             print(f"{name:16s} d={scenario.d} delta={scenario.delta}  "
                   f"{scenario.description}")
+        return 0
+
+    if args.command == "run":
+        import json as _json
+
+        from .spec import RunSpec, execute
+        from .store import RunStore, execute_cached, make_record, metrics_of
+
+        spec = RunSpec.load(args.spec)
+        if args.store:
+            record, hit = execute_cached(spec, RunStore(args.store))
+        else:
+            record, hit = make_record(spec, metrics_of(execute(spec))), False
+        metrics = record["metrics"]
+        if args.as_json:
+            print(_json.dumps(record, indent=2, sort_keys=True))
+        else:
+            print(f"spec {spec.spec_hash} ({spec.kind}/{spec.algorithm} "
+                  f"n={spec.n} seed={spec.seed})"
+                  + (" [cache hit]" if hit else ""))
+            for key in sorted(metrics):
+                print(f"  {key} = {metrics[key]}")
+        return 0 if metrics.get("completed") else 1
+
+    if args.command == "list":
+        from .spec.registry import (
+            ADVERSARIES,
+            CRASH_PLANS,
+            SCENARIOS as SPEC_SCENARIOS,
+            TRANSPORTS,
+            ensure_scenarios,
+        )
+
+        ensure_scenarios()
+        sections = [
+            ("gossip algorithms", sorted(GOSSIP_ALGORITHMS)),
+            ("consensus transports", sorted(TRANSPORTS) + ["ben-or"]),
+            ("adversaries", sorted(ADVERSARIES)),
+            ("crash plans", sorted(CRASH_PLANS)),
+            ("scenarios", sorted(SPEC_SCENARIOS)),
+        ]
+        for title, names in sections:
+            print(f"{title}:")
+            for name in names:
+                print(f"  {name}")
         return 0
 
     if args.command == "report":

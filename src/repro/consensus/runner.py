@@ -1,47 +1,39 @@
-"""One-call drivers for consensus executions (the Table 2 harness)."""
+"""One-call drivers for consensus executions (the Table 2 harness).
+
+``run_consensus`` is a thin shim over the declarative configuration
+plane: it packs its arguments into a
+:class:`~repro.spec.runspec.RunSpec` and defers to
+:func:`repro.spec.builder.execute`, which owns transport resolution,
+crash-plan defaulting and the run loop.  The transport table itself lives
+in the central registry (:data:`repro.spec.registry.TRANSPORTS`) and is
+re-exported here for compatibility.
+"""
 
 from __future__ import annotations
 
 from functools import partial
 from typing import Any, Optional, Sequence, Union
 
-from ..adversary.crash_plans import CrashPlan, no_crashes, random_crashes
-from ..adversary.oblivious import ObliviousAdversary
-from ..core.ears import Ears
-from ..core.sears import Sears
-from ..core.tears import Tears
-from ..core.trivial import TrivialGossip
-from ..sim.engine import Simulation
-from ..sim.errors import ConfigurationError
-from ..sim.monitor import PredicateMonitor
-from .ben_or import BenOrConsensus
-from .canetti_rabin import CanettiRabinConsensus
-from .properties import (
-    agreement_holds,
-    collect_decisions,
-    termination_holds,
-    validity_holds,
-)
+from ..adversary.crash_plans import CrashPlan
+from ..spec.registry import TRANSPORTS
 from .values import ConsensusRun
 
-#: get-core transports, keyed by the Table 2 row they reproduce.
-TRANSPORTS = {
-    "all-to-all": TrivialGossip,  # the original Canetti–Rabin O(n²) row
-    "ears": Ears,
-    "sears": Sears,
-    "tears": Tears,
-}
+__all__ = [
+    "TRANSPORTS",
+    "default_values",
+    "make_transport",
+    "run_consensus",
+]
 
 
 def make_transport(name: str, params: Any = None):
-    """Resolve a transport name to a gossip factory, with optional params."""
-    try:
-        transport = TRANSPORTS[name]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown transport {name!r}; choose from "
-            f"{sorted(TRANSPORTS)} or 'ben-or'"
-        ) from None
+    """Resolve a transport name to a gossip factory, with optional params.
+
+    Unknown names raise through the registry's did-you-mean lookup.
+    (``'ben-or'`` is *not* suggested: it is a standalone consensus
+    protocol selected by algorithm name, not a get-core transport.)
+    """
+    transport = TRANSPORTS[name]
     if params is not None:
         return partial(transport, params=params)
     return transport
@@ -76,84 +68,30 @@ def run_consensus(
     a :class:`~repro.adversary.gst.GstAdversary` for eventually-synchronous
     executions); ``crashes`` is ignored when an adversary is supplied.
     """
-    if f is None:
-        f = (n - 1) // 2
-    if not 0 <= f < n / 2:
-        raise ConfigurationError(
-            f"consensus requires 0 <= f < n/2, got f={f}, n={n}"
-        )
-    if values is None:
-        values = default_values(n)
-    if len(values) != n:
-        raise ConfigurationError(
-            f"expected {n} initial values, got {len(values)}"
-        )
+    from ..spec.builder import crash_plan_config, execute
+    from ..spec.runspec import RunSpec
 
-    if adversary is None:
-        if crashes is None:
-            plan = no_crashes()
-        elif isinstance(crashes, CrashPlan):
-            plan = crashes
-        else:
-            plan = random_crashes(n, int(crashes), max(1, 8 * (d + delta)),
-                                  seed=seed)
-        if plan.total > f:
-            raise ConfigurationError(
-                f"crash plan kills {plan.total} > f={f} processes"
-            )
-
-    if gossip == "ben-or":
-        algorithms = [
-            BenOrConsensus(pid, n, f, values[pid]) for pid in range(n)
-        ]
-    else:
-        factory = make_transport(gossip, params)
-        algorithms = [
-            CanettiRabinConsensus(
-                pid, n, f, values[pid], factory,
-                probe_interval=probe_interval,
-            )
-            for pid in range(n)
-        ]
-
-    if adversary is None:
-        adversary = ObliviousAdversary.uniform(d, delta, seed=seed,
-                                               crashes=plan)
-    monitor = PredicateMonitor(
-        lambda sim: all(
-            sim.algorithm(pid).decided is not None for pid in sim.alive_pids
-        ),
-        name="all-decided",
-    )
-    sim = Simulation(
-        n=n, f=f, algorithms=algorithms, adversary=adversary,
-        monitor=monitor, seed=seed,
-    )
-    limit = max_steps if max_steps is not None else max(
-        20_000, 600 * (d + delta) * n
-    )
-    result = sim.run(max_steps=limit)
-
-    decisions = collect_decisions(sim)
-    rounds = max(
-        (sim.algorithm(pid).decided_round or 0 for pid in decisions),
-        default=0,
-    )
-    return ConsensusRun(
-        gossip=gossip,
+    spec = RunSpec(
+        kind="consensus",
+        algorithm=gossip,
         n=n,
         f=f,
-        completed=result.completed and termination_holds(sim, decisions),
-        reason=result.reason,
-        decision_time=result.completion_time,
-        messages=result.messages,
-        messages_by_kind=dict(result.metrics["messages_by_kind"]),
-        decisions=decisions,
-        rounds_used=rounds,
-        agreement=agreement_holds(decisions),
-        validity=validity_holds(decisions, values),
-        realized_d=result.metrics["realized_d"],
-        realized_delta=result.metrics["realized_delta"],
-        crashes=result.metrics["crashes"],
-        sim=sim,
+        d=d,
+        delta=delta,
+        seed=seed,
+        params=params if isinstance(params, dict) else None,
+        crashes=(
+            crash_plan_config(crashes) if isinstance(crashes, CrashPlan)
+            else crashes
+        ),
+        values=tuple(values) if values is not None else None,
+        # The builder's default is 6; leave the field unset at that value
+        # so this call hashes identically to the minimal declarative spec.
+        probe_interval=probe_interval if probe_interval != 6 else None,
+        max_steps=max_steps,
+    )
+    return execute(
+        spec,
+        params=None if isinstance(params, dict) else params,
+        adversary=adversary,
     )

@@ -62,10 +62,16 @@ def get_recorder(name: str) -> Recorder:
 # -- built-in recorders ---------------------------------------------------- #
 
 def gossip_recorder(**params: Any) -> Dict[str, Any]:
-    """One gossip cell: returns the complexity measures as a flat record."""
-    from ..api import run_gossip
+    """One gossip cell: returns the complexity measures as a flat record.
 
-    run = run_gossip(**params)
+    Cell params are :class:`~repro.spec.runspec.RunSpec` fields; the
+    record is stamped with the cell's canonical spec hash.
+    """
+    from ..spec.builder import execute
+    from ..spec.runspec import RunSpec
+
+    spec = RunSpec(kind="gossip", **params)
+    run = execute(spec)
     return {
         "completed": run.completed,
         "reason": run.reason,
@@ -76,14 +82,21 @@ def gossip_recorder(**params: Any) -> Dict[str, Any]:
         "realized_d": run.realized_d,
         "realized_delta": run.realized_delta,
         "crashes": run.crashes,
+        "spec_hash": spec.spec_hash,
     }
 
 
 def consensus_recorder(**params: Any) -> Dict[str, Any]:
-    """One consensus cell."""
-    from ..consensus import run_consensus
+    """One consensus cell (``gossip`` is accepted as a legacy alias for
+    the spec's ``algorithm`` field)."""
+    from ..spec.builder import execute
+    from ..spec.runspec import RunSpec
 
-    run = run_consensus(**params)
+    params = dict(params)
+    if "gossip" in params:
+        params["algorithm"] = params.pop("gossip")
+    spec = RunSpec(kind="consensus", **params)
+    run = execute(spec)
     return {
         "completed": run.completed,
         "reason": run.reason,
@@ -93,6 +106,7 @@ def consensus_recorder(**params: Any) -> Dict[str, Any]:
         "agreement": run.agreement,
         "validity": run.validity,
         "crashes": run.crashes,
+        "spec_hash": spec.spec_hash,
     }
 
 

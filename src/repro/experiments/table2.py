@@ -15,8 +15,9 @@ from typing import Iterable, List, Optional, Sequence
 from ..analysis import bounds
 from ..analysis.stats import Summary, summarize
 from ..analysis.tables import render_table
-from ..consensus import run_consensus
 from ..core.params import DEFAULT_SEARS
+from ..spec.runspec import RunSpec
+from ..store import RunStore, execute_batch
 
 
 @dataclass
@@ -67,26 +68,39 @@ def run_table2(
     crash: bool = True,
     include_ben_or: bool = False,
     max_steps: Optional[int] = None,
+    store: Optional[RunStore] = None,
+    processes: int = 1,
 ) -> List[Table2Row]:
-    """Measure every Table 2 row at one (n, f, d, δ) configuration."""
+    """Measure every Table 2 row at one (n, f, d, δ) configuration.
+
+    Rows are submitted as :class:`RunSpec` batches; passing ``store``
+    makes every cell resumable — a spec hash already in the store is a
+    cache hit and runs no simulation.
+    """
     if f is None:
         f = (n - 1) // 2
     seeds = list(seeds)
     rows: List[Table2Row] = []
     names = list(transports) + (["ben-or"] if include_ben_or else [])
     for transport in names:
-        times, msgs, rounds, completions, agreements = [], [], [], [], []
-        for seed in seeds:
-            run = run_consensus(
-                transport, n=n, f=f, d=d, delta=delta, seed=seed,
-                crashes=f if crash else None, max_steps=max_steps,
+        specs = [
+            RunSpec(
+                kind="consensus", algorithm=transport, n=n, f=f, d=d,
+                delta=delta, seed=seed, crashes=f if crash else None,
+                max_steps=max_steps,
             )
-            completions.append(run.completed)
-            agreements.append(run.agreement and run.validity)
-            if run.completed:
-                times.append(float(run.decision_time))
-                msgs.append(float(run.messages))
-                rounds.append(float(run.rounds_used))
+            for seed in seeds
+        ]
+        records = execute_batch(specs, store=store, processes=processes)
+        times, msgs, rounds, completions, agreements = [], [], [], [], []
+        for record in records:
+            metrics = record["metrics"]
+            completions.append(metrics["completed"])
+            agreements.append(metrics["agreement"] and metrics["validity"])
+            if metrics["completed"]:
+                times.append(float(metrics["time"]))
+                msgs.append(float(metrics["messages"]))
+                rounds.append(float(metrics["rounds"]))
         bound_t, bound_m = _bounds_for(transport, n, d, delta)
         label = ("CR-" + transport if transport in TRANSPORT_ROWS
                  and transport != "all-to-all" else

@@ -1,0 +1,420 @@
+"""``build(spec) -> Simulation`` / ``execute(spec) -> run`` — the one
+place a declarative :class:`~repro.spec.runspec.RunSpec` becomes a live
+execution.
+
+Every entry point — ``repro.api.run_gossip``, ``repro.consensus.runner.
+run_consensus``, the grid recorders, the sweep drivers, the CLI — is a
+shim over this module.  The builder is written to be *seed-for-seed
+bit-identical* to the historical entry points it absorbed: it constructs
+the same crash plan, adversary, monitor, processes and simulation, with
+the same arguments in the same order, so `tests/test_seed_regression.py`
+pins the equivalence.
+
+Runtime-only objects that cannot live in a serializable spec — observer
+instances, rumor payloads, algorithm parameter *objects* (as opposed to
+mappings), a hand-built adversary — are accepted as keyword overrides to
+:func:`build` / :func:`execute` and take precedence over the spec's
+corresponding fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Union
+
+from .._util import ceil_log2
+from ..adversary.crash_plans import CrashPlan, no_crashes, random_crashes
+from ..core.base import make_processes
+from ..core.properties import gathering_holds
+from ..sim.engine import Simulation
+from ..sim.errors import ConfigurationError
+from ..sim.events import Observer
+from ..sim.monitor import GossipCompletionMonitor, PredicateMonitor
+from .registry import (
+    ADVERSARIES,
+    BEN_OR,
+    CRASH_PLANS,
+    GOSSIP_ALGORITHMS,
+    MAJORITY_ALGORITHMS,
+    ensure_scenarios,
+)
+from .results import GossipRun
+from .runspec import RunSpec
+
+__all__ = [
+    "BuiltRun",
+    "build",
+    "crash_plan_config",
+    "default_step_limit",
+    "execute",
+    "resolve_crash_plan",
+]
+
+
+def default_step_limit(n: int, f: int, d: int, delta: int) -> int:
+    """A generous ceiling: ~100× the slowest algorithm's expected completion.
+
+    EARS completes in O((n/(n−f)) log² n (d+δ)) w.h.p.; the limit leaves two
+    orders of magnitude of slack so a hit limit signals a real bug, not an
+    unlucky seed.
+    """
+    scale = n / max(1, n - f)
+    return int(max(10_000, 400 * scale * ceil_log2(n) ** 2 * (d + delta)))
+
+
+# -- crash-plan resolution ------------------------------------------------- #
+
+def resolve_crash_plan(
+    crashes: Union[None, int, CrashPlan, Mapping[str, Any]],
+    n: int,
+    f: int,
+    d: int,
+    delta: int,
+    seed: int,
+) -> CrashPlan:
+    """Resolve every crash-workload form to a concrete :class:`CrashPlan`.
+
+    This is the single home of the defaulting logic that used to be
+    copy-pasted between ``api.run_gossip`` and ``consensus.runner``:
+    ``None`` means failure-free, an int means that many random early
+    victims (horizon ``8·(d+δ)``), a :class:`CrashPlan` passes through,
+    and a mapping is either an explicit ``{"events": ...}`` table or a
+    registered factory ``{"name": ..., **knobs}``.  Whatever the form,
+    the resolved plan must respect the failure bound ``f``.
+    """
+    if crashes is None:
+        plan = no_crashes()
+    elif isinstance(crashes, CrashPlan):
+        plan = crashes
+    elif isinstance(crashes, Mapping):
+        plan = _plan_from_config(crashes, n, f, d, delta, seed)
+    else:
+        plan = random_crashes(
+            n, int(crashes), max(1, 8 * (d + delta)), seed=seed
+        )
+    if plan.total > f:
+        raise ConfigurationError(
+            f"crash plan kills {plan.total} > f={f} processes"
+        )
+    return plan
+
+
+def _plan_from_config(
+    config: Mapping[str, Any], n: int, f: int, d: int, delta: int, seed: int
+) -> CrashPlan:
+    knobs = dict(config)
+    if "events" in knobs:
+        events = knobs.pop("events")
+        if knobs:
+            raise ConfigurationError(
+                f"explicit crash events take no extra knobs, got "
+                f"{sorted(knobs)}"
+            )
+        return CrashPlan({int(t): set(pids) for t, pids in events.items()})
+    name = knobs.pop("name", None)
+    if name is None:
+        raise ConfigurationError(
+            "a crash config needs either 'events' or a registered 'name'"
+        )
+    factory = CRASH_PLANS[name]
+    try:
+        return factory(n, f, d, delta, seed, **knobs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad knobs for crash plan {name!r}: {exc}"
+        ) from None
+
+
+def crash_plan_config(plan: CrashPlan) -> Dict[str, Any]:
+    """The serializable spec form of an explicit plan (full fidelity)."""
+    return {
+        "events": {str(t): sorted(pids) for t, pids in plan.events()}
+    }
+
+
+# -- scenario / adversary resolution --------------------------------------- #
+
+def _apply_scenario(spec: RunSpec, f: int):
+    """Realized (d, delta, crashes) after the named scenario, if any."""
+    if spec.scenario is None:
+        return spec.d, spec.delta, spec.crashes
+    scenario = ensure_scenarios()[spec.scenario]
+    crashes = spec.crashes
+    if crashes is None:
+        crashes = scenario.crashes(spec.n, f, seed=spec.seed)
+    return scenario.d, scenario.delta, crashes
+
+
+def _make_adversary(
+    config: Optional[Mapping[str, Any]],
+    d: int,
+    delta: int,
+    seed: int,
+    plan: CrashPlan,
+):
+    if config is None:
+        config = {"name": "uniform"}
+    knobs = dict(config)
+    name = knobs.pop("name", None)
+    if name is None:
+        raise ConfigurationError("an adversary config needs a 'name'")
+    factory = ADVERSARIES[name]
+    try:
+        return factory(d, delta, seed, plan, **knobs)
+    except TypeError as exc:
+        raise ConfigurationError(
+            f"bad knobs for adversary {name!r}: {exc}"
+        ) from None
+
+
+# -- build ------------------------------------------------------------------#
+
+@dataclass
+class BuiltRun:
+    """A spec realized into a ready-to-run simulation."""
+
+    spec: RunSpec
+    sim: Simulation
+    max_steps: int
+    monitor: Any
+    #: Kind-specific resolved inputs needed to post-process the result
+    #: (effective f, consensus initial values, ...).
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self):
+        """Run to completion and return the kind-appropriate result."""
+        if self.spec.kind == "gossip":
+            return _finish_gossip(self)
+        return _finish_consensus(self)
+
+
+def build(
+    spec: RunSpec,
+    *,
+    observers: Sequence[Observer] = (),
+    payloads: Optional[Sequence[Any]] = None,
+    params: Any = None,
+    values: Optional[Sequence[Any]] = None,
+    adversary: Any = None,
+) -> BuiltRun:
+    """Realize ``spec`` into a :class:`BuiltRun` without running it."""
+    if spec.kind == "gossip":
+        if values is not None:
+            raise ConfigurationError(
+                "initial values are a consensus-only input"
+            )
+        return _build_gossip(spec, observers, payloads, params, adversary)
+    if payloads is not None:
+        raise ConfigurationError("payloads are a gossip-only input")
+    return _build_consensus(spec, observers, params, values, adversary)
+
+
+def execute(
+    spec: RunSpec,
+    *,
+    observers: Sequence[Observer] = (),
+    payloads: Optional[Sequence[Any]] = None,
+    params: Any = None,
+    values: Optional[Sequence[Any]] = None,
+    adversary: Any = None,
+):
+    """Build and run ``spec``; returns a :class:`GossipRun` or
+    :class:`~repro.consensus.values.ConsensusRun` by kind."""
+    return build(
+        spec, observers=observers, payloads=payloads, params=params,
+        values=values, adversary=adversary,
+    ).run()
+
+
+# -- gossip ---------------------------------------------------------------- #
+
+def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
+    algorithm_class = GOSSIP_ALGORITHMS[spec.algorithm]
+    n, seed = spec.n, spec.seed
+    f = spec.resolved_f
+    d, delta, crashes = _apply_scenario(spec, f)
+    if params is None:
+        params = spec.params
+
+    if adversary is None:
+        plan = resolve_crash_plan(crashes, n, f, d, delta, seed)
+        adversary = _make_adversary(spec.adversary, d, delta, seed, plan)
+
+    majority = spec.majority
+    if majority is None:
+        majority = spec.algorithm in MAJORITY_ALGORITHMS
+
+    monitor: Any
+    if spec.algorithm == "uniform" and not isinstance(params, dict):
+        # The naive epidemic never quiesces; completion = gathering only.
+        monitor = PredicateMonitor(
+            lambda sim: gathering_holds(sim), name="gathering-only"
+        )
+    else:
+        monitor = GossipCompletionMonitor(majority=majority)
+
+    kwargs: Dict[str, Any] = {}
+    if params is not None and spec.algorithm != "trivial":
+        if isinstance(params, dict):
+            kwargs.update(params)
+        else:
+            kwargs["params"] = params
+
+    processes = make_processes(n, f, algorithm_class, payloads, **kwargs)
+    bit_meter = None
+    if spec.measure_bits:
+        from ..sim.bits import BitMeter
+
+        bit_meter = BitMeter(n)
+    sim = Simulation(
+        n=n,
+        f=f,
+        algorithms=processes,
+        adversary=adversary,
+        monitor=monitor,
+        seed=seed,
+        check_interval=spec.check_interval,
+        bit_meter=bit_meter,
+        observers=observers,
+    )
+    limit = (
+        spec.max_steps if spec.max_steps is not None
+        else default_step_limit(n, f, d, delta)
+    )
+    return BuiltRun(
+        spec=spec, sim=sim, max_steps=limit, monitor=monitor,
+        extras={"f": f},
+    )
+
+
+def _finish_gossip(built: BuiltRun) -> GossipRun:
+    spec, sim = built.spec, built.sim
+    result = sim.run(max_steps=built.max_steps)
+    gathering_time = getattr(built.monitor, "gathering_time", None)
+    if gathering_time is None and result.completed:
+        gathering_time = result.completion_time
+    return GossipRun(
+        algorithm=spec.algorithm,
+        n=spec.n,
+        f=built.extras["f"],
+        completed=result.completed,
+        reason=result.reason,
+        completion_time=result.completion_time,
+        gathering_time=gathering_time,
+        messages=result.messages,
+        messages_by_kind=dict(result.metrics["messages_by_kind"]),
+        bits=result.metrics["bits_sent"],
+        realized_d=result.metrics["realized_d"],
+        realized_delta=result.metrics["realized_delta"],
+        crashes=result.metrics["crashes"],
+        result=result,
+        sim=sim,
+    )
+
+
+# -- consensus ------------------------------------------------------------- #
+
+def _build_consensus(spec, observers, params, values, adversary) -> BuiltRun:
+    # Lazy: repro.consensus imports this module's registry sibling, so a
+    # top-level import here would be circular.
+    from ..consensus.ben_or import BenOrConsensus
+    from ..consensus.canetti_rabin import CanettiRabinConsensus
+    from ..consensus.runner import default_values, make_transport
+
+    n, seed = spec.n, spec.seed
+    f = spec.resolved_f
+    if not 0 <= f < n / 2:
+        raise ConfigurationError(
+            f"consensus requires 0 <= f < n/2, got f={f}, n={n}"
+        )
+    if values is None:
+        values = (
+            list(spec.values) if spec.values is not None
+            else default_values(n)
+        )
+    if len(values) != n:
+        raise ConfigurationError(
+            f"expected {n} initial values, got {len(values)}"
+        )
+    d, delta, crashes = _apply_scenario(spec, f)
+    if params is None:
+        params = spec.params
+
+    plan = None
+    if adversary is None:
+        plan = resolve_crash_plan(crashes, n, f, d, delta, seed)
+
+    probe_interval = (
+        spec.probe_interval if spec.probe_interval is not None else 6
+    )
+    if spec.algorithm == BEN_OR:
+        algorithms = [
+            BenOrConsensus(pid, n, f, values[pid]) for pid in range(n)
+        ]
+    else:
+        factory = make_transport(spec.algorithm, params)
+        algorithms = [
+            CanettiRabinConsensus(
+                pid, n, f, values[pid], factory,
+                probe_interval=probe_interval,
+            )
+            for pid in range(n)
+        ]
+
+    if adversary is None:
+        adversary = _make_adversary(spec.adversary, d, delta, seed, plan)
+    monitor = PredicateMonitor(
+        lambda sim: all(
+            sim.algorithm(pid).decided is not None for pid in sim.alive_pids
+        ),
+        name="all-decided",
+    )
+    sim = Simulation(
+        n=n, f=f, algorithms=algorithms, adversary=adversary,
+        monitor=monitor, seed=seed, check_interval=spec.check_interval,
+        observers=observers,
+    )
+    limit = (
+        spec.max_steps if spec.max_steps is not None
+        else max(20_000, 600 * (d + delta) * n)
+    )
+    return BuiltRun(
+        spec=spec, sim=sim, max_steps=limit, monitor=monitor,
+        extras={"f": f, "values": list(values)},
+    )
+
+
+def _finish_consensus(built: BuiltRun):
+    from ..consensus.properties import (
+        agreement_holds,
+        collect_decisions,
+        termination_holds,
+        validity_holds,
+    )
+    from ..consensus.values import ConsensusRun
+
+    spec, sim = built.spec, built.sim
+    result = sim.run(max_steps=built.max_steps)
+    decisions = collect_decisions(sim)
+    rounds = max(
+        (sim.algorithm(pid).decided_round or 0 for pid in decisions),
+        default=0,
+    )
+    return ConsensusRun(
+        gossip=spec.algorithm,
+        n=spec.n,
+        f=built.extras["f"],
+        completed=result.completed and termination_holds(sim, decisions),
+        reason=result.reason,
+        decision_time=result.completion_time,
+        messages=result.messages,
+        messages_by_kind=dict(result.metrics["messages_by_kind"]),
+        decisions=decisions,
+        rounds_used=rounds,
+        agreement=agreement_holds(decisions),
+        validity=validity_holds(decisions, built.extras["values"]),
+        realized_d=result.metrics["realized_d"],
+        realized_delta=result.metrics["realized_delta"],
+        crashes=result.metrics["crashes"],
+        sim=sim,
+    )

@@ -1,0 +1,184 @@
+"""The declarative :class:`RunSpec`: one frozen description of one run.
+
+The paper's evaluation is a matrix of executions — algorithm × adversary ×
+scenario × (n, f, d, δ) × seed.  A :class:`RunSpec` is one cell of that
+matrix as plain data: every field is JSON-native (or ``None``), so a spec
+can be written to disk, shipped to a worker process, diffed, and — most
+importantly — hashed.  :attr:`RunSpec.spec_hash` is a stable canonical
+digest used by :mod:`repro.store` to dedupe and resume sweeps: two specs
+describing the same execution always hash identically, whatever field
+order or Python value representations (tuple vs. list) produced them.
+
+Specs say *what* to run; :mod:`repro.spec.builder` turns one into a live
+:class:`~repro.sim.engine.Simulation` and :mod:`repro.spec.registry`
+resolves every name it mentions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from collections.abc import Mapping as MappingABC
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from ..sim.errors import ConfigurationError
+
+__all__ = ["RunSpec", "SPEC_SCHEMA_VERSION"]
+
+#: Version of the serialized spec layout.  Bump when a field changes
+#: meaning; readers refuse versions they do not know.
+SPEC_SCHEMA_VERSION = 1
+
+KINDS = ("gossip", "consensus")
+
+#: Fields always serialized, even at their default values — the identity
+#: coordinates of a run.  Everything else is omitted at its default, so
+#: adding a new defaulted knob later never changes existing hashes.
+_IDENTITY_FIELDS = ("kind", "algorithm", "n", "d", "delta", "seed")
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert to JSON-native shapes (tuples become lists)."""
+    if isinstance(value, MappingABC):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One declarative execution: problem kind, algorithm, regime, seed.
+
+    Fields:
+        kind: ``"gossip"`` or ``"consensus"``.
+        algorithm: a gossip-algorithm name, a consensus transport name, or
+            ``"ben-or"`` (the transport-free consensus protocol).
+        n, f, d, delta, seed: the paper's execution coordinates.  ``f``
+            defaults per kind (0 for gossip, ``(n-1)//2`` for consensus).
+        params: algorithm knobs as a JSON mapping.
+        crashes: ``None`` (failure-free), an int (that many random early
+            victims), ``{"events": {t: [pids]}}`` (an explicit plan), or
+            ``{"name": ..., **knobs}`` (a registered crash-plan factory).
+        scenario: a registered scenario name; supplies (d, δ) and, unless
+            ``crashes`` is set explicitly, the crash workload.
+        adversary: ``{"name": ..., **knobs}`` selecting a registered
+            adversary family (default: the uniform oblivious adversary).
+        values: consensus initial values (one per process).
+        majority: override the gossip completion notion.
+        measure_bits / check_interval / probe_interval / max_steps:
+            instrumentation and limit knobs, as in the legacy entry points.
+    """
+
+    kind: str = "gossip"
+    algorithm: str = "ears"
+    n: int = 64
+    f: Optional[int] = None
+    d: int = 1
+    delta: int = 1
+    seed: int = 0
+    params: Optional[Mapping[str, Any]] = None
+    crashes: Optional[Union[int, Mapping[str, Any]]] = None
+    scenario: Optional[str] = None
+    adversary: Optional[Mapping[str, Any]] = None
+    values: Optional[Tuple[Any, ...]] = None
+    majority: Optional[bool] = None
+    measure_bits: bool = False
+    check_interval: int = 1
+    probe_interval: Optional[int] = None
+    max_steps: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown run kind {self.kind!r}; choose from {list(KINDS)}"
+            )
+        if self.n < 1:
+            raise ConfigurationError(f"n must be >= 1, got {self.n}")
+        if self.scenario is not None and self.adversary is not None:
+            raise ConfigurationError(
+                "a spec sets either 'scenario' or 'adversary', not both"
+            )
+        for name in ("params", "adversary"):
+            value = getattr(self, name)
+            if value is not None:
+                object.__setattr__(self, name, dict(value))
+        if isinstance(self.crashes, MappingABC):
+            object.__setattr__(self, "crashes", dict(self.crashes))
+        if self.values is not None:
+            object.__setattr__(self, "values", tuple(self.values))
+
+    # -- derived coordinates --------------------------------------------- #
+
+    @property
+    def resolved_f(self) -> int:
+        """The failure bound with the kind-specific default applied."""
+        if self.f is not None:
+            return self.f
+        return 0 if self.kind == "gossip" else (self.n - 1) // 2
+
+    def replace(self, **changes: Any) -> "RunSpec":
+        """A copy with ``changes`` applied (specs are immutable)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization ---------------------------------------------------- #
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-native form; defaulted knobs are omitted for hash
+        stability across future schema growth."""
+        out: Dict[str, Any] = {"schema": SPEC_SCHEMA_VERSION}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name in _IDENTITY_FIELDS or value != spec_field.default:
+                out[spec_field.name] = _plain(value)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        payload = dict(data)
+        schema = payload.pop("schema", SPEC_SCHEMA_VERSION)
+        if not isinstance(schema, int) or not 1 <= schema <= SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported spec schema version {schema!r}; this build "
+                f"reads versions 1..{SPEC_SCHEMA_VERSION}"
+            )
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown RunSpec field(s) {unknown}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**payload)
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path: str) -> "RunSpec":
+        with open(path, encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    # -- identity ---------------------------------------------------------#
+
+    def canonical_json(self) -> str:
+        """The canonical serialization the hash is computed over."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable 64-bit hex digest of the canonical serialization."""
+        digest = hashlib.sha256(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()[:16]

@@ -1,0 +1,207 @@
+"""Versioned, provenance-stamped JSONL artifact store for spec executions.
+
+Every record stamps the realized metrics of one execution with its full
+provenance: the canonical spec hash, the serialized spec itself, the
+record schema version, and the package version that produced it.  The
+store is append-only JSONL keyed by spec hash, which gives sweeps and the
+report generator dedupe and resume for free: re-executing an
+already-stored spec hash is a cache hit and runs no simulation.
+
+Record layout (one JSON object per line)::
+
+    {"schema": 1, "spec_hash": "ab12...", "spec": {...},
+     "package": "1.1.0", "metrics": {...}}
+
+Readers refuse records whose schema version they do not know
+(:class:`UnknownSchemaError`), so a store written by a future layout is
+never silently misread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .sim.errors import ConfigurationError
+from .spec.builder import execute
+from .spec.results import GossipRun
+from .spec.runspec import RunSpec
+
+__all__ = [
+    "RunStore",
+    "STORE_SCHEMA_VERSION",
+    "UnknownSchemaError",
+    "execute_batch",
+    "execute_cached",
+    "make_record",
+    "metrics_of",
+]
+
+#: Version of the record layout.  Bump when a stamped field changes
+#: meaning; loaders refuse versions they do not know.
+STORE_SCHEMA_VERSION = 1
+
+
+class UnknownSchemaError(ConfigurationError):
+    """A store record carries a schema version this build cannot read."""
+
+
+def _package_version() -> str:
+    from . import __version__
+
+    return __version__
+
+
+def metrics_of(outcome: Any) -> Dict[str, Any]:
+    """Flatten a run result into the JSON-native realized metrics."""
+    if isinstance(outcome, GossipRun):
+        return {
+            "completed": outcome.completed,
+            "reason": outcome.reason,
+            "time": outcome.completion_time,
+            "gathering_time": outcome.gathering_time,
+            "messages": outcome.messages,
+            "bits": outcome.bits,
+            "realized_d": outcome.realized_d,
+            "realized_delta": outcome.realized_delta,
+            "crashes": outcome.crashes,
+        }
+    # ConsensusRun (duck-typed: consensus imports stay lazy)
+    return {
+        "completed": outcome.completed,
+        "reason": outcome.reason,
+        "time": outcome.decision_time,
+        "messages": outcome.messages,
+        "rounds": outcome.rounds_used,
+        "agreement": outcome.agreement,
+        "validity": outcome.validity,
+        "decisions": sorted(set(outcome.decisions.values())),
+        "realized_d": outcome.realized_d,
+        "realized_delta": outcome.realized_delta,
+        "crashes": outcome.crashes,
+    }
+
+
+def make_record(spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """One provenance-stamped record for an executed spec."""
+    return {
+        "schema": STORE_SCHEMA_VERSION,
+        "spec_hash": spec.spec_hash,
+        "spec": spec.to_dict(),
+        "package": _package_version(),
+        "metrics": metrics,
+    }
+
+
+class RunStore:
+    """Append-only JSONL store of execution records, keyed by spec hash."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._records: Optional[Dict[str, Dict[str, Any]]] = None
+
+    # -- loading ----------------------------------------------------------#
+
+    def _load(self) -> Dict[str, Dict[str, Any]]:
+        if self._records is not None:
+            return self._records
+        records: Dict[str, Dict[str, Any]] = {}
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    if not line.strip():
+                        continue
+                    entry = json.loads(line)
+                    schema = entry.get("schema")
+                    if (not isinstance(schema, int)
+                            or not 1 <= schema <= STORE_SCHEMA_VERSION):
+                        raise UnknownSchemaError(
+                            f"store {self.path!r} holds a record with "
+                            f"schema version {schema!r}; this build reads "
+                            f"versions 1..{STORE_SCHEMA_VERSION}"
+                        )
+                    records[entry["spec_hash"]] = entry
+        self._records = records
+        return records
+
+    # -- queries ----------------------------------------------------------#
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        return self._load().get(spec_hash)
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return spec_hash in self._load()
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._load().values())
+
+    # -- writes -----------------------------------------------------------#
+
+    def put(self, spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
+        record = make_record(spec, metrics)
+        self._load()[record["spec_hash"]] = record
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, default=str) + "\n")
+        return record
+
+
+def execute_cached(
+    spec: RunSpec, store: RunStore
+) -> Tuple[Dict[str, Any], bool]:
+    """Run ``spec`` unless ``store`` already holds its hash.
+
+    Returns ``(record, cache_hit)``; on a cache hit no simulation runs.
+    Overrides are deliberately not accepted here: cached records must be
+    pure functions of the spec, or the hash would lie about provenance.
+    """
+    record = store.get(spec.spec_hash)
+    if record is not None:
+        return record, True
+    outcome = execute(spec)
+    return store.put(spec, metrics_of(outcome)), False
+
+
+def _spec_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one serialized spec in a (possibly worker) process."""
+    return metrics_of(execute(RunSpec.from_dict(spec_dict)))
+
+
+def execute_batch(
+    specs: Iterable[RunSpec],
+    store: Optional[RunStore] = None,
+    processes: int = 1,
+) -> List[Dict[str, Any]]:
+    """Execute a batch of specs, skipping every already-stored hash.
+
+    Specs travel to workers as their serialized dicts, so parallel
+    batches need no pickling support beyond plain data.  Records come
+    back in spec order; with a store, previously stored specs are cache
+    hits and duplicate hashes within the batch execute once.
+    """
+    from .experiments.pool import TrialPool
+
+    specs = list(specs)
+    if store is None:
+        with TrialPool(processes) as pool:
+            metrics = pool.map(_spec_job, [s.to_dict() for s in specs])
+        return [
+            make_record(spec, m) for spec, m in zip(specs, metrics)
+        ]
+    pending: Dict[str, RunSpec] = {}
+    for spec in specs:
+        if spec.spec_hash not in store:
+            pending.setdefault(spec.spec_hash, spec)
+    if pending:
+        jobs = [spec.to_dict() for spec in pending.values()]
+        with TrialPool(processes) as pool:
+            results = pool.map(_spec_job, jobs)
+        for spec, metrics in zip(pending.values(), results):
+            store.put(spec, metrics)
+    return [store.get(spec.spec_hash) for spec in specs]

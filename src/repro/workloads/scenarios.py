@@ -3,12 +3,17 @@
 A scenario bundles the adversarial knobs the paper's analysis varies: the
 synchrony regime (d, δ) and the crash workload. Scenarios are deterministic
 functions of (n, f, seed).
+
+The catalogue registers into the central scenario registry
+(:data:`repro.spec.registry.SCENARIOS`) at import time, so declarative
+specs (``RunSpec(scenario="flaky")``) and the legacy ``SCENARIOS``
+mapping re-exported here resolve through the same table.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict
+from typing import Callable
 
 from ..adversary.crash_plans import (
     CrashPlan,
@@ -17,6 +22,7 @@ from ..adversary.crash_plans import (
     staggered_halving,
     wave_crashes,
 )
+from ..spec.registry import SCENARIOS
 
 CrashFactory = Callable[[int, int, int], CrashPlan]
 
@@ -52,9 +58,7 @@ def _epochs(n: int, f: int, seed: int) -> CrashPlan:
     return staggered_halving(n, f, epoch_length=24, seed=seed)
 
 
-SCENARIOS: Dict[str, Scenario] = {
-    scenario.name: scenario
-    for scenario in (
+for _scenario in (
         Scenario(
             "calm", d=1, delta=1, crash_factory=_none,
             description="failure-free, maximal synchrony (d = δ = 1)",
@@ -80,14 +84,11 @@ SCENARIOS: Dict[str, Scenario] = {
             description="crash waves halving the failure budget per epoch "
                         "(the EARS analysis's epoch structure)",
         ),
-    )
-}
+):
+    SCENARIOS.register(_scenario.name, _scenario)
 
 
 def get_scenario(name: str) -> Scenario:
-    try:
-        return SCENARIOS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown scenario {name!r}; choose from {sorted(SCENARIOS)}"
-        ) from None
+    """Resolve a scenario name; unknown names raise through the registry
+    (an :class:`~repro.spec.registry.UnknownNameError`, a ``KeyError``)."""
+    return SCENARIOS[name]

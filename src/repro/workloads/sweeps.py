@@ -6,8 +6,9 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..analysis.stats import Summary, summarize
-from ..api import run_gossip
 from ..sim.events import StepProfiler
+from ..spec.builder import execute
+from ..spec.runspec import RunSpec
 
 
 @dataclass
@@ -37,16 +38,28 @@ def geometric_ns(start: int = 16, stop: int = 256, factor: int = 2
     return ns
 
 
+def _job_spec(args):
+    """Split one sweep job into (RunSpec, params-object override).
+
+    Serializable knobs live in the spec; an algorithm parameter *object*
+    (e.g. :class:`SearsParams`) cannot, so it rides as an override.
+    """
+    algorithm, n, f, d, delta, seed, crashes, params, max_steps = args
+    spec = RunSpec(
+        kind="gossip", algorithm=algorithm, n=n, f=f, d=d, delta=delta,
+        seed=seed, params=params if isinstance(params, dict) else None,
+        crashes=crashes, max_steps=max_steps,
+    )
+    return spec, None if isinstance(params, dict) else params
+
+
 def _sweep_job(args):
     """One (n, seed) gossip run, reduced to the aggregated fields.
 
     Module-level so parallel sweeps can ship it to worker processes.
     """
-    algorithm, n, f, d, delta, seed, crashes, params, max_steps = args
-    run = run_gossip(
-        algorithm, n=n, f=f, d=d, delta=delta, seed=seed,
-        crashes=crashes, params=params, max_steps=max_steps,
-    )
+    spec, params = _job_spec(args)
+    run = execute(spec, params=params)
     return run.completed, run.completion_time, run.messages
 
 
@@ -56,12 +69,8 @@ def run_and_profile(args, profiler: StepProfiler):
     The same profiler instance rides along every run, so its buckets
     accumulate the whole sweep's per-phase wall time.
     """
-    algorithm, n, f, d, delta, seed, crashes, params, max_steps = args
-    run = run_gossip(
-        algorithm, n=n, f=f, d=d, delta=delta, seed=seed,
-        crashes=crashes, params=params, max_steps=max_steps,
-        observers=(profiler,),
-    )
+    spec, params = _job_spec(args)
+    run = execute(spec, params=params, observers=(profiler,))
     return run.completed, run.completion_time, run.messages
 
 

@@ -150,3 +150,53 @@ class TestCli:
                      "--max-n", "8", "--seeds", "1", "--profile"]) == 0
         out = capsys.readouterr().out
         assert "phase" in out and "seconds" in out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for section in ("gossip algorithms", "consensus transports",
+                        "adversaries", "crash plans", "scenarios"):
+            assert f"{section}:" in out
+        assert "ears" in out and "ben-or" in out and "flaky" in out
+
+    def test_run_command(self, capsys, tmp_path):
+        from repro.spec import RunSpec
+
+        spec_path = tmp_path / "spec.json"
+        RunSpec(algorithm="trivial", n=12, seed=0).save(str(spec_path))
+        assert main(["run", "--spec", str(spec_path)]) == 0
+        out = capsys.readouterr().out
+        assert "completed = True" in out and "cache hit" not in out
+
+    def test_run_command_store_cache_hit(self, capsys, tmp_path):
+        from repro.spec import RunSpec
+
+        spec_path = tmp_path / "spec.json"
+        RunSpec(algorithm="trivial", n=12, seed=0).save(str(spec_path))
+        argv = ["run", "--spec", str(spec_path),
+                "--store", str(tmp_path / "runs.jsonl")]
+        assert main(argv) == 0
+        assert "cache hit" not in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "cache hit" in capsys.readouterr().out
+
+    def test_run_command_json_output(self, capsys, tmp_path):
+        import json
+
+        from repro.spec import RunSpec
+
+        spec_path = tmp_path / "spec.json"
+        spec = RunSpec(algorithm="trivial", n=12, seed=0)
+        spec.save(str(spec_path))
+        assert main(["run", "--spec", str(spec_path), "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["spec_hash"] == spec.spec_hash
+        assert record["metrics"]["completed"] is True
+
+    def test_run_command_example_spec(self, capsys):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "spec_ears.json")
+        assert main(["run", "--spec", path]) == 0
+        assert "4b533c0adb6065c5" in capsys.readouterr().out

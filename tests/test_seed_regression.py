@@ -263,3 +263,50 @@ def test_lower_bound_pins(key):
         lower_bound_cell(algorithm, int(seed))
         == CANONICAL["lower_bound"][key]
     )
+
+
+# -- declarative-spec equivalence ----------------------------------------- #
+# The RunSpec builder must reproduce the legacy entry points seed for seed:
+# a spec run hitting the same pins as run_gossip proves the spec path is
+# bit-identical, not merely statistically similar.
+
+def spec_oblivious_cell(algorithm, seed):
+    from repro.spec import RunSpec, execute
+
+    run = execute(RunSpec(
+        kind="gossip", algorithm=algorithm, n=32, f=8, d=2, delta=2,
+        seed=seed, crashes=4,
+    ))
+    return {
+        "completed": run.completed,
+        "completion_time": run.completion_time,
+        "messages": run.messages,
+        "realized_d": run.realized_d,
+        "realized_delta": run.realized_delta,
+        "crashes": run.crashes,
+    }
+
+
+@pytest.mark.parametrize("key", sorted(CANONICAL["oblivious"]))
+def test_spec_path_matches_oblivious_pins(key):
+    algorithm, seed = key.rsplit("/", 1)
+    assert (
+        spec_oblivious_cell(algorithm, int(seed))
+        == CANONICAL["oblivious"][key]
+    )
+
+
+@pytest.mark.parametrize("transport", ["all-to-all", "ears", "tears"])
+def test_spec_path_matches_legacy_consensus(transport):
+    from repro.consensus import run_consensus
+    from repro.spec import RunSpec, execute
+
+    spec_run = execute(RunSpec(
+        kind="consensus", algorithm=transport, n=16, f=5, d=2, delta=2,
+        seed=3, crashes=3,
+    ))
+    legacy = run_consensus(transport, n=16, f=5, d=2, delta=2, seed=3,
+                           crashes=3)
+    for attr in ("completed", "decision_time", "messages", "rounds_used",
+                 "agreement", "validity", "decisions", "crashes"):
+        assert getattr(spec_run, attr) == getattr(legacy, attr), attr

@@ -1,0 +1,203 @@
+"""The declarative configuration plane: RunSpec, registries, builder."""
+
+import json
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.spec import (
+    GOSSIP_ALGORITHMS,
+    RunSpec,
+    SPEC_SCHEMA_VERSION,
+    TRANSPORTS,
+    UnknownNameError,
+    build,
+    execute,
+)
+from repro.spec.registry import (
+    ADVERSARIES,
+    CRASH_PLANS,
+    SCENARIOS,
+    ensure_scenarios,
+)
+
+
+# -- RunSpec serialization -------------------------------------------------- #
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = RunSpec(
+            kind="gossip", algorithm="sears", n=48, f=12, d=3, delta=2,
+            seed=7, crashes=5, measure_bits=True,
+        )
+        assert RunSpec.from_json(spec.to_json()) == spec
+
+    def test_round_trip_preserves_nested_fields(self):
+        spec = RunSpec(
+            kind="consensus", algorithm="ears", n=8, seed=1,
+            values=(0, 1, 0, 1, 0, 1, 0, 1),
+            crashes={"name": "wave", "at": 3, "count": 2},
+            adversary=None,
+        )
+        again = RunSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.values == (0, 1, 0, 1, 0, 1, 0, 1)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "spec.json"
+        spec = RunSpec(algorithm="tears", n=24, seed=9)
+        spec.save(str(path))
+        assert RunSpec.load(str(path)) == spec
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown RunSpec field"):
+            RunSpec.from_dict({"algorithm": "ears", "fanout": 3})
+
+    def test_future_schema_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="schema version"):
+            RunSpec.from_dict({"schema": SPEC_SCHEMA_VERSION + 1,
+                               "algorithm": "ears"})
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            RunSpec(kind="broadcast")
+
+    def test_scenario_and_adversary_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            RunSpec(scenario="calm", adversary={"name": "uniform"})
+
+
+class TestHashStability:
+    def test_hash_ignores_field_source_representation(self):
+        a = RunSpec(kind="consensus", algorithm="ears", n=8, values=(0, 1))
+        b = RunSpec.from_dict(
+            {"kind": "consensus", "algorithm": "ears", "n": 8,
+             "values": [0, 1]}
+        )
+        assert a.spec_hash == b.spec_hash
+
+    def test_hash_unchanged_by_explicit_defaults(self):
+        # Defaulted knobs are omitted from the canonical form, so writing
+        # one out explicitly must not change the identity of the run.
+        implicit = RunSpec(algorithm="ears", n=32)
+        explicit = RunSpec(algorithm="ears", n=32, check_interval=1,
+                           measure_bits=False)
+        assert implicit.spec_hash == explicit.spec_hash
+
+    def test_hash_differs_across_seeds(self):
+        assert (RunSpec(algorithm="ears", seed=0).spec_hash
+                != RunSpec(algorithm="ears", seed=1).spec_hash)
+
+    def test_pinned_example_hash(self):
+        # The checked-in examples/spec_ears.json identity.  If this drifts,
+        # every stored artifact silently stops being a cache hit — bump
+        # SPEC_SCHEMA_VERSION instead of changing canonicalization.
+        spec = RunSpec(kind="gossip", algorithm="ears", n=32, f=8, d=2,
+                       delta=2, seed=0, crashes=4)
+        assert spec.spec_hash == "4b533c0adb6065c5"
+
+    def test_canonical_json_is_sorted_and_compact(self):
+        spec = RunSpec(algorithm="ears", n=16)
+        text = spec.canonical_json()
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+        assert ": " not in text
+
+    def test_example_spec_file_matches_pin(self):
+        import os
+
+        path = os.path.join(os.path.dirname(__file__), "..", "examples",
+                            "spec_ears.json")
+        assert RunSpec.load(path).spec_hash == "4b533c0adb6065c5"
+
+
+# -- registries ------------------------------------------------------------- #
+
+class TestRegistries:
+    def test_registries_are_mappings(self):
+        assert "ears" in GOSSIP_ALGORITHMS
+        assert sorted(TRANSPORTS) == ["all-to-all", "ears", "sears", "tears"]
+        assert set(ADVERSARIES) == {"uniform", "synchronous", "gst"}
+        assert "random-early" in CRASH_PLANS
+
+    def test_unknown_name_suggests_close_match(self):
+        with pytest.raises(UnknownNameError, match="did you mean 'ears'"):
+            GOSSIP_ALGORITHMS["earz"]
+
+    def test_unknown_name_is_both_key_and_configuration_error(self):
+        with pytest.raises(KeyError):
+            TRANSPORTS["nope"]
+        with pytest.raises(ConfigurationError):
+            TRANSPORTS["nope"]
+
+    def test_make_transport_does_not_suggest_ben_or(self):
+        # 'ben-or' is a consensus protocol, not a gossip transport; the
+        # old error message wrongly listed it among the choices.
+        from repro.consensus import make_transport
+
+        with pytest.raises(UnknownNameError) as err:
+            make_transport("ben-or")
+        assert "ben-or" not in str(err.value).split("choose from")[1]
+
+    def test_scenarios_register_centrally(self):
+        ensure_scenarios()
+        assert "flaky" in SCENARIOS
+        from repro.workloads import SCENARIOS as legacy
+
+        assert set(legacy) == set(SCENARIOS)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            GOSSIP_ALGORITHMS.register("ears", object)
+
+
+# -- builder ---------------------------------------------------------------- #
+
+class TestBuilder:
+    def test_build_returns_runnable_simulation(self):
+        built = build(RunSpec(algorithm="ears", n=16, f=4, seed=0))
+        assert built.sim.n == 16
+        run = built.run()
+        assert run.completed
+
+    def test_unknown_algorithm_raises_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="ears"):
+            execute(RunSpec(algorithm="earz", n=8))
+
+    def test_scenario_supplies_regime_and_crashes(self):
+        run = execute(RunSpec(algorithm="ears", n=16, f=4, seed=2,
+                              scenario="flaky"))
+        assert run.completed
+        assert run.crashes == 4
+
+    def test_explicit_crashes_override_scenario_plan(self):
+        run = execute(RunSpec(algorithm="ears", n=16, f=4, seed=2,
+                              scenario="flaky", crashes=0))
+        assert run.crashes == 0
+
+    def test_named_adversary(self):
+        run = execute(RunSpec(algorithm="ears", n=16, f=4, d=2, delta=2,
+                              seed=2,
+                              adversary={"name": "gst", "gst": 10,
+                                         "pre_gst_delta": 4}))
+        assert run.completed
+
+    def test_named_crash_plan(self):
+        run = execute(RunSpec(algorithm="ears", n=16, f=4, d=2, delta=2,
+                              seed=0,
+                              crashes={"name": "wave", "at": 3, "count": 4}))
+        assert run.crashes == 4
+
+    def test_explicit_event_table_crash_plan(self):
+        run = execute(RunSpec(algorithm="ears", n=16, f=4, seed=0,
+                              crashes={"events": {"2": [0, 1]}}))
+        assert run.crashes == 2
+
+    def test_crash_budget_enforced(self):
+        with pytest.raises(ConfigurationError, match="crash plan kills"):
+            execute(RunSpec(algorithm="ears", n=16, f=1, seed=0, crashes=3))
+
+    def test_consensus_spec_runs(self):
+        run = execute(RunSpec(kind="consensus", algorithm="tears", n=8,
+                              f=2, seed=0))
+        assert run.completed and run.agreement and run.validity

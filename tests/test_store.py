@@ -1,0 +1,119 @@
+"""The provenance-stamped JSONL artifact store."""
+
+import json
+
+import pytest
+
+import repro.store as store_module
+from repro import __version__
+from repro.spec import RunSpec
+from repro.store import (
+    RunStore,
+    STORE_SCHEMA_VERSION,
+    UnknownSchemaError,
+    execute_batch,
+    execute_cached,
+    metrics_of,
+)
+
+SPEC = RunSpec(algorithm="ears", n=16, f=4, d=1, delta=1, seed=0)
+
+
+def test_record_is_provenance_stamped(tmp_path):
+    store = RunStore(str(tmp_path / "runs.jsonl"))
+    record, hit = execute_cached(SPEC, store)
+    assert not hit
+    assert record["schema"] == STORE_SCHEMA_VERSION
+    assert record["spec_hash"] == SPEC.spec_hash
+    assert record["spec"] == SPEC.to_dict()
+    assert record["package"] == __version__
+    assert record["metrics"]["completed"] is True
+
+
+def test_stored_hash_is_cache_hit(tmp_path, monkeypatch):
+    path = str(tmp_path / "runs.jsonl")
+    first, hit = execute_cached(SPEC, RunStore(path))
+    assert not hit
+
+    # A fresh store object re-reading the file must serve the record
+    # without running any simulation at all.
+    def boom(*args, **kwargs):
+        raise AssertionError("cache hit must not execute the spec")
+
+    monkeypatch.setattr(store_module, "execute", boom)
+    again, hit = execute_cached(SPEC, RunStore(path))
+    assert hit
+    assert again == first
+
+
+def test_unknown_schema_version_refused(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    path.write_text(json.dumps({
+        "schema": STORE_SCHEMA_VERSION + 1,
+        "spec_hash": "feedfacefeedface",
+        "spec": {}, "package": "9.9.9", "metrics": {},
+    }) + "\n")
+    with pytest.raises(UnknownSchemaError, match="schema version"):
+        RunStore(str(path)).get("feedfacefeedface")
+
+
+def test_missing_schema_stamp_refused(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    path.write_text('{"spec_hash": "00", "metrics": {}}\n')
+    with pytest.raises(UnknownSchemaError):
+        len(RunStore(str(path)))
+
+
+def test_batch_executes_only_missing_specs(tmp_path, monkeypatch):
+    path = str(tmp_path / "runs.jsonl")
+    specs = [SPEC.replace(seed=seed) for seed in range(3)]
+    execute_batch(specs[:2], store=RunStore(path))
+
+    executed = []
+    real_job = store_module._spec_job
+
+    def spy(spec_dict):
+        executed.append(spec_dict["seed"])
+        return real_job(spec_dict)
+
+    monkeypatch.setattr(store_module, "_spec_job", spy)
+    records = execute_batch(specs, store=RunStore(path))
+    assert executed == [2]
+    assert [r["spec_hash"] for r in records] == [s.spec_hash for s in specs]
+
+
+def test_batch_dedupes_within_batch(tmp_path, monkeypatch):
+    executed = []
+    real_job = store_module._spec_job
+
+    def spy(spec_dict):
+        executed.append(spec_dict["seed"])
+        return real_job(spec_dict)
+
+    monkeypatch.setattr(store_module, "_spec_job", spy)
+    records = execute_batch([SPEC, SPEC],
+                            store=RunStore(str(tmp_path / "r.jsonl")))
+    assert executed == [0]
+    assert records[0] == records[1]
+
+
+def test_batch_without_store_returns_records_in_order():
+    specs = [SPEC.replace(seed=seed) for seed in (3, 4)]
+    records = execute_batch(specs)
+    assert [r["spec_hash"] for r in records] == [s.spec_hash for s in specs]
+    assert all(r["metrics"]["completed"] for r in records)
+
+
+def test_metrics_round_trip_through_json(tmp_path):
+    from repro.spec import execute
+
+    metrics = metrics_of(execute(SPEC))
+    assert metrics == json.loads(json.dumps(metrics))
+
+
+def test_consensus_metrics(tmp_path):
+    spec = RunSpec(kind="consensus", algorithm="tears", n=8, f=2, seed=0)
+    record, _ = execute_cached(spec, RunStore(str(tmp_path / "c.jsonl")))
+    metrics = record["metrics"]
+    assert metrics["agreement"] and metrics["validity"]
+    assert metrics["rounds"] >= 1
