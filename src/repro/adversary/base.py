@@ -19,6 +19,13 @@ from ..sim.message import Message
 class Adversary(ABC):
     """Base contract consumed by :class:`repro.sim.Simulation`."""
 
+    #: True when ``target_d`` / ``target_delta`` are hard bounds that every
+    #: message delay and live scheduling gap of the execution respects.
+    #: The bound-consistency invariant (:mod:`repro.sim.invariants`) only
+    #: checks adversaries that declare this; adversaries whose targets are
+    #: eventual (GST) or adaptive leave it False.
+    declares_bounds = False
+
     def on_attach(self, sim) -> None:
         """Called once when the simulation is constructed."""
         self.sim = sim

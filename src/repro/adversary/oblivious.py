@@ -21,6 +21,10 @@ from .delay_plans import DelayPlan, FixedDelay, HashDelay, MutableDelay
 class ObliviousAdversary(Adversary):
     """Schedule, delays and crashes all fixed in advance."""
 
+    # The composed plans each document the (d, δ) they guarantee for the
+    # whole execution, so the declared targets are checkable invariants.
+    declares_bounds = True
+
     def __init__(
         self,
         schedule: Optional[SchedulePlan] = None,

@@ -75,6 +75,20 @@ def _gossip_frac_recorder(**params):
 register_recorder("gossip-frac", _gossip_frac_recorder)
 
 
+def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trial-timeout", type=float, default=None,
+        help="per-trial wall-clock timeout in seconds (parallel runs "
+             "only); timed-out cells become failure rows instead of "
+             "hanging the command",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retry failed/timed-out trials this many times before "
+             "reporting them as failures",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-n", type=int, default=64, help="process count")
     parser.add_argument("-f", type=int, default=None,
@@ -146,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSONL cache directory (no caching if omitted)")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
+    _add_fault_tolerance(p)
     p.add_argument("--profile", action="store_true",
                    help="print per-phase wall time from the observer bus "
                         "(forces sequential, uncached execution)")
@@ -171,9 +186,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash the full failure budget")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
+    _add_fault_tolerance(p)
     p.add_argument("--profile", action="store_true",
                    help="print per-phase wall time from the observer bus "
                         "(forces sequential execution)")
+
+    p = sub.add_parser(
+        "chaos",
+        help="run the fault-injection campaign: every registered fault "
+             "against the canonical cells, asserting the invariant "
+             "checkers detect 100%% with zero false positives",
+    )
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trials", type=int, default=3,
+                   help="trials per fault (distinct seeds/victims)")
+    p.add_argument("--faults", default=None,
+                   help="comma-separated fault names (default: all "
+                        "registered except message-loss)")
+    p.add_argument("-n", type=int, default=24,
+                   help="gossip population for campaign cells")
+    p.add_argument("--consensus-n", type=int, default=9,
+                   help="consensus population for campaign cells")
 
     p = sub.add_parser(
         "run",
@@ -313,8 +346,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             profiler = None
             runner = GridRunner(out_dir=args.out_dir,
-                                processes=args.processes)
+                                processes=args.processes,
+                                trial_timeout=args.trial_timeout,
+                                retries=args.retries)
             rows = runner.run(spec)
+            summary = runner.last_summary
+            if summary and (summary["failed"] or summary["timed_out"]):
+                print(f"partial grid: {summary['ok']}/{summary['jobs']} "
+                      f"cells ok, {summary['failed']} failed, "
+                      f"{summary['timed_out']} timed out "
+                      f"(failed cells stay uncached; re-run retries them)")
         time_by = aggregate(rows, ["algorithm", "n"], "time")
         msgs_by = aggregate(rows, ["algorithm", "n"], "messages")
         print(f"{'algorithm':>16s} {'n':>6s} {'time':>9s} {'messages':>11s}")
@@ -337,6 +378,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seeds=range(args.seeds), crash=args.crash,
             processes=1 if args.profile else args.processes,
             profile=profiler,
+            trial_timeout=args.trial_timeout, retries=args.retries,
         )
         for point in points:
             print(f"{args.algorithm}: n={point.n:5d} f={point.f:4d} "
@@ -353,6 +395,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:16s} d={scenario.d} delta={scenario.delta}  "
                   f"{scenario.description}")
         return 0
+
+    if args.command == "chaos":
+        from .faults import format_campaign, run_campaign
+
+        faults = (
+            [name.strip() for name in args.faults.split(",") if name.strip()]
+            if args.faults else None
+        )
+        report = run_campaign(
+            seed=args.seed, trials=args.trials, faults=faults,
+            n=args.n, consensus_n=args.consensus_n,
+        )
+        print(format_campaign(report))
+        return 0 if report.ok else 1
 
     if args.command == "run":
         import json as _json

@@ -27,7 +27,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-from .pool import TrialPool
+from .pool import TIMED_OUT, TrialPool, summarize_outcomes
 
 Recorder = Callable[..., Dict[str, Any]]
 
@@ -182,12 +182,49 @@ def _run_cell(args):
     return params, record
 
 
+def failure_record(outcome) -> Dict[str, Any]:
+    """The row a non-ok :class:`~repro.experiments.pool.TrialOutcome`
+    contributes in place of its recorder's record.
+
+    Mirrors the recorder contract's ``completed``/``reason`` fields so
+    downstream aggregation (which skips ``None`` values) degrades
+    gracefully, and carries the error text and attempt count for the
+    report. Failure rows are **never written to the store**, so a later
+    run of the same grid retries exactly the failed cells.
+    """
+    reason = (
+        "trial-timeout" if outcome.status == TIMED_OUT else "trial-failed"
+    )
+    return {
+        "completed": False,
+        "reason": reason,
+        "error": outcome.error,
+        "attempts": outcome.attempts,
+    }
+
+
 @dataclass
 class GridRunner:
-    """Executes grid specs with a JSONL cache and optional parallelism."""
+    """Executes grid specs with a JSONL cache and optional parallelism.
+
+    ``trial_timeout`` (seconds) and ``retries`` make the runner
+    fault-tolerant: cells that hang, raise, or kill their worker are
+    retried up to ``retries`` times and then reported as failure rows
+    (see :func:`failure_record`) instead of aborting the whole grid.
+    Failed cells stay out of the JSONL store, so re-running the grid
+    executes only them. ``last_summary`` holds the
+    :func:`~repro.experiments.pool.summarize_outcomes` report of the
+    most recent :meth:`run` that executed cells (``None`` when every
+    cell was a cache hit).
+    """
 
     out_dir: Optional[str] = None
     processes: int = 1
+    trial_timeout: Optional[float] = None
+    retries: int = 0
+    last_summary: Optional[Dict[str, Any]] = field(
+        default=None, init=False, repr=False
+    )
     _stores: Dict[str, Dict[str, Dict[str, Any]]] = field(
         default_factory=dict
     )
@@ -223,21 +260,37 @@ class GridRunner:
                 ) + "\n")
 
     def run(self, spec: GridSpec) -> List[Dict[str, Any]]:
-        """Execute every missing cell; return all rows (params ∪ record)."""
+        """Execute every missing cell; return all rows (params ∪ record).
+
+        Cells that fail or time out (see class docstring) contribute
+        failure rows for this call only; everything else comes from the
+        store exactly as before.
+        """
         store = self._load(spec.name)
         pending = [
             cell for cell in spec.cells() if cell_key(cell) not in store
         ]
+        failures: Dict[str, Dict[str, Any]] = {}
+        self.last_summary = None
         if pending:
             module = _RECORDER_MODULES.get(spec.recorder, "")
             jobs = [(spec.recorder, module, cell) for cell in pending]
             with TrialPool(self.processes) as pool:
-                results = pool.map(_run_cell, jobs)
-            for params, record in results:
-                self._append(spec.name, params, record)
+                outcomes = pool.map_outcomes(
+                    _run_cell, jobs,
+                    timeout=self.trial_timeout, retries=self.retries,
+                )
+            self.last_summary = summarize_outcomes(outcomes)
+            for cell, outcome in zip(pending, outcomes):
+                if outcome.ok:
+                    params, record = outcome.value
+                    self._append(spec.name, params, record)
+                else:
+                    failures[cell_key(cell)] = failure_record(outcome)
         rows = []
         for cell in spec.cells():
-            record = store[cell_key(cell)]
+            key = cell_key(cell)
+            record = failures[key] if key in failures else store[key]
             row = dict(cell)
             row.update(record)
             rows.append(row)

@@ -1,4 +1,4 @@
-"""A reusable worker pool for independent seeded trials.
+"""A reusable, fault-tolerant worker pool for independent seeded trials.
 
 Every sweep-shaped driver in the repository — :class:`GridRunner` cells,
 :func:`repro.workloads.sweeps.sweep_gossip` points, the per-seed Theorem 1
@@ -16,16 +16,80 @@ order. :class:`TrialPool` is the one implementation of that shape:
   lower-bound adversary's forked live simulations (whose observer handler
   lists hold bound methods).
 
-Jobs submitted to ``map`` must be module-level callables with picklable
-arguments; results always come back in submission order, so callers can rely
-on positional correspondence regardless of worker count.
+``map`` is the fail-fast path: the first job exception propagates and the
+batch is lost, which is the right contract for deterministic re-runnable
+trials on a healthy machine.  :meth:`map_outcomes` is the fault-tolerant
+path: each job gets a per-job wall-clock timeout (async polling, so one
+hung trial cannot stall the batch), bounded retries with capped backoff
+for transient failures, and worker-loss recovery (a died worker's pending
+jobs are resubmitted to a respawned pool without burning a retry).  It
+returns one :class:`TrialOutcome` per job — ``ok`` / ``failed`` /
+``timed-out`` with the attempt count and duration — so grid and sweep
+drivers degrade to partial results instead of crashing.
+
+Jobs submitted to ``map``/``map_outcomes`` must be module-level callables
+with picklable arguments; results always come back in submission order, so
+callers can rely on positional correspondence regardless of worker count.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-__all__ = ["TrialPool"]
+__all__ = ["TrialOutcome", "TrialPool", "summarize_outcomes"]
+
+#: TrialOutcome.status values.
+OK = "ok"
+FAILED = "failed"
+TIMED_OUT = "timed-out"
+
+
+@dataclass
+class TrialOutcome:
+    """Result record for one job of a fault-tolerant batch.
+
+    ``value`` is the job's return value when ``status == "ok"`` and
+    ``None`` otherwise; ``error`` is the stringified terminal exception
+    for failed jobs (``exception`` additionally holds the exception
+    object when it survived the process boundary).  ``attempts`` counts
+    executions actually started, and ``duration`` is the wall-clock
+    seconds from first submission to resolution.
+    """
+
+    index: int
+    status: str
+    value: Any = None
+    error: Optional[str] = None
+    attempts: int = 1
+    duration: float = 0.0
+    exception: Optional[BaseException] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def summarize_outcomes(outcomes: Sequence[TrialOutcome]) -> Dict[str, Any]:
+    """Aggregate a batch's outcomes into the partial-result report dict.
+
+    This is the summary grids/sweeps print when cells fail: counts per
+    status, the indices (and terminal errors) of every non-ok job, the
+    total attempts, and the summed wall-clock duration.
+    """
+    failed = [o for o in outcomes if o.status == FAILED]
+    timed_out = [o for o in outcomes if o.status == TIMED_OUT]
+    return {
+        "jobs": len(outcomes),
+        "ok": sum(1 for o in outcomes if o.ok),
+        "failed": len(failed),
+        "timed_out": len(timed_out),
+        "attempts": sum(o.attempts for o in outcomes),
+        "errors": {o.index: o.error for o in failed},
+        "timed_out_indices": [o.index for o in timed_out],
+        "duration": sum(o.duration for o in outcomes),
+    }
 
 
 class TrialPool:
@@ -34,8 +98,14 @@ class TrialPool:
     The pool is lazy: no worker processes exist until the first parallel
     ``map``. It is reusable: successive ``map`` calls share the same
     workers. Use as a context manager (or call :meth:`close`) to reclaim
-    the workers; a sequential pool has nothing to reclaim.
+    the workers; a sequential pool has nothing to reclaim.  A ``with``
+    block that exits cleanly drains in-flight work (``close``/``join``);
+    an exceptional exit tears the workers down immediately
+    (:meth:`terminate`), since their results can no longer be consumed.
     """
+
+    #: Seconds between result polls in :meth:`map_outcomes`.
+    poll_interval = 0.02
 
     def __init__(self, processes: int = 1,
                  chunk_size: Optional[int] = None) -> None:
@@ -50,11 +120,26 @@ class TrialPool:
     def __enter__(self) -> "TrialPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
 
     def close(self) -> None:
-        """Terminate the worker processes, if any were started."""
+        """Shut the workers down cleanly, letting in-flight jobs finish.
+
+        This is the normal-path shutdown: ``terminate()`` here would race
+        workers that are mid-result and discard their output.  Use
+        :meth:`terminate` when results are unwanted or workers may hang.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def terminate(self) -> None:
+        """Kill the worker processes without draining in-flight jobs."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -66,6 +151,14 @@ class TrialPool:
 
             self._pool = multiprocessing.Pool(self.processes)
         return self._pool
+
+    def _worker_pids(self) -> frozenset:
+        """The live workers' pids (empty when no pool or introspection
+        fails — worker-loss recovery then simply never triggers)."""
+        try:
+            return frozenset(p.pid for p in self._pool._pool)
+        except Exception:
+            return frozenset()
 
     def _chunk(self, n_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -80,7 +173,8 @@ class TrialPool:
             ) -> List[Any]:
         """Apply ``fn`` to every job; results in submission order.
 
-        ``fn`` must be a module-level callable and each job picklable when
+        Fail-fast: the first job exception propagates.  ``fn`` must be a
+        module-level callable and each job picklable when
         ``processes > 1``; with one process this is exactly a list
         comprehension.
         """
@@ -89,6 +183,194 @@ class TrialPool:
             return [fn(job) for job in jobs]
         pool = self._ensure_pool()
         return pool.map(fn, jobs, chunksize=self._chunk(len(jobs)))
+
+    def map_outcomes(
+        self,
+        fn: Callable[[Any], Any],
+        jobs: Sequence[Any],
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 0.05,
+        max_backoff: float = 2.0,
+    ) -> List[TrialOutcome]:
+        """Fault-tolerant map: one :class:`TrialOutcome` per job, in order.
+
+        - ``timeout``: per-job wall-clock seconds per attempt.  A job
+          still running past it is recorded ``timed-out``; since its
+          worker cannot be preempted, the pool is recycled (terminate +
+          respawn) once the batch's live jobs have drained, so hung
+          workers never leak into the next batch.
+        - ``retries``: extra attempts for failed *and* timed-out jobs,
+          with exponential backoff capped at ``max_backoff`` seconds.
+        - worker loss: if a worker process dies (OOM-kill, segfault,
+          ``os._exit``), its in-flight jobs would never resolve; the pool
+          is recycled and exactly the unresolved jobs are resubmitted,
+          without consuming one of their retries.
+
+        With ``processes == 1`` jobs run inline: exceptions and retries
+        behave identically, but timeouts are not enforced (a same-process
+        job cannot be preempted) — drivers that need hang protection must
+        run with ``processes >= 2``.
+        """
+        jobs = list(jobs)
+        if self.processes == 1:
+            return self._map_outcomes_inline(fn, jobs, retries, backoff,
+                                             max_backoff)
+        from collections import deque
+
+        outcomes: List[Optional[TrialOutcome]] = [None] * len(jobs)
+        attempts = {index: 0 for index in range(len(jobs))}
+        losses = {index: 0 for index in range(len(jobs))}
+        ready_at = {index: 0.0 for index in range(len(jobs))}
+        first_submit: Dict[int, float] = {}
+        # Free resubmits tolerated per job before a repeatedly worker-
+        # killing job is declared failed rather than resubmitted forever.
+        loss_cap = max(2, retries + 1)
+        pending = deque(range(len(jobs)))
+        #: index -> (AsyncResult, monotonic submit time). At most one job
+        #: per healthy worker is in flight, so a job's clock starts when a
+        #: worker can actually pick it up — queue time never counts
+        #: against its timeout.
+        active: Dict[int, Any] = {}
+        wedged = 0  # workers stuck on an abandoned (timed-out) job
+        recycle_when_drained = False
+        known_pids = None  # worker-pid baseline; survives loop iterations
+
+        def resolve_failure(index: int, status: str,
+                            exc: Optional[BaseException]) -> None:
+            if attempts[index] <= retries:
+                ready_at[index] = time.monotonic() + min(
+                    max_backoff, backoff * (2 ** (attempts[index] - 1))
+                )
+                pending.append(index)
+                return
+            outcomes[index] = TrialOutcome(
+                index=index, status=status,
+                error=(f"{type(exc).__name__}: {exc}" if exc is not None
+                       else "job exceeded its wall-clock timeout"),
+                attempts=attempts[index],
+                duration=time.monotonic() - first_submit[index],
+                exception=exc,
+            )
+
+        while pending or active:
+            pool = self._ensure_pool()
+            if known_pids is None:
+                known_pids = self._worker_pids()
+            now = time.monotonic()
+            capacity = self.processes - wedged - len(active)
+            deferred = []
+            while pending and capacity > 0:
+                index = pending.popleft()
+                if ready_at[index] > now:
+                    deferred.append(index)
+                    continue
+                attempts[index] += 1
+                first_submit.setdefault(index, now)
+                active[index] = (pool.apply_async(fn, (jobs[index],)), now)
+                capacity -= 1
+            pending.extend(deferred)
+
+            progressed = False
+            for index in sorted(active):
+                result, started = active[index]
+                if result.ready():
+                    del active[index]
+                    progressed = True
+                    try:
+                        value = result.get()
+                    except Exception as exc:
+                        resolve_failure(index, FAILED, exc)
+                    else:
+                        outcomes[index] = TrialOutcome(
+                            index=index, status=OK, value=value,
+                            attempts=attempts[index],
+                            duration=time.monotonic()
+                            - first_submit[index],
+                        )
+                elif (timeout is not None
+                      and time.monotonic() - started > timeout):
+                    # The worker cannot be preempted; abandon the job,
+                    # count its worker as wedged, and recycle the pool
+                    # once nothing live is left on it.
+                    del active[index]
+                    progressed = True
+                    wedged += 1
+                    recycle_when_drained = True
+                    resolve_failure(index, TIMED_OUT, None)
+
+            if active and self._worker_pids() != known_pids:
+                # A worker died (the pool respawns replacements); any job
+                # it was running will never resolve. Resubmit everything
+                # in flight on a fresh pool — without burning a retry,
+                # unless a job keeps killing its workers.
+                progressed = True
+                for index in sorted(active):
+                    losses[index] += 1
+                    if losses[index] > loss_cap:
+                        outcomes[index] = TrialOutcome(
+                            index=index, status=FAILED,
+                            error=f"worker process died {losses[index]} "
+                                  "times while running this job",
+                            attempts=attempts[index],
+                            duration=time.monotonic()
+                            - first_submit[index],
+                        )
+                    else:
+                        attempts[index] -= 1
+                        pending.append(index)
+                active.clear()
+                self.terminate()
+                wedged = 0
+                recycle_when_drained = False
+                known_pids = None
+            elif not active and recycle_when_drained:
+                # Hung workers are still burning the abandoned jobs;
+                # replace the whole pool before the next submissions.
+                self.terminate()
+                wedged = 0
+                recycle_when_drained = False
+                known_pids = None
+
+            if (pending or active) and not progressed:
+                time.sleep(self.poll_interval)
+        return list(outcomes)
+
+    def _map_outcomes_inline(self, fn, jobs, retries, backoff,
+                             max_backoff) -> List[TrialOutcome]:
+        outcomes = []
+        for index, job in enumerate(jobs):
+            start = time.monotonic()
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    value = fn(job)
+                except Exception as exc:
+                    if attempt <= retries:
+                        self._sleep_backoff(attempt, backoff, max_backoff)
+                        continue
+                    outcomes.append(TrialOutcome(
+                        index=index, status=FAILED,
+                        error=f"{type(exc).__name__}: {exc}",
+                        attempts=attempt,
+                        duration=time.monotonic() - start,
+                        exception=exc,
+                    ))
+                else:
+                    outcomes.append(TrialOutcome(
+                        index=index, status=OK, value=value,
+                        attempts=attempt,
+                        duration=time.monotonic() - start,
+                    ))
+                break
+        return outcomes
+
+    @staticmethod
+    def _sleep_backoff(attempt: int, backoff: float,
+                       max_backoff: float) -> None:
+        if backoff > 0:
+            time.sleep(min(max_backoff, backoff * (2 ** (attempt - 1))))
 
     def run_local(self, thunks: Sequence[Callable[[], Any]]) -> List[Any]:
         """Run a batch of zero-argument closures in-process, in order.

@@ -100,6 +100,8 @@ def run_theorem1(
     promiscuity_factor: float = 32.0,
     slow_quiesce_threshold: Optional[int] = None,
     processes: int = 1,
+    trial_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[Theorem1Row]:
     """Run the Theorem 1 adversary against each portfolio strategy.
 
@@ -107,6 +109,12 @@ def run_theorem1(
     :class:`~repro.experiments.pool.TrialPool`; each execution is a
     deterministic function of its arguments, so results are identical to
     the sequential run.
+
+    ``trial_timeout``/``retries`` make the run fault-tolerant: a seed
+    whose execution hangs or raises is dropped from its algorithm's
+    aggregate (after the retries), and an algorithm whose every seed
+    failed is omitted from the result rather than aborting the whole
+    portfolio.
     """
     names = list(algorithms) if algorithms else list(PORTFOLIO)
     seeds = list(seeds)
@@ -116,10 +124,25 @@ def run_theorem1(
         for name in names for seed in seeds
     ]
     with TrialPool(processes) as pool:
-        all_reports = pool.map(_theorem1_job, jobs)
+        if trial_timeout is not None or retries:
+            outcomes = pool.map_outcomes(
+                _theorem1_job, jobs, timeout=trial_timeout, retries=retries,
+            )
+            all_reports = [
+                outcome.value if outcome.ok else None
+                for outcome in outcomes
+            ]
+        else:
+            all_reports = pool.map(_theorem1_job, jobs)
     rows = []
     for index, name in enumerate(names):
-        reports = all_reports[index * len(seeds):(index + 1) * len(seeds)]
+        reports = [
+            report for report in
+            all_reports[index * len(seeds):(index + 1) * len(seeds)]
+            if report is not None
+        ]
+        if not reports:
+            continue  # every seed failed; degrade to a partial portfolio
         cases: Dict[str, int] = {}
         for report in reports:
             cases[report.case] = cases.get(report.case, 0) + 1

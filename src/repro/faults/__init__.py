@@ -1,0 +1,54 @@
+"""Fault injection and chaos campaigns.
+
+This package is the offensive half of the robustness story whose
+defensive half lives in :mod:`repro.sim.invariants`: seeded, registrable
+fault injectors that deliberately break the paper's execution model
+(:mod:`repro.faults.injectors`), and a campaign driver that runs the
+canonical algorithm/scenario cells with each fault armed and asserts the
+invariant checkers catch every seeded violation — a self-test of the
+detectors (:mod:`repro.faults.campaign`).
+"""
+
+from .campaign import (
+    CampaignCell,
+    CampaignReport,
+    format_campaign,
+    run_campaign,
+)
+from .injectors import (
+    FAULTS,
+    DecisionFlipFault,
+    DelayBurstFault,
+    FaultInjector,
+    ForeignRumorFault,
+    ForgedMessageFault,
+    MessageDuplicationFault,
+    MessageLossFault,
+    RumorLossFault,
+    ScheduleStallFault,
+    SilentStallFault,
+    StepBudgetFault,
+    make_fault,
+    register_fault,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "DecisionFlipFault",
+    "DelayBurstFault",
+    "FAULTS",
+    "FaultInjector",
+    "ForeignRumorFault",
+    "ForgedMessageFault",
+    "MessageDuplicationFault",
+    "MessageLossFault",
+    "RumorLossFault",
+    "ScheduleStallFault",
+    "SilentStallFault",
+    "StepBudgetFault",
+    "format_campaign",
+    "make_fault",
+    "register_fault",
+    "run_campaign",
+]

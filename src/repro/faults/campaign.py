@@ -1,0 +1,243 @@
+"""Chaos campaigns: prove the invariant checkers catch seeded faults.
+
+A campaign is a self-test of the robustness plane.  For every registered
+fault and every trial it builds a canonical cell (EARS/SEARS/TEARS
+gossip, Ben-Or consensus) with the kind's safety invariants attached
+(``RunSpec(check_invariants=True)``), arms the fault on the built run,
+executes in strict mode, and records which detector fired:
+
+* a fault whose ``expects`` names invariants is *detected* iff the run
+  raised :class:`~repro.sim.errors.InvariantViolation` with one of those
+  names;
+* a liveness fault (``expects = ("liveness",)``) is detected iff strict
+  mode raised :class:`~repro.sim.errors.IncompleteRunError`;
+* a tolerance fault (empty ``expects``) passes iff the run completed
+  with **no** detector firing.
+
+Alongside the fault matrix the campaign runs each canonical cell clean
+(invariants on, no fault) — any violation there is a false positive and
+fails the campaign.  ``repro chaos`` exits nonzero unless detection is
+100% with zero false positives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.tables import render_table
+from ..sim.errors import IncompleteRunError, InvariantViolation
+from ..sim.monitor import PredicateMonitor
+from ..sim.rng import derive_rng
+from ..spec.builder import build
+from ..spec.runspec import RunSpec
+from .injectors import FAULTS, make_fault
+
+__all__ = [
+    "CampaignCell",
+    "CampaignReport",
+    "format_campaign",
+    "run_campaign",
+]
+
+#: The campaign's gossip portfolio (the paper's three efficient algorithms).
+GOSSIP_ALGORITHMS: Tuple[str, ...] = ("ears", "sears", "tears")
+CONSENSUS_ALGORITHMS: Tuple[str, ...] = ("ben-or",)
+
+#: Detection happens within a few steps of the trigger; cap run length so
+#: a *missed* detection costs bounded wall time, not the full step limit.
+DETECT_STEP_CAP = 2000
+
+
+@dataclass
+class CampaignCell:
+    """One (fault, algorithm, trial) execution and its verdict."""
+
+    fault: str
+    kind: str
+    algorithm: str
+    trial: int
+    seed: int
+    expected: Tuple[str, ...]
+    detected: Optional[str]  # invariant name, "liveness", or None
+    fired: bool
+    ok: bool
+    message: str = ""
+
+
+@dataclass
+class CampaignReport:
+    """Everything ``repro chaos`` needs to render and judge a campaign."""
+
+    cells: List[CampaignCell] = field(default_factory=list)
+    false_positives: List[CampaignCell] = field(default_factory=list)
+    controls: int = 0
+
+    @property
+    def detected(self) -> int:
+        return sum(1 for cell in self.cells if cell.ok)
+
+    @property
+    def missed(self) -> List[CampaignCell]:
+        return [cell for cell in self.cells if not cell.ok]
+
+    @property
+    def detection_rate(self) -> float:
+        if not self.cells:
+            return 1.0
+        return self.detected / len(self.cells)
+
+    @property
+    def ok(self) -> bool:
+        return not self.missed and not self.false_positives
+
+
+def _gossip_spec(algorithm: str, n: int, seed: int,
+                 with_crashes: bool) -> RunSpec:
+    return RunSpec(
+        kind="gossip", algorithm=algorithm, n=n, f=n // 4, d=2, delta=2,
+        seed=seed, crashes=(n // 8 if with_crashes else None),
+        check_invariants=True,
+    )
+
+
+def _consensus_spec(algorithm: str, n: int, seed: int,
+                    with_crashes: bool) -> RunSpec:
+    return RunSpec(
+        kind="consensus", algorithm=algorithm, n=n, seed=seed,
+        crashes=(n // 4 if with_crashes else None),
+        check_invariants=True,
+    )
+
+
+def _spec_for(kind: str, algorithm: str, n: int, consensus_n: int,
+              seed: int, with_crashes: bool) -> RunSpec:
+    if kind == "gossip":
+        return _gossip_spec(algorithm, n, seed, with_crashes)
+    return _consensus_spec(algorithm, consensus_n, seed, with_crashes)
+
+
+def _execute_cell(spec: RunSpec, fault, rng) -> Tuple[Optional[str], str]:
+    """Build, arm, run strictly; returns (detector-fired, message)."""
+    built = build(spec)
+    fault.arm(built, rng)
+    if fault.expects and fault.expects != ("liveness",):
+        # Detection needs the victim rescheduled *after* the tamper; keep
+        # the run going past its natural completion so timing never saves
+        # a broken execution from its detector.
+        built.sim.monitor = PredicateMonitor(
+            lambda sim: False, name="chaos-run-on"
+        )
+        built.max_steps = min(built.max_steps, DETECT_STEP_CAP)
+    try:
+        built.sim.run(max_steps=built.max_steps, strict=True)
+    except InvariantViolation as exc:
+        return exc.invariant, str(exc)
+    except IncompleteRunError as exc:
+        return "liveness", str(exc)
+    return None, "run completed with no detector firing"
+
+
+def run_campaign(
+    seed: int = 0,
+    trials: int = 3,
+    faults: Optional[Sequence[str]] = None,
+    n: int = 24,
+    consensus_n: int = 9,
+) -> CampaignReport:
+    """Run the chaos matrix: every fault × every applicable algorithm ×
+    ``trials`` seeds, plus clean control runs of every canonical cell.
+
+    ``faults`` defaults to every registered fault except the explicitly
+    out-of-model :class:`~repro.faults.injectors.MessageLossFault`
+    toggle (whose impact is algorithm-dependent by design).
+    """
+    if faults is None:
+        faults = sorted(name for name in FAULTS if name != "message-loss")
+    report = CampaignReport()
+
+    for trial in range(trials):
+        for fault_name in faults:
+            prototype = make_fault(fault_name)
+            kinds = (
+                ("gossip", "consensus") if prototype.kind == "any"
+                else (prototype.kind,)
+            )
+            for kind in kinds:
+                algorithms = (
+                    GOSSIP_ALGORITHMS if kind == "gossip"
+                    else CONSENSUS_ALGORITHMS
+                )
+                algorithm = algorithms[trial % len(algorithms)]
+                cell_seed = seed + trial
+                fault = make_fault(fault_name)
+                rng = derive_rng(seed, "chaos", fault_name, kind, trial)
+                spec = _spec_for(kind, algorithm, n, consensus_n,
+                                 cell_seed, fault.needs_crashes)
+                detected, message = _execute_cell(spec, fault, rng)
+                expected = tuple(fault.expects)
+                ok = (
+                    detected in expected if expected else detected is None
+                )
+                report.cells.append(CampaignCell(
+                    fault=fault_name, kind=kind, algorithm=algorithm,
+                    trial=trial, seed=cell_seed, expected=expected,
+                    detected=detected, fired=fault.fired, ok=ok,
+                    message=message,
+                ))
+
+    # Clean controls: canonical cells, invariants on, no fault — any
+    # violation here is a false positive of the detectors themselves.
+    controls = (
+        [("gossip", algorithm, crashed)
+         for algorithm in GOSSIP_ALGORITHMS for crashed in (False, True)]
+        + [("consensus", algorithm, crashed)
+           for algorithm in CONSENSUS_ALGORITHMS for crashed in (False, True)]
+    )
+    for kind, algorithm, with_crashes in controls:
+        spec = _spec_for(kind, algorithm, n, consensus_n, seed, with_crashes)
+        report.controls += 1
+        try:
+            build(spec).run()
+        except (InvariantViolation, IncompleteRunError) as exc:
+            report.false_positives.append(CampaignCell(
+                fault="(none)", kind=kind, algorithm=algorithm, trial=0,
+                seed=seed, expected=(), fired=False, ok=False,
+                detected=getattr(exc, "invariant", "liveness"),
+                message=str(exc),
+            ))
+    return report
+
+
+def format_campaign(report: CampaignReport) -> str:
+    table = render_table(
+        ["fault", "kind", "algorithm", "trial", "expected", "detected",
+         "ok"],
+        [
+            [cell.fault, cell.kind, cell.algorithm, cell.trial,
+             "|".join(cell.expected) or "(tolerated)",
+             cell.detected or "-", cell.ok]
+            for cell in report.cells
+        ],
+        title="Chaos campaign — seeded faults vs. invariant detectors",
+    )
+    lines = [
+        table,
+        "",
+        f"detection: {report.detected}/{len(report.cells)} "
+        f"({report.detection_rate:.0%})  "
+        f"controls: {report.controls} clean, "
+        f"{len(report.false_positives)} false positive(s)",
+    ]
+    for cell in report.missed:
+        lines.append(
+            f"MISSED {cell.fault} [{cell.kind}/{cell.algorithm} trial "
+            f"{cell.trial}]: expected {cell.expected}, got "
+            f"{cell.detected!r} — {cell.message}"
+        )
+    for cell in report.false_positives:
+        lines.append(
+            f"FALSE POSITIVE [{cell.kind}/{cell.algorithm}]: "
+            f"{cell.detected} — {cell.message}"
+        )
+    return "\n".join(lines)

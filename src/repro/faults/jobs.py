@@ -1,0 +1,72 @@
+"""Module-level misbehaving jobs for exercising the fault-tolerant pool.
+
+:meth:`~repro.experiments.pool.TrialPool.map_outcomes` ships jobs to
+worker processes, so anything used to *test* its failure handling must be
+a picklable module-level function.  These cover the pool's failure
+taxonomy: raising jobs, hanging jobs, worker-killing jobs, and jobs that
+fail until an external marker appears (for retry paths).  The grid and
+store tests drive them through real runners to pin partial-result
+semantics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+__all__ = [
+    "echo_job",
+    "flaky_until_marker_job",
+    "hang_if_job",
+    "kill_worker_if_job",
+    "raise_if_job",
+    "square_job",
+]
+
+
+def echo_job(value):
+    return value
+
+
+def square_job(value):
+    return value * value
+
+
+def raise_if_job(arg):
+    """``(value, should_raise)`` — raise deterministically on demand."""
+    value, should_raise = arg
+    if should_raise:
+        raise RuntimeError(f"injected failure for {value!r}")
+    return value
+
+
+def hang_if_job(arg):
+    """``(value, should_hang)`` — sleep far past any sane trial timeout."""
+    value, should_hang = arg
+    if should_hang:
+        time.sleep(3600)
+    return value
+
+
+def kill_worker_if_job(arg):
+    """``(value, should_die)`` — kill the worker process outright."""
+    value, should_die = arg
+    if should_die:
+        os._exit(17)
+    return value
+
+
+def flaky_until_marker_job(arg):
+    """``(value, marker_path)`` — fail once per missing marker, then pass.
+
+    The first call creates ``marker_path`` and raises; every later call
+    (a retry, possibly in a different worker) sees the marker and
+    succeeds.  This makes retry behavior observable across process
+    boundaries without shared memory.
+    """
+    value, marker_path = arg
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w", encoding="utf-8") as handle:
+            handle.write("failed-once\n")
+        raise RuntimeError(f"flaky failure for {value!r} (first attempt)")
+    return value

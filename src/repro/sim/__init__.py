@@ -16,6 +16,7 @@ from .errors import (
     IncompleteRunError,
     InvalidDelayError,
     InvalidScheduleError,
+    InvariantViolation,
     SimulationError,
 )
 from .events import (
@@ -23,6 +24,15 @@ from .events import (
     Observer,
     StepProfiler,
     TraceObserver,
+)
+from .invariants import (
+    BoundConsistencyInvariant,
+    ConsensusInvariant,
+    CrashConsistencyInvariant,
+    GossipValidityInvariant,
+    Invariant,
+    default_invariants,
+    state_digest,
 )
 from .message import Message
 from .metrics import Metrics
@@ -49,18 +59,24 @@ __all__ = [
     "Algorithm",
     "AlgorithmError",
     "BitMeterObserver",
+    "BoundConsistencyInvariant",
     "CompletionMonitor",
     "ConfigurationError",
+    "ConsensusInvariant",
     "Context",
     "CrashBudgetExceeded",
+    "CrashConsistencyInvariant",
     "EngineCore",
     "EventTrace",
     "EveryStep",
     "ExplicitSchedule",
     "GossipCompletionMonitor",
+    "GossipValidityInvariant",
     "IncompleteRunError",
     "InvalidDelayError",
     "InvalidScheduleError",
+    "Invariant",
+    "InvariantViolation",
     "Message",
     "Metrics",
     "Network",
@@ -81,6 +97,8 @@ __all__ = [
     "TraceEvent",
     "TraceObserver",
     "clone_rng",
+    "default_invariants",
     "derive_rng",
     "derive_seed",
+    "state_digest",
 ]

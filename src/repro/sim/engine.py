@@ -27,6 +27,7 @@ from .base import EngineCore, RunResult
 from .errors import (
     ConfigurationError,
     CrashBudgetExceeded,
+    IncompleteRunError,
     InvalidScheduleError,
 )
 from .events import BitMeterObserver, Observer, TraceObserver
@@ -87,6 +88,11 @@ class Simulation(EngineCore):
         self._alive_frozen: Optional[FrozenSet[int]] = frozenset(range(n))
         self._now = 0
         self._completed = False
+        #: Index of the last step at which anything happened (a process
+        #: stepped or a crash fired). Between that step and now the state
+        #: is frozen, which is what lets interval-checked runs report the
+        #: first step at which the monitor could have become true.
+        self._last_active_step = -1
 
         # The trace=/bit_meter= keywords are shims over the observer bus,
         # preserved so existing call sites (and forks of their sims) keep
@@ -184,11 +190,14 @@ class Simulation(EngineCore):
             for handler in self._obs_step_begin:
                 handler(t)
 
-        for pid in sorted(self.adversary.crashes_at(t)):
+        crashed = sorted(self.adversary.crashes_at(t))
+        for pid in crashed:
             self.crash(pid)
 
         alive = self.alive_pids
         scheduled = self.adversary.schedule_at(t, alive)
+        if scheduled or crashed:
+            self._last_active_step = t
         if not scheduled <= alive:
             raise InvalidScheduleError(
                 f"schedule at t={t} contains non-live pids: "
@@ -244,23 +253,39 @@ class Simulation(EngineCore):
             self.processes[pid].algorithm.is_quiescent() for pid in self._alive
         )
 
-    def run(self, max_steps: int = 1_000_000) -> RunResult:
+    def run(self, max_steps: int = 1_000_000,
+            strict: bool = False) -> RunResult:
         """Step until the monitor holds, the system stalls, or the limit.
 
         A stalled system (empty network, all quiescent) with no pending
         adversary events can never satisfy a currently-false monitor, so the
         run stops early with ``reason="stalled"``.
+
+        The monitor is evaluated every ``check_interval`` steps and once
+        more before a step-limit return, so a run whose monitor became
+        true between checks (or exactly at the limit) is never misreported
+        as ``"step-limit"``. When an interval check fires, the recorded
+        ``completion_time`` is the first step at which the monitor can
+        have become true: the state cannot have changed after the last
+        step in which a process was scheduled or a crash fired, so the
+        completion is back-dated to that step rather than to the check.
+
+        With ``strict=True`` an incomplete run raises
+        :class:`~repro.sim.errors.IncompleteRunError` carrying the stop
+        reason, the in-flight message count and the quiescent set, instead
+        of returning a ``completed=False`` result.
         """
+        # Step index of the last monitor check that returned False; the
+        # completion cannot pre-date it.
+        known_false_at = self._now - 1
         while self._now < max_steps:
             self.step()
             if self.monitor is not None and (
                 self._now % self.check_interval == 0
             ):
                 if self.monitor.check(self):
-                    self._completed = True
-                    self.metrics.completion_time = self._now
-                    self._emit_complete(self._now)
-                    return self._result(True, "completed")
+                    return self._complete(known_false_at)
+                known_false_at = self._now
             if self._stalled() and not self.adversary.has_pending_events(
                 self._now
             ):
@@ -270,12 +295,44 @@ class Simulation(EngineCore):
                     self._emit_complete(self._now)
                     return self._result(True, "quiescent")
                 if self.monitor.check(self):
-                    self._completed = True
-                    self.metrics.completion_time = self._now
-                    self._emit_complete(self._now)
-                    return self._result(True, "completed")
-                return self._result(False, "stalled")
-        return self._result(False, "step-limit")
+                    return self._complete(known_false_at)
+                return self._finish(False, "stalled", strict)
+        # Final check: the monitor may have become true since the last
+        # interval check (or the interval may not divide max_steps).
+        if (self.monitor is not None and known_false_at != self._now
+                and self.monitor.check(self)):
+            return self._complete(known_false_at)
+        return self._finish(False, "step-limit", strict)
+
+    def _complete(self, known_false_at: int) -> RunResult:
+        """Record a monitored completion, back-dated to the first step at
+        which the (interval-checked) monitor can have become true."""
+        self._completed = True
+        first_true = max(known_false_at + 1, self._last_active_step + 1, 0)
+        self.metrics.completion_time = first_true
+        self._emit_complete(first_true)
+        return self._result(True, "completed")
+
+    def _finish(self, completed: bool, reason: str,
+                strict: bool) -> RunResult:
+        result = self._result(completed, reason)
+        if strict and not completed:
+            quiescent = frozenset(
+                pid for pid in self._alive
+                if self.processes[pid].algorithm.is_quiescent()
+            )
+            raise IncompleteRunError(
+                f"run did not complete (reason={reason!r}, "
+                f"steps={self._now}, in_flight="
+                f"{self.network.in_flight}, quiescent="
+                f"{len(quiescent)}/{len(self._alive)} live)",
+                reason=reason,
+                steps=self._now,
+                in_flight=self.network.in_flight,
+                quiescent=quiescent,
+                result=result,
+            )
+        return result
 
     def run_for(self, steps: int) -> None:
         """Execute exactly ``steps`` further steps (no monitor checks)."""
@@ -342,6 +399,7 @@ class Simulation(EngineCore):
         target._alive_frozen = frozenset(target._alive)
         target._now = self._now
         target._completed = self._completed
+        target._last_active_step = self._last_active_step
 
         target._reset_observers()
         target._trace_observer = None

@@ -33,4 +33,60 @@ class AlgorithmError(SimulationError):
 
 
 class IncompleteRunError(SimulationError):
-    """A run that was required to complete hit its step limit first."""
+    """A run that was required to complete did not.
+
+    Raised by :meth:`Simulation.run(..., strict=True)
+    <repro.sim.engine.Simulation.run>` and by
+    :meth:`RunResult.require_completed`. When raised by the strict run
+    path it carries diagnostics: the engine's stop ``reason``, the number
+    of ``steps`` executed, the ``in_flight`` message count at stop time,
+    and the set of live pids that report themselves ``quiescent``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = None,
+        steps: int = None,
+        in_flight: int = None,
+        quiescent: frozenset = None,
+        result=None,
+    ) -> None:
+        super().__init__(message)
+        self.reason = reason
+        self.steps = steps
+        self.in_flight = in_flight
+        self.quiescent = quiescent
+        self.result = result
+
+
+class InvariantViolation(SimulationError):
+    """A runtime safety invariant failed during an execution.
+
+    Raised by the observers in :mod:`repro.sim.invariants` the moment a
+    paper property (gossip validity/integrity, crash consistency, the
+    declared (d, δ) bounds, consensus agreement/validity/irrevocability)
+    stops holding. Carries the invariant's name, the global step, the
+    offending pid (when one exists) and a small state digest of the
+    simulation at violation time.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        message: str,
+        *,
+        step: int = None,
+        pid: int = None,
+        digest: dict = None,
+    ) -> None:
+        super().__init__(
+            f"[{invariant}] {message}"
+            + (f" (step={step}" + (f", pid={pid})" if pid is not None
+                                   else ")") if step is not None else "")
+        )
+        self.invariant = invariant
+        self.step = step
+        self.pid = pid
+        self.digest = digest or {}

@@ -226,6 +226,16 @@ def execute(
     ).run()
 
 
+def _with_invariants(spec: RunSpec, observers: Sequence[Observer]
+                     ) -> Sequence[Observer]:
+    """Append the kind's safety invariants when the spec asks for them."""
+    if not spec.check_invariants:
+        return observers
+    from ..sim.invariants import default_invariants
+
+    return tuple(observers) + tuple(default_invariants(spec.kind))
+
+
 # -- gossip ---------------------------------------------------------------- #
 
 def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
@@ -261,6 +271,7 @@ def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
             kwargs["params"] = params
 
     processes = make_processes(n, f, algorithm_class, payloads, **kwargs)
+    observers = _with_invariants(spec, observers)
     bit_meter = None
     if spec.measure_bits:
         from ..sim.bits import BitMeter
@@ -369,6 +380,7 @@ def _build_consensus(spec, observers, params, values, adversary) -> BuiltRun:
         ),
         name="all-decided",
     )
+    observers = _with_invariants(spec, observers)
     sim = Simulation(
         n=n, f=f, algorithms=algorithms, adversary=adversary,
         monitor=monitor, seed=seed, check_interval=spec.check_interval,

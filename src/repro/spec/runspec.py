@@ -70,6 +70,12 @@ class RunSpec:
         majority: override the gossip completion notion.
         measure_bits / check_interval / probe_interval / max_steps:
             instrumentation and limit knobs, as in the legacy entry points.
+        check_invariants: attach the kind's runtime safety invariants
+            (:func:`repro.sim.invariants.default_invariants`) so the run
+            raises :class:`~repro.sim.errors.InvariantViolation` the step
+            a paper property is broken.  Defaults off (the observer-free
+            fast path); hash-stable because defaulted fields are omitted
+            from the serialization.
     """
 
     kind: str = "gossip"
@@ -89,6 +95,7 @@ class RunSpec:
     check_interval: int = 1
     probe_interval: Optional[int] = None
     max_steps: Optional[int] = None
+    check_invariants: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

@@ -34,6 +34,7 @@ __all__ = [
     "UnknownSchemaError",
     "execute_batch",
     "execute_cached",
+    "failed_record",
     "make_record",
     "metrics_of",
 ]
@@ -173,10 +174,35 @@ def _spec_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
     return metrics_of(execute(RunSpec.from_dict(spec_dict)))
 
 
+def failed_record(spec: RunSpec, outcome: Any) -> Dict[str, Any]:
+    """A record-shaped stand-in for a spec whose execution failed.
+
+    Same layout as :func:`make_record` plus ``"failed": True`` and a
+    ``metrics`` block that downstream readers treat as a not-completed
+    run (``completed``/``reason``/``error``/``attempts``). Never written
+    to a store, so a resumed batch retries exactly these specs.
+    """
+    from .experiments.pool import TIMED_OUT
+
+    reason = (
+        "trial-timeout" if outcome.status == TIMED_OUT else "trial-failed"
+    )
+    record = make_record(spec, {
+        "completed": False,
+        "reason": reason,
+        "error": outcome.error,
+        "attempts": outcome.attempts,
+    })
+    record["failed"] = True
+    return record
+
+
 def execute_batch(
     specs: Iterable[RunSpec],
     store: Optional[RunStore] = None,
     processes: int = 1,
+    trial_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[Dict[str, Any]]:
     """Execute a batch of specs, skipping every already-stored hash.
 
@@ -184,24 +210,52 @@ def execute_batch(
     batches need no pickling support beyond plain data.  Records come
     back in spec order; with a store, previously stored specs are cache
     hits and duplicate hashes within the batch execute once.
+
+    ``trial_timeout`` (seconds per spec) and ``retries`` switch the
+    batch to partial-result mode: a spec whose execution hangs, raises,
+    or kills its worker yields a :func:`failed_record` (marked
+    ``"failed": True``) instead of aborting the batch, and is **not**
+    stored — re-running the same batch against the same store retries
+    only the failed specs.
     """
     from .experiments.pool import TrialPool
+
+    fault_tolerant = trial_timeout is not None or retries > 0
+
+    def _run_jobs(pool, job_specs):
+        """Execute specs; returns (metrics-or-None list, outcome list)."""
+        jobs = [spec.to_dict() for spec in job_specs]
+        if not fault_tolerant:
+            return pool.map(_spec_job, jobs), None
+        outcomes = pool.map_outcomes(
+            _spec_job, jobs, timeout=trial_timeout, retries=retries,
+        )
+        return [o.value if o.ok else None for o in outcomes], outcomes
 
     specs = list(specs)
     if store is None:
         with TrialPool(processes) as pool:
-            metrics = pool.map(_spec_job, [s.to_dict() for s in specs])
+            metrics, outcomes = _run_jobs(pool, specs)
         return [
-            make_record(spec, m) for spec, m in zip(specs, metrics)
+            make_record(spec, m) if m is not None
+            else failed_record(spec, outcomes[i])
+            for i, (spec, m) in enumerate(zip(specs, metrics))
         ]
     pending: Dict[str, RunSpec] = {}
     for spec in specs:
         if spec.spec_hash not in store:
             pending.setdefault(spec.spec_hash, spec)
+    failures: Dict[str, Dict[str, Any]] = {}
     if pending:
-        jobs = [spec.to_dict() for spec in pending.values()]
+        pending_specs = list(pending.values())
         with TrialPool(processes) as pool:
-            results = pool.map(_spec_job, jobs)
-        for spec, metrics in zip(pending.values(), results):
-            store.put(spec, metrics)
-    return [store.get(spec.spec_hash) for spec in specs]
+            results, outcomes = _run_jobs(pool, pending_specs)
+        for i, (spec, metrics) in enumerate(zip(pending_specs, results)):
+            if metrics is not None:
+                store.put(spec, metrics)
+            else:
+                failures[spec.spec_hash] = failed_record(spec, outcomes[i])
+    return [
+        store.get(spec.spec_hash) or failures[spec.spec_hash]
+        for spec in specs
+    ]

@@ -86,6 +86,8 @@ def sweep_gossip(
     max_steps: Optional[int] = None,
     processes: int = 1,
     profile: Optional[StepProfiler] = None,
+    trial_timeout: Optional[float] = None,
+    retries: int = 0,
 ) -> List[SweepPoint]:
     """Run ``algorithm`` across a population sweep; aggregate per n.
 
@@ -96,6 +98,11 @@ def sweep_gossip(
     :class:`~repro.sim.events.StepProfiler` to every run, accumulating a
     per-phase wall-time breakdown; profiled sweeps run sequentially so
     the observer sees every step.
+
+    ``trial_timeout``/``retries`` route the runs through
+    :meth:`~repro.experiments.pool.TrialPool.map_outcomes`: a run that
+    hangs, raises, or kills its worker counts as a not-completed trial
+    in its cell's ``completion_rate`` instead of aborting the sweep.
     """
     # Lazy import: repro.experiments.scaling imports this module, so a
     # top-level import of the pool would be circular.
@@ -113,6 +120,16 @@ def sweep_gossip(
     if profile is not None:
         outcomes = [
             run_and_profile(job, profile) for job in jobs
+        ]
+    elif trial_timeout is not None or retries:
+        with TrialPool(processes) as pool:
+            trial_outcomes = pool.map_outcomes(
+                _sweep_job, jobs, timeout=trial_timeout, retries=retries,
+            )
+        # A failed/timed-out trial aggregates as a not-completed run.
+        outcomes = [
+            outcome.value if outcome.ok else (False, None, None)
+            for outcome in trial_outcomes
         ]
     else:
         with TrialPool(processes) as pool:

@@ -27,6 +27,20 @@ def counting_recorder(**params):
 register_recorder("counting", counting_recorder)
 
 
+def misbehaving_recorder(**params):
+    """x == 1 raises, x == 2 hangs, everything else succeeds."""
+    import time
+
+    if params["x"] == 1:
+        raise RuntimeError("cell exploded")
+    if params["x"] == 2:
+        time.sleep(3600)
+    return {"completed": True, "value": params["x"]}
+
+
+register_recorder("misbehaving", misbehaving_recorder)
+
+
 class TestGridSpec:
     def test_cells_cross_product_with_seeds(self):
         spec = GridSpec("t", "counting",
@@ -122,6 +136,41 @@ class TestGridRunner:
         sequential = GridRunner().run(spec)
         parallel = GridRunner(processes=2).run(spec)
         assert sequential == parallel
+
+
+class TestFaultTolerantGrid:
+    """Cells that hang or raise degrade to failure rows, not crashes."""
+
+    def test_partial_results_and_store_resume(self, tmp_path):
+        spec = GridSpec("chaos", "misbehaving", grid={"x": [0, 1, 2, 3]},
+                        seeds=[0])
+        runner = GridRunner(out_dir=str(tmp_path), processes=2,
+                            trial_timeout=1.0)
+        rows = runner.run(spec)
+        by_x = {r["x"]: r for r in rows}
+        assert by_x[0]["completed"] and by_x[0]["value"] == 0
+        assert by_x[3]["completed"] and by_x[3]["value"] == 3
+        assert not by_x[1]["completed"]
+        assert by_x[1]["reason"] == "trial-failed"
+        assert "cell exploded" in by_x[1]["error"]
+        assert not by_x[2]["completed"]
+        assert by_x[2]["reason"] == "trial-timeout"
+        summary = runner.last_summary
+        assert summary["ok"] == 2
+        assert summary["failed"] == 1
+        assert summary["timed_out"] == 1
+        # Failure rows never reach the store: a fresh runner sees exactly
+        # the failed cells as missing and would retry only those.
+        fresh = GridRunner(out_dir=str(tmp_path))
+        assert fresh.missing(spec) == 2
+
+    def test_clean_grid_leaves_no_summary_on_cache_hit(self, tmp_path):
+        spec = GridSpec("clean", "counting", grid={"x": [4]}, seeds=[0])
+        runner = GridRunner(out_dir=str(tmp_path), trial_timeout=5.0)
+        runner.run(spec)
+        assert runner.last_summary["ok"] == 1
+        runner.run(spec)  # pure cache hit
+        assert runner.last_summary is None
 
 
 class TestRecorderShipping:

@@ -1,0 +1,104 @@
+"""Run-loop robustness: strict mode, final monitor check, back-dating."""
+
+import pytest
+
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.sim.engine import Simulation
+from repro.sim.errors import IncompleteRunError
+from repro.sim.monitor import PredicateMonitor, QuiescenceMonitor
+from repro.sim.scheduler import ExplicitSchedule
+
+from .algos import RandomSpammer, RingSender, Silent
+
+
+def make_sim(algorithms, adversary=None, f=None, monitor=None,
+             check_interval=1):
+    n = len(algorithms)
+    return Simulation(
+        n=n,
+        f=f if f is not None else max(0, n - 1),
+        algorithms=algorithms,
+        adversary=adversary or ObliviousAdversary.synchronous_like(),
+        monitor=monitor,
+        check_interval=check_interval,
+    )
+
+
+class TestStrictMode:
+    def test_step_limit_raises_with_diagnostics(self):
+        sim = make_sim([RandomSpammer() for _ in range(3)],
+                       monitor=PredicateMonitor(lambda s: False))
+        with pytest.raises(IncompleteRunError) as info:
+            sim.run(max_steps=5, strict=True)
+        err = info.value
+        assert err.reason == "step-limit"
+        assert err.steps == 5
+        assert isinstance(err.in_flight, int)
+        assert err.quiescent == frozenset()  # spammers never quiesce
+        assert err.result is not None and not err.result.completed
+
+    def test_stall_raises_with_quiescent_set(self):
+        sim = make_sim([Silent() for _ in range(3)],
+                       monitor=PredicateMonitor(lambda s: False))
+        with pytest.raises(IncompleteRunError) as info:
+            sim.run(max_steps=50, strict=True)
+        err = info.value
+        assert err.reason == "stalled"
+        assert err.quiescent == frozenset({0, 1, 2})
+        assert err.in_flight == 0
+
+    def test_non_strict_returns_incomplete_result(self):
+        sim = make_sim([RandomSpammer() for _ in range(3)],
+                       monitor=PredicateMonitor(lambda s: False))
+        result = sim.run(max_steps=5)
+        assert not result.completed and result.reason == "step-limit"
+
+    def test_strict_completed_run_does_not_raise(self):
+        sim = make_sim([RingSender(count=1) for _ in range(3)],
+                       monitor=QuiescenceMonitor())
+        assert sim.run(max_steps=50, strict=True).completed
+
+
+class TestFinalMonitorCheck:
+    def _completing_sim(self, check_interval):
+        return make_sim(
+            [RingSender(count=1) for _ in range(3)],
+            monitor=QuiescenceMonitor(),
+            check_interval=check_interval,
+        )
+
+    def test_completion_found_at_step_limit(self):
+        # The condition holds by step 2, but the interval (50) never
+        # divides a step within the limit: only the final check at loop
+        # exit can see it.
+        result = self._completing_sim(check_interval=50).run(max_steps=4)
+        assert result.completed
+        assert result.reason == "completed"
+
+    def test_interval_check_backdates_completion(self):
+        baseline = self._completing_sim(check_interval=1).run(max_steps=100)
+        coarse = self._completing_sim(check_interval=7).run(max_steps=100)
+        assert baseline.completed and coarse.completed
+        assert coarse.completion_time == baseline.completion_time
+
+    def test_backdating_ignores_frozen_steps(self):
+        # Schedule activity only at steps 0-1; afterwards the state is
+        # frozen, so however late the monitor is checked, completion is
+        # dated to the first frozen step.
+        # Explicit schedules fall back to everyone beyond the table, so
+        # pad it with empty steps to keep the tail frozen.
+        schedule = ExplicitSchedule([{0, 1, 2}, {0, 1, 2}] + [set()] * 40)
+        adversary = ObliviousAdversary(schedule=schedule)
+        sim = make_sim(
+            [RingSender(count=1) for _ in range(3)],
+            adversary=adversary,
+            monitor=PredicateMonitor(
+                lambda s: all(
+                    s.algorithm(pid).sent == 1 for pid in range(3)
+                )
+            ),
+            check_interval=9,
+        )
+        result = sim.run(max_steps=30)
+        assert result.completed
+        assert result.completion_time <= 2

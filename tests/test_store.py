@@ -104,6 +104,47 @@ def test_batch_without_store_returns_records_in_order():
     assert all(r["metrics"]["completed"] for r in records)
 
 
+def test_batch_partial_results_and_resume(tmp_path, monkeypatch):
+    path = str(tmp_path / "runs.jsonl")
+    good = [SPEC.replace(seed=seed) for seed in (0, 1)]
+    bad = SPEC.replace(algorithm="nonexistent")
+    specs = [good[0], bad, good[1]]
+
+    records = execute_batch(specs, store=RunStore(path), trial_timeout=30)
+    assert records[0]["metrics"]["completed"]
+    assert records[2]["metrics"]["completed"]
+    failed = records[1]
+    assert failed["failed"] is True
+    assert failed["spec_hash"] == bad.spec_hash
+    assert failed["metrics"]["completed"] is False
+    assert failed["metrics"]["error"]
+
+    # Only the good specs were stored; a re-run retries exactly the
+    # failed spec and nothing else.
+    store = RunStore(path)
+    assert good[0].spec_hash in store and good[1].spec_hash in store
+    assert bad.spec_hash not in store
+
+    executed = []
+    real_job = store_module._spec_job
+
+    def spy(spec_dict):
+        executed.append(spec_dict["algorithm"])
+        return real_job(spec_dict)
+
+    monkeypatch.setattr(store_module, "_spec_job", spy)
+    execute_batch(specs, store=RunStore(path), trial_timeout=30)
+    assert executed == ["nonexistent"]
+
+
+def test_batch_partial_results_without_store():
+    bad = SPEC.replace(algorithm="nonexistent")
+    records = execute_batch([SPEC, bad], retries=1)
+    assert records[0]["metrics"]["completed"]
+    assert records[1]["failed"] is True
+    assert records[1]["metrics"]["attempts"] == 2
+
+
 def test_metrics_round_trip_through_json(tmp_path):
     from repro.spec import execute
 
