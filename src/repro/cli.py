@@ -15,6 +15,14 @@ figure of the paper can be regenerated from a shell:
     repro-gossip sweep --algorithm ears --max-n 128 --profile
     repro-gossip list
     repro-gossip run --spec examples/spec_ears.json --store runs.jsonl
+    repro-gossip batch --specs specs.jsonl --store runs.jsonl \\
+        --resume campaign.manifest.json
+    repro-gossip store verify runs.jsonl
+
+Campaign subcommands (``grid``, ``sweep``, ``batch``) accept
+``--resume MANIFEST``: progress checkpoints to the manifest, SIGINT or
+SIGTERM drains gracefully (exit code 75), and re-running the same
+command resumes exactly the missing cells, seed for seed.
 """
 
 from __future__ import annotations
@@ -86,6 +94,21 @@ def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
         "--retries", type=int, default=0,
         help="retry failed/timed-out trials this many times before "
              "reporting them as failures",
+    )
+
+
+def _add_checkpointing(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--resume", default=None, metavar="MANIFEST",
+        help="checkpoint manifest path: progress is saved there "
+             "atomically, SIGINT/SIGTERM drains instead of aborting, and "
+             "re-running with the same manifest resumes exactly the "
+             "missing cells (created if the file does not exist yet)",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=8,
+        help="write the checkpoint manifest at least every N completed "
+             "trials (default: 8)",
     )
 
 
@@ -161,6 +184,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
     _add_fault_tolerance(p)
+    _add_checkpointing(p)
     p.add_argument("--profile", action="store_true",
                    help="print per-phase wall time from the observer bus "
                         "(forces sequential, uncached execution)")
@@ -187,22 +211,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
     _add_fault_tolerance(p)
+    _add_checkpointing(p)
     p.add_argument("--profile", action="store_true",
                    help="print per-phase wall time from the observer bus "
                         "(forces sequential execution)")
 
     p = sub.add_parser(
+        "batch",
+        help="execute a file of RunSpecs against a store, with "
+             "checkpoint/resume and graceful shutdown",
+    )
+    p.add_argument("--specs", required=True,
+                   help="spec file: a JSON array of RunSpec objects, a "
+                        "single object, or JSONL (one spec per line)")
+    p.add_argument("--store", default=None,
+                   help="JSONL artifact store; stored spec hashes are "
+                        "cache hits and run no simulation")
+    p.add_argument("--fsync", default="always",
+                   choices=["always", "never"],
+                   help="store append durability policy (default: always "
+                        "— crash-safe to the last record)")
+    p.add_argument("--processes", type=int, default=1,
+                   help="worker processes (default: sequential)")
+    _add_fault_tolerance(p)
+    _add_checkpointing(p)
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="print the full provenance records as JSON")
+
+    p = sub.add_parser(
+        "store",
+        help="artifact-store maintenance: verify integrity, compact the "
+             "log, or show quarantined lines",
+    )
+    p.add_argument("action", choices=["verify", "compact", "quarantine"],
+                   help="verify: scan for torn/corrupt lines (read-only, "
+                        "exit 1 on findings); compact: atomically rewrite "
+                        "the log dropping superseded and corrupt lines; "
+                        "quarantine: show lines salvaged by recovery")
+    p.add_argument("path", help="JSONL store path")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the report as JSON")
+
+    p = sub.add_parser(
         "chaos",
         help="run the fault-injection campaign: every registered fault "
-             "against the canonical cells, asserting the invariant "
-             "checkers detect 100%% with zero false positives",
+             "against the canonical cells (plus store-corruption faults "
+             "against scratch artifact stores), asserting the detectors "
+             "catch 100%% with zero false positives",
     )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--trials", type=int, default=3,
                    help="trials per fault (distinct seeds/victims)")
     p.add_argument("--faults", default=None,
-                   help="comma-separated fault names (default: all "
-                        "registered except message-loss)")
+                   help="comma-separated fault names, simulation or store "
+                        "faults in any mix (default: all registered "
+                        "except message-loss)")
     p.add_argument("-n", type=int, default=24,
                    help="gossip population for campaign cells")
     p.add_argument("--consensus-n", type=int, default=9,
@@ -242,6 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=100,
                    help="timeline columns")
     return parser
+
+
+def _drained_exit(exc) -> int:
+    """Report a graceful drain and return the resumable exit code."""
+    from .experiments import DRAIN_EXIT_CODE
+
+    summary = exc.manifest.summary()
+    print(
+        f"campaign drained: {summary['completed']}/{summary['submitted']} "
+        f"trial(s) checkpointed, {summary['missing']} remaining; "
+        f"re-run with --resume {exc.manifest.path} to finish",
+        file=sys.stderr,
+    )
+    return DRAIN_EXIT_CODE
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -343,6 +420,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                     "algorithm": cell["algorithm"], "n": cell["n"],
                     "time": run.completion_time, "messages": run.messages,
                 })
+        elif args.resume:
+            from .experiments import CampaignDrained, GracefulShutdown
+
+            profiler = None
+            with GracefulShutdown() as shutdown:
+                runner = GridRunner(
+                    out_dir=args.out_dir,
+                    processes=args.processes,
+                    trial_timeout=args.trial_timeout,
+                    retries=args.retries,
+                    manifest_path=args.resume,
+                    checkpoint_every=args.checkpoint_every,
+                    shutdown=shutdown,
+                )
+                try:
+                    rows = runner.run(spec)
+                except CampaignDrained as exc:
+                    return _drained_exit(exc)
         else:
             profiler = None
             runner = GridRunner(out_dir=args.out_dir,
@@ -350,6 +445,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 trial_timeout=args.trial_timeout,
                                 retries=args.retries)
             rows = runner.run(spec)
+        if profiler is None:
             summary = runner.last_summary
             if summary and (summary["failed"] or summary["timed_out"]):
                 print(f"partial grid: {summary['ok']}/{summary['jobs']} "
@@ -369,10 +465,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "sweep":
+        from .experiments import CampaignDrained, GracefulShutdown
+
         profiler = StepProfiler() if args.profile else None
-        points = sweep_gossip(
-            args.algorithm,
-            geometric_ns(args.min_n, args.max_n, args.factor),
+        sweep_kwargs = dict(
             f_of_n=_F_RULES[args.f_rule],
             d=args.d, delta=args.delta,
             seeds=range(args.seeds), crash=args.crash,
@@ -380,6 +476,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             profile=profiler,
             trial_timeout=args.trial_timeout, retries=args.retries,
         )
+        ns = geometric_ns(args.min_n, args.max_n, args.factor)
+        if args.resume and not args.profile:
+            with GracefulShutdown() as shutdown:
+                try:
+                    points = sweep_gossip(
+                        args.algorithm, ns,
+                        manifest=args.resume,
+                        checkpoint_every=args.checkpoint_every,
+                        shutdown=shutdown,
+                        **sweep_kwargs,
+                    )
+                except CampaignDrained as exc:
+                    return _drained_exit(exc)
+        else:
+            points = sweep_gossip(args.algorithm, ns, **sweep_kwargs)
         for point in points:
             print(f"{args.algorithm}: n={point.n:5d} f={point.f:4d} "
                   f"completion={point.completion_rate:4.2f} "
@@ -396,16 +507,119 @@ def main(argv: Optional[List[str]] = None) -> int:
                   f"{scenario.description}")
         return 0
 
-    if args.command == "chaos":
-        from .faults import format_campaign, run_campaign
+    if args.command == "batch":
+        import json as _json
 
-        faults = (
-            [name.strip() for name in args.faults.split(",") if name.strip()]
-            if args.faults else None
+        from .experiments import CampaignDrained, GracefulShutdown
+        from .spec import RunSpec
+        from .store import RunStore, execute_batch
+
+        specs = RunSpec.load_many(args.specs)
+        store = RunStore(args.store, fsync=args.fsync) if args.store else None
+        batch_kwargs = dict(
+            store=store, processes=args.processes,
+            trial_timeout=args.trial_timeout, retries=args.retries,
         )
+        if args.resume:
+            with GracefulShutdown() as shutdown:
+                try:
+                    records = execute_batch(
+                        specs,
+                        manifest=args.resume,
+                        checkpoint_every=args.checkpoint_every,
+                        shutdown=shutdown,
+                        **batch_kwargs,
+                    )
+                except CampaignDrained as exc:
+                    return _drained_exit(exc)
+        else:
+            records = execute_batch(specs, **batch_kwargs)
+        if args.as_json:
+            print(_json.dumps(records, indent=2, sort_keys=True))
+        else:
+            for record in records:
+                metrics = record["metrics"]
+                status = (
+                    "FAILED" if record.get("failed")
+                    else ("ok" if metrics.get("completed") else "incomplete")
+                )
+                print(f"{record['spec_hash']}  {status:10s} "
+                      f"time={metrics.get('time')} "
+                      f"messages={metrics.get('messages')}")
+        failed = sum(1 for record in records if record.get("failed"))
+        print(f"batch: {len(records) - failed}/{len(records)} spec(s) ok"
+              + (f", {failed} failed (re-run to retry)" if failed else ""))
+        return 0 if not failed else 1
+
+    if args.command == "store":
+        import json as _json
+
+        from .store import RunStore
+
+        store = RunStore(args.path)
+        if args.action == "verify":
+            report = store.verify()
+            if args.as_json:
+                print(_json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(f"{report['path']}: {report['lines']} line(s), "
+                      f"{report['records']} valid record(s), "
+                      f"{report['unique']} unique spec(s), "
+                      f"{report['superseded']} superseded")
+                for finding in report["corrupt"]:
+                    print(f"  CORRUPT line {finding['line']}: "
+                          f"{finding['reason']}")
+                print("ok" if report["ok"]
+                      else f"{len(report['corrupt'])} corrupt line(s) — "
+                           "a load quarantines them; 'store compact' "
+                           "rewrites the log clean")
+            return 0 if report["ok"] else 1
+        if args.action == "compact":
+            result = store.compact()
+            if args.as_json:
+                print(_json.dumps(result, indent=2, sort_keys=True))
+            else:
+                print(f"{args.path}: kept {result['kept']} record(s), "
+                      f"dropped {result['dropped_superseded']} superseded "
+                      f"and {result['dropped_corrupt']} corrupt line(s)")
+            return 0
+        entries = store.quarantined_entries()
+        if args.as_json:
+            print(_json.dumps(entries, indent=2, sort_keys=True))
+        elif not entries:
+            print(f"{args.path}: no quarantined lines")
+        else:
+            for entry in entries:
+                print(f"line {entry['line']} ({entry['reason']}): "
+                      f"{entry['raw'][:120]}")
+        return 0
+
+    if args.command == "chaos":
+        from .faults import (
+            FAULTS,
+            STORE_FAULTS,
+            format_campaign,
+            run_campaign,
+        )
+
+        faults = store_faults = None
+        if args.faults:
+            names = [name.strip() for name in args.faults.split(",")
+                     if name.strip()]
+            unknown = [name for name in names
+                       if name not in FAULTS and name not in STORE_FAULTS]
+            if unknown:
+                print(f"unknown fault(s): {', '.join(unknown)}; "
+                      f"registered: {sorted(FAULTS)} + "
+                      f"{sorted(STORE_FAULTS)}",
+                      file=sys.stderr)
+                return 2
+            faults = [name for name in names if name in FAULTS]
+            store_faults = [name for name in names if name in STORE_FAULTS]
         report = run_campaign(
             seed=args.seed, trials=args.trials, faults=faults,
             n=args.n, consensus_n=args.consensus_n,
+            store_faults=store_faults,
         )
         print(format_campaign(report))
         return 0 if report.ok else 1

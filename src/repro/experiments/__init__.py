@@ -9,6 +9,13 @@ Each module regenerates one paper artifact:
 * :mod:`.scaling` — scaling-shape validation of the Table 1 columns.
 """
 
+from .campaign import (
+    CampaignDrained,
+    CampaignManifest,
+    DRAIN_EXIT_CODE,
+    GracefulShutdown,
+    run_checkpointed_jobs,
+)
 from .corollary2 import (
     Corollary2Row,
     format_corollary2,
@@ -45,8 +52,12 @@ from .table2 import Table2Row, format_table2, run_table2
 from .theorem1 import PORTFOLIO, Theorem1Row, format_theorem1, run_theorem1
 
 __all__ = [
+    "CampaignDrained",
+    "CampaignManifest",
     "Corollary2Row",
+    "DRAIN_EXIT_CODE",
     "EarsMilestones",
+    "GracefulShutdown",
     "GridRunner",
     "GridSpec",
     "PORTFOLIO",
@@ -66,6 +77,7 @@ __all__ = [
     "generate_report",
     "measure_ears_milestones",
     "measure_tears_lemmas",
+    "run_checkpointed_jobs",
     "run_coa_growth",
     "format_scaling",
     "format_table1",

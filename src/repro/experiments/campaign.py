@@ -1,0 +1,515 @@
+"""Crash-safe campaigns: checkpoint manifests and graceful shutdown.
+
+A *campaign* is any long multi-trial driver — a spec batch, a grid, a
+population sweep, a Theorem 1 portfolio run.  PR 3 made the individual
+trials fault-tolerant; this module makes the campaign itself survive
+process death:
+
+* :class:`CampaignManifest` — a small JSON checkpoint, atomically
+  replaced on a configurable cadence, recording every **submitted** job
+  (key and payload), the **completed** jobs (with their results, when no
+  artifact store holds them), the **failed** jobs (with their terminal
+  errors), and the campaign's RNG provenance.  A campaign SIGKILLed
+  mid-run resumes from the manifest alone and re-runs exactly the
+  missing jobs, seed for seed.
+* :class:`GracefulShutdown` — a SIGINT/SIGTERM drain handler: the first
+  signal stops new submissions and lets in-flight trials finish (bounded
+  by the driver's per-trial timeout and chunk size); the second signal
+  hard-terminates.  Drivers surface the drain as
+  :class:`CampaignDrained` and the CLI exits with
+  :data:`DRAIN_EXIT_CODE` so wrappers can distinguish "interrupted but
+  resumable" from failure.
+* :func:`run_checkpointed_jobs` — the one checkpointed execution loop
+  behind ``sweep_gossip`` and ``run_theorem1`` (store-less drivers whose
+  results live in the manifest), and :func:`run_manifest_batch` — its
+  sibling for :func:`repro.store.execute_batch`, where the
+  :class:`~repro.store.RunStore` is the source of truth for results and
+  the manifest tracks membership and progress.
+
+The manifest write discipline matches the store's: serialize to a
+temporary file, fsync, ``os.replace`` — a crash leaves either the old
+checkpoint or the new one, never a torn one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
+
+__all__ = [
+    "CampaignDrained",
+    "CampaignManifest",
+    "DRAIN_EXIT_CODE",
+    "GracefulShutdown",
+    "MANIFEST_SCHEMA_VERSION",
+    "job_key",
+    "run_checkpointed_jobs",
+    "run_manifest_batch",
+]
+
+#: Version of the manifest layout; loaders refuse versions they do not
+#: know rather than resume from a misread checkpoint.
+MANIFEST_SCHEMA_VERSION = 1
+
+#: Process exit code for a campaign that drained cleanly after a
+#: shutdown signal (EX_TEMPFAIL: re-run with ``--resume`` to finish).
+DRAIN_EXIT_CODE = 75
+
+
+def job_key(payload: Any) -> str:
+    """Canonical JSON identity of one job's parameters.
+
+    The same convention the grid cache uses (:func:`~repro.experiments.
+    grid.cell_key`): order- and representation-independent, so a job
+    submitted before a crash and its re-submission after resume key
+    identically.
+    """
+    return json.dumps(payload, sort_keys=True, default=str)
+
+
+class CampaignDrained(RuntimeError):
+    """A campaign stopped early on a shutdown request, checkpoint saved.
+
+    ``manifest`` is the saved :class:`CampaignManifest`; ``completed``
+    and ``remaining`` count jobs.  Not an error in the usual sense — the
+    checkpoint is consistent and ``--resume`` finishes the campaign —
+    but the normal return contract (one result per job) cannot be met,
+    so drivers raise instead of returning partial lists silently.
+    """
+
+    def __init__(self, manifest: "CampaignManifest") -> None:
+        self.manifest = manifest
+        self.completed = len(manifest.completed)
+        self.remaining = len(manifest.missing_keys())
+        super().__init__(
+            f"campaign drained after shutdown request: "
+            f"{self.completed} job(s) checkpointed, {self.remaining} "
+            f"remaining; resume from {manifest.path!r}"
+        )
+
+
+class CampaignManifest:
+    """Atomically-replaced JSON checkpoint of a campaign's progress.
+
+    State:
+
+    * ``meta`` — driver name, parameters, and RNG provenance (seed
+      lists / base seeds), recorded once at creation;
+    * ``submitted`` — key → job payload for every job the campaign
+      owns (payloads are JSON-native, so a resume can rebuild the job
+      list from the manifest alone);
+    * ``completed`` — key → result payload (``None`` when an artifact
+      store holds the record; the JSON-encoded result otherwise);
+    * ``failed`` — key → terminal error string.  Failed jobs stay
+      *missing*: a resume retries exactly them.
+
+    ``checkpoint_every`` sets the save cadence: :meth:`maybe_save`
+    persists once at least that many completions accumulated since the
+    last write (and :meth:`save` always persists).
+    """
+
+    def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None,
+                 checkpoint_every: int = 1) -> None:
+        self.path = str(path)
+        self.meta: Dict[str, Any] = dict(meta or {})
+        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.submitted: Dict[str, Any] = {}
+        self.completed: Dict[str, Any] = {}
+        self.failed: Dict[str, str] = {}
+        self.drained = False
+        self._unsaved = 0
+
+    # -- persistence ------------------------------------------------------#
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignManifest":
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        schema = payload.get("schema")
+        if schema != MANIFEST_SCHEMA_VERSION:
+            from ..sim.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"manifest {path!r} has schema version {schema!r}; this "
+                f"build reads version {MANIFEST_SCHEMA_VERSION}"
+            )
+        manifest = cls(path, meta=payload.get("meta") or {})
+        manifest.submitted = dict(payload.get("submitted") or {})
+        manifest.completed = dict(payload.get("completed") or {})
+        manifest.failed = dict(payload.get("failed") or {})
+        manifest.drained = bool(payload.get("drained", False))
+        return manifest
+
+    @classmethod
+    def ensure(cls, manifest: Any,
+               meta: Optional[Dict[str, Any]] = None,
+               checkpoint_every: int = 1) -> "CampaignManifest":
+        """Coerce ``manifest`` (instance or path) to an instance.
+
+        A path whose file exists loads (resume); a fresh path creates a
+        new manifest stamped with ``meta``.  ``meta`` from the caller is
+        only applied to fresh manifests — a resumed campaign keeps its
+        original provenance.
+        """
+        if isinstance(manifest, CampaignManifest):
+            manifest.checkpoint_every = max(1, int(checkpoint_every))
+            return manifest
+        path = str(manifest)
+        if os.path.exists(path):
+            loaded = cls.load(path)
+            loaded.checkpoint_every = max(1, int(checkpoint_every))
+            return loaded
+        return cls(path, meta=meta, checkpoint_every=checkpoint_every)
+
+    def save(self) -> None:
+        """Persist atomically (fsynced tmp file + rename)."""
+        from ..store import atomic_replace_json
+
+        atomic_replace_json(self.path, {
+            "schema": MANIFEST_SCHEMA_VERSION,
+            "meta": self.meta,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "drained": self.drained,
+        })
+        self._unsaved = 0
+
+    def maybe_save(self, force: bool = False) -> bool:
+        if force or self._unsaved >= self.checkpoint_every:
+            self.save()
+            return True
+        return False
+
+    # -- progress ---------------------------------------------------------#
+
+    def submit(self, key: str, payload: Any = None) -> None:
+        self.submitted.setdefault(key, payload)
+
+    def complete(self, key: str, result: Any = None) -> None:
+        self.completed[key] = result
+        self.failed.pop(key, None)
+        self._unsaved += 1
+
+    def fail(self, key: str, error: str) -> None:
+        self.failed[key] = error
+        self._unsaved += 1
+
+    def missing_keys(self) -> List[str]:
+        """Submitted jobs with no completion — exactly the resume set."""
+        return [key for key in self.submitted if key not in self.completed]
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "submitted": len(self.submitted),
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "missing": len(self.missing_keys()),
+            "drained": self.drained,
+        }
+
+
+class GracefulShutdown:
+    """SIGINT/SIGTERM drain handler for long campaigns.
+
+    Used as a context manager around a campaign, and passed to drivers
+    as their ``shutdown`` (it is callable, so it plugs directly into the
+    pool's ``stop_check``).  First signal: set the drain flag — drivers
+    stop submitting, wait (bounded) for in-flight trials, flush their
+    stores, write their manifests, and raise :class:`CampaignDrained`.
+    Second signal: raise ``KeyboardInterrupt`` from the handler — a hard
+    stop that unwinds immediately (the ``TrialPool`` context manager
+    terminates its workers on the way out).
+
+    Outside the main thread (or under a harness that owns the signal
+    disposition) installation fails silently and the instance degrades
+    to an inert flag the owner may set by hand.
+    """
+
+    def __init__(self, signals: Sequence[int] = (signal.SIGINT,
+                                                 signal.SIGTERM),
+                 verbose: bool = True) -> None:
+        self.signals = tuple(signals)
+        self.verbose = verbose
+        self.requested = False
+        self.signal_count = 0
+        self._previous: Dict[int, Any] = {}
+
+    def __call__(self) -> bool:
+        return self.requested
+
+    def __bool__(self) -> bool:
+        return self.requested
+
+    def _handle(self, signum: int, frame: Any) -> None:
+        self.signal_count += 1
+        self.requested = True
+        if self.signal_count >= 2:
+            raise KeyboardInterrupt(
+                f"second shutdown signal ({signum}); hard stop"
+            )
+        if self.verbose:
+            print(
+                "shutdown requested: draining in-flight trials and "
+                "writing the checkpoint (signal again to hard-stop)",
+                file=sys.stderr,
+            )
+
+    def __enter__(self) -> "GracefulShutdown":
+        for signum in self.signals:
+            try:
+                self._previous[signum] = signal.signal(signum, self._handle)
+            except (ValueError, OSError):  # pragma: no cover - non-main
+                pass
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover - non-main
+                pass
+        self._previous.clear()
+
+
+def _chunks(items: Sequence[Any], size: int) -> Iterable[Sequence[Any]]:
+    for start in range(0, len(items), size):
+        yield items[start:start + size]
+
+
+def _drain(manifest: CampaignManifest, store: Any = None) -> None:
+    """Common drain tail: flush artifacts, checkpoint, raise."""
+    if store is not None:
+        store.sync()
+    manifest.drained = True
+    manifest.save()
+    raise CampaignDrained(manifest)
+
+
+def run_checkpointed_jobs(
+    jobs: Sequence[Any],
+    job_fn: Callable[[Any], Any],
+    *,
+    manifest: Any,
+    meta: Optional[Dict[str, Any]] = None,
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[[Any], Any]] = None,
+    checkpoint_every: int = 8,
+    shutdown: Optional[Callable[[], bool]] = None,
+    processes: int = 1,
+    trial_timeout: Optional[float] = None,
+    retries: int = 0,
+) -> List[Optional[Any]]:
+    """Run ``job_fn`` over ``jobs`` with manifest checkpointing.
+
+    The execution loop behind the store-less drivers: each job is keyed
+    by :func:`job_key` of its arguments, results are JSON-encoded via
+    ``encode`` into the manifest (and revived via ``decode`` on resume),
+    and the manifest is atomically rewritten after every chunk — at
+    least every ``checkpoint_every`` completions.  Jobs already
+    completed in the manifest never re-execute; failed jobs are recorded
+    and retried on the next run.  Returns one result per job in
+    submission order (``None`` for jobs that failed under the
+    fault-tolerant mode), exactly what an unchunked
+    :meth:`~repro.experiments.pool.TrialPool.map` would have produced.
+
+    ``shutdown`` truthy between chunks (or mid-chunk, via the pool's
+    ``stop_check``) drains: in-flight trials finish, the checkpoint is
+    written, and :class:`CampaignDrained` propagates to the caller.
+    """
+    from .pool import TrialPool
+
+    encode = encode or (lambda value: value)
+    decode = decode or (lambda value: value)
+    manifest = CampaignManifest.ensure(
+        manifest, meta=meta, checkpoint_every=checkpoint_every
+    )
+    manifest.drained = False
+    jobs = list(jobs)
+    keys = [job_key(job) for job in jobs]
+    for key, job in zip(keys, jobs):
+        manifest.submit(key, json.loads(job_key(job)))
+
+    results: Dict[str, Any] = {
+        key: decode(manifest.completed[key])
+        for key in keys if key in manifest.completed
+    }
+    pending = [
+        (key, job) for key, job in zip(keys, jobs)
+        if key not in results
+    ]
+    # Dedupe identical jobs within the batch (same key ⇒ same result).
+    unique: Dict[str, Any] = {}
+    for key, job in pending:
+        unique.setdefault(key, job)
+    pending = list(unique.items())
+
+    fault_tolerant = trial_timeout is not None or retries > 0
+    chunk_size = max(manifest.checkpoint_every, processes)
+    failed: Dict[str, str] = {}
+    if pending:
+        with TrialPool(processes) as pool:
+            for chunk in _chunks(pending, chunk_size):
+                if shutdown is not None and shutdown():
+                    _drain(manifest)
+                chunk_jobs = [job for _key, job in chunk]
+                if fault_tolerant:
+                    outcomes = pool.map_outcomes(
+                        job_fn, chunk_jobs, timeout=trial_timeout,
+                        retries=retries, stop_check=shutdown,
+                    )
+                    cancelled = False
+                    for (key, _job), outcome in zip(chunk, outcomes):
+                        if outcome.ok:
+                            manifest.complete(key, encode(outcome.value))
+                            results[key] = outcome.value
+                        elif outcome.status == "cancelled":
+                            cancelled = True
+                        else:
+                            manifest.fail(key, outcome.error or "failed")
+                            failed[key] = outcome.error or "failed"
+                    manifest.maybe_save()
+                    if cancelled:
+                        _drain(manifest)
+                else:
+                    values = pool.map(job_fn, chunk_jobs)
+                    for (key, _job), value in zip(chunk, values):
+                        manifest.complete(key, encode(value))
+                        results[key] = value
+                    manifest.maybe_save()
+    manifest.maybe_save(force=True)
+    if shutdown is not None and shutdown():
+        _drain(manifest)
+    return [results.get(key) for key in keys]
+
+
+def run_manifest_batch(
+    specs: Sequence[Any],
+    store: Any = None,
+    processes: int = 1,
+    trial_timeout: Optional[float] = None,
+    retries: int = 0,
+    manifest: Any = None,
+    checkpoint_every: int = 8,
+    shutdown: Optional[Callable[[], bool]] = None,
+) -> List[Dict[str, Any]]:
+    """Checkpointed sibling of :func:`repro.store.execute_batch`.
+
+    Jobs are :class:`~repro.spec.runspec.RunSpec` executions keyed by
+    spec hash.  With a store, the store holds the results (the manifest
+    records membership and progress, and completions carry no payload);
+    without one, realized metrics live in the manifest itself, so the
+    batch is still resumable.  Either way the resume set is exactly the
+    submitted-but-not-completed (or failed) spec hashes — seed for seed,
+    because the spec hash pins the seed.
+    """
+    from ..store import _spec_job, failed_record, make_record
+    from .pool import TrialPool
+
+    specs = list(specs)
+    rng_provenance = sorted({spec.seed for spec in specs})
+    if manifest is None:
+        raise ValueError(
+            "run_manifest_batch needs a manifest (path or "
+            "CampaignManifest); use execute_batch for unmanifested runs"
+        )
+    manifest = CampaignManifest.ensure(
+        manifest,
+        meta={
+            "driver": "execute_batch",
+            "specs": len(specs),
+            "rng": {"seeds": rng_provenance},
+        },
+        checkpoint_every=checkpoint_every,
+    )
+    manifest.drained = False
+    for spec in specs:
+        manifest.submit(spec.spec_hash, spec.to_dict())
+
+    def stored(spec_hash: str) -> bool:
+        if store is not None:
+            return spec_hash in store
+        return spec_hash in manifest.completed
+
+    pending: Dict[str, Any] = {}
+    for spec in specs:
+        if not stored(spec.spec_hash):
+            pending.setdefault(spec.spec_hash, spec)
+        elif store is not None:
+            # Back-fill manifest state for records that reached the
+            # store before a crash could checkpoint them.
+            manifest.complete(spec.spec_hash)
+
+    fault_tolerant = trial_timeout is not None or retries > 0
+    chunk_size = max(manifest.checkpoint_every, processes)
+    failures: Dict[str, Dict[str, Any]] = {}
+    pending_specs = list(pending.values())
+    if pending_specs:
+        with TrialPool(processes) as pool:
+            for chunk in _chunks(pending_specs, chunk_size):
+                if shutdown is not None and shutdown():
+                    _drain(manifest, store)
+                chunk_jobs = [spec.to_dict() for spec in chunk]
+                if fault_tolerant:
+                    outcomes = pool.map_outcomes(
+                        _spec_job, chunk_jobs, timeout=trial_timeout,
+                        retries=retries, stop_check=shutdown,
+                    )
+                    cancelled = False
+                    for spec, outcome in zip(chunk, outcomes):
+                        if outcome.ok:
+                            if store is not None:
+                                store.put(spec, outcome.value)
+                                manifest.complete(spec.spec_hash)
+                            else:
+                                manifest.complete(
+                                    spec.spec_hash, outcome.value
+                                )
+                        elif outcome.status == "cancelled":
+                            cancelled = True
+                        else:
+                            failures[spec.spec_hash] = failed_record(
+                                spec, outcome
+                            )
+                            manifest.fail(
+                                spec.spec_hash, outcome.error or "failed"
+                            )
+                    manifest.maybe_save()
+                    if cancelled:
+                        _drain(manifest, store)
+                else:
+                    values = pool.map(_spec_job, chunk_jobs)
+                    for spec, metrics in zip(chunk, values):
+                        if store is not None:
+                            store.put(spec, metrics)
+                            manifest.complete(spec.spec_hash)
+                        else:
+                            manifest.complete(spec.spec_hash, metrics)
+                    manifest.maybe_save()
+    manifest.maybe_save(force=True)
+    if shutdown is not None and shutdown():
+        _drain(manifest, store)
+
+    def record_for(spec: Any) -> Dict[str, Any]:
+        if store is not None:
+            record = store.get(spec.spec_hash)
+            if record is not None:
+                return record
+            return failures[spec.spec_hash]
+        if spec.spec_hash in failures:
+            return failures[spec.spec_hash]
+        return make_record(spec, manifest.completed[spec.spec_hash])
+
+    return [record_for(spec) for spec in specs]

@@ -216,12 +216,28 @@ class GridRunner:
     :func:`~repro.experiments.pool.summarize_outcomes` report of the
     most recent :meth:`run` that executed cells (``None`` when every
     cell was a cache hit).
+
+    ``manifest_path`` makes grid runs **checkpointed**: cells execute in
+    chunks, and a :class:`~repro.experiments.campaign.CampaignManifest`
+    recording submitted/completed/failed cell keys is atomically
+    rewritten at least every ``checkpoint_every`` completions.  A run
+    killed mid-grid resumes (same spec, same manifest) by executing
+    exactly the missing cells — the JSONL store remains the result
+    cache, the manifest adds progress provenance and drain bookkeeping.
+    ``shutdown`` (a 0-argument callable, e.g. a
+    :class:`~repro.experiments.campaign.GracefulShutdown`) is polled
+    between submissions; once truthy the run drains in-flight cells,
+    checkpoints, and raises
+    :class:`~repro.experiments.campaign.CampaignDrained`.
     """
 
     out_dir: Optional[str] = None
     processes: int = 1
     trial_timeout: Optional[float] = None
     retries: int = 0
+    manifest_path: Optional[str] = None
+    checkpoint_every: int = 8
+    shutdown: Optional[Any] = None
     last_summary: Optional[Dict[str, Any]] = field(
         default=None, init=False, repr=False
     )
@@ -272,7 +288,9 @@ class GridRunner:
         ]
         failures: Dict[str, Dict[str, Any]] = {}
         self.last_summary = None
-        if pending:
+        if pending and (self.manifest_path or self.shutdown is not None):
+            self._run_checkpointed(spec, pending, failures)
+        elif pending:
             module = _RECORDER_MODULES.get(spec.recorder, "")
             jobs = [(spec.recorder, module, cell) for cell in pending]
             with TrialPool(self.processes) as pool:
@@ -295,6 +313,85 @@ class GridRunner:
             row.update(record)
             rows.append(row)
         return rows
+
+    def _run_checkpointed(self, spec: GridSpec,
+                          pending: List[Dict[str, Any]],
+                          failures: Dict[str, Dict[str, Any]]) -> None:
+        """Execute ``pending`` cells in checkpointed chunks.
+
+        The JSONL store stays the result cache (cells already in it were
+        filtered out by the caller); the manifest records cell
+        membership and progress so an interrupted grid is resumable and
+        auditable.  Raises
+        :class:`~repro.experiments.campaign.CampaignDrained` when the
+        shutdown flag goes up.
+        """
+        from .campaign import CampaignDrained, CampaignManifest
+
+        manifest = None
+        if self.manifest_path:
+            manifest = CampaignManifest.ensure(
+                self.manifest_path,
+                meta={
+                    "driver": "grid",
+                    "grid": spec.name,
+                    "recorder": spec.recorder,
+                    "rng": {"seeds": list(spec.seeds)},
+                },
+                checkpoint_every=self.checkpoint_every,
+            )
+            manifest.drained = False
+            for cell in spec.cells():
+                manifest.submit(cell_key(cell), canonicalize_params(cell))
+            for cell in spec.cells():
+                if cell_key(cell) in self._stores[spec.name]:
+                    manifest.complete(cell_key(cell))
+
+        def drain() -> None:
+            if manifest is not None:
+                manifest.drained = True
+                manifest.save()
+                raise CampaignDrained(manifest)
+            raise KeyboardInterrupt("grid stopped by shutdown request")
+
+        module = _RECORDER_MODULES.get(spec.recorder, "")
+        chunk_size = max(self.checkpoint_every, self.processes)
+        all_outcomes = []
+        with TrialPool(self.processes) as pool:
+            for start in range(0, len(pending), chunk_size):
+                chunk = pending[start:start + chunk_size]
+                if self.shutdown is not None and self.shutdown():
+                    drain()
+                jobs = [(spec.recorder, module, cell) for cell in chunk]
+                outcomes = pool.map_outcomes(
+                    _run_cell, jobs,
+                    timeout=self.trial_timeout, retries=self.retries,
+                    stop_check=self.shutdown,
+                )
+                cancelled = False
+                for cell, outcome in zip(chunk, outcomes):
+                    if outcome.ok:
+                        params, record = outcome.value
+                        self._append(spec.name, params, record)
+                        if manifest is not None:
+                            manifest.complete(cell_key(cell))
+                    elif outcome.status == "cancelled":
+                        cancelled = True
+                    else:
+                        failures[cell_key(cell)] = failure_record(outcome)
+                        if manifest is not None:
+                            manifest.fail(cell_key(cell),
+                                          outcome.error or "failed")
+                all_outcomes.extend(outcomes)
+                if manifest is not None:
+                    manifest.maybe_save()
+                if cancelled:
+                    drain()
+        if manifest is not None:
+            manifest.maybe_save(force=True)
+        if self.shutdown is not None and self.shutdown():
+            drain()
+        self.last_summary = summarize_outcomes(all_outcomes)
 
     def missing(self, spec: GridSpec) -> int:
         store = self._load(spec.name)

@@ -44,6 +44,7 @@ __all__ = ["TrialOutcome", "TrialPool", "summarize_outcomes"]
 OK = "ok"
 FAILED = "failed"
 TIMED_OUT = "timed-out"
+CANCELLED = "cancelled"
 
 
 @dataclass
@@ -85,6 +86,7 @@ def summarize_outcomes(outcomes: Sequence[TrialOutcome]) -> Dict[str, Any]:
         "ok": sum(1 for o in outcomes if o.ok),
         "failed": len(failed),
         "timed_out": len(timed_out),
+        "cancelled": sum(1 for o in outcomes if o.status == CANCELLED),
         "attempts": sum(o.attempts for o in outcomes),
         "errors": {o.index: o.error for o in failed},
         "timed_out_indices": [o.index for o in timed_out],
@@ -192,6 +194,7 @@ class TrialPool:
         retries: int = 0,
         backoff: float = 0.05,
         max_backoff: float = 2.0,
+        stop_check: Optional[Callable[[], bool]] = None,
     ) -> List[TrialOutcome]:
         """Fault-tolerant map: one :class:`TrialOutcome` per job, in order.
 
@@ -206,16 +209,22 @@ class TrialPool:
           ``os._exit``), its in-flight jobs would never resolve; the pool
           is recycled and exactly the unresolved jobs are resubmitted,
           without consuming one of their retries.
+        - ``stop_check``: polled each scheduling round; once truthy the
+          batch *drains* — no new submissions, in-flight jobs finish,
+          and every unstarted job resolves as ``"cancelled"``.  This is
+          how graceful shutdown bounds its wait: the drain cost is at
+          most one in-flight job per worker (times the per-job
+          ``timeout``, when one is set).
 
-        With ``processes == 1`` jobs run inline: exceptions and retries
-        behave identically, but timeouts are not enforced (a same-process
-        job cannot be preempted) — drivers that need hang protection must
-        run with ``processes >= 2``.
+        With ``processes == 1`` jobs run inline: exceptions, retries and
+        ``stop_check`` behave identically, but timeouts are not enforced
+        (a same-process job cannot be preempted) — drivers that need
+        hang protection must run with ``processes >= 2``.
         """
         jobs = list(jobs)
         if self.processes == 1:
             return self._map_outcomes_inline(fn, jobs, retries, backoff,
-                                             max_backoff)
+                                             max_backoff, stop_check)
         from collections import deque
 
         outcomes: List[Optional[TrialOutcome]] = [None] * len(jobs)
@@ -254,6 +263,20 @@ class TrialPool:
             )
 
         while pending or active:
+            if (pending and stop_check is not None and stop_check()):
+                # Drain: cancel everything not yet started; in-flight
+                # jobs keep running below until they resolve.
+                for index in pending:
+                    outcomes[index] = TrialOutcome(
+                        index=index, status=CANCELLED,
+                        error="cancelled by shutdown request",
+                        attempts=attempts[index],
+                        duration=(time.monotonic() - first_submit[index]
+                                  if index in first_submit else 0.0),
+                    )
+                pending.clear()
+                if not active:
+                    break
             pool = self._ensure_pool()
             if known_pids is None:
                 known_pids = self._worker_pids()
@@ -337,9 +360,17 @@ class TrialPool:
         return list(outcomes)
 
     def _map_outcomes_inline(self, fn, jobs, retries, backoff,
-                             max_backoff) -> List[TrialOutcome]:
+                             max_backoff,
+                             stop_check=None) -> List[TrialOutcome]:
         outcomes = []
         for index, job in enumerate(jobs):
+            if stop_check is not None and stop_check():
+                outcomes.append(TrialOutcome(
+                    index=index, status=CANCELLED,
+                    error="cancelled by shutdown request",
+                    attempts=0,
+                ))
+                continue
             start = time.monotonic()
             attempt = 0
             while True:

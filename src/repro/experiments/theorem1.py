@@ -14,8 +14,17 @@ and the measured cost against the analytical bound:
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+)
 
 from ..adversary.lower_bound import LowerBoundReport, run_lower_bound
 from ..analysis.stats import success_rate, summarize
@@ -64,6 +73,24 @@ def _theorem1_job(args):
     )
 
 
+def _encode_report(report: LowerBoundReport) -> Dict[str, Any]:
+    """JSON-native form of a report, for checkpoint manifests."""
+    return dataclasses.asdict(report)
+
+
+def _decode_report(payload: Dict[str, Any]) -> LowerBoundReport:
+    """Revive a report from its manifest form (undo JSON coercions:
+    int dict keys became strings, the isolation tuple became a list)."""
+    data = dict(payload)
+    data["expected_sends"] = {
+        int(key): value
+        for key, value in (data.get("expected_sends") or {}).items()
+    }
+    if data.get("isolation_pair") is not None:
+        data["isolation_pair"] = tuple(data["isolation_pair"])
+    return LowerBoundReport(**data)
+
+
 @dataclass
 class Theorem1Row:
     algorithm: str
@@ -102,6 +129,9 @@ def run_theorem1(
     processes: int = 1,
     trial_timeout: Optional[float] = None,
     retries: int = 0,
+    manifest: Optional[Any] = None,
+    checkpoint_every: int = 4,
+    shutdown: Optional[Callable[[], bool]] = None,
 ) -> List[Theorem1Row]:
     """Run the Theorem 1 adversary against each portfolio strategy.
 
@@ -115,6 +145,13 @@ def run_theorem1(
     aggregate (after the retries), and an algorithm whose every seed
     failed is omitted from the result rather than aborting the whole
     portfolio.
+
+    ``manifest`` checkpoints the portfolio: every (algorithm, seed)
+    report is persisted to a
+    :class:`~repro.experiments.campaign.CampaignManifest` as it lands,
+    so a killed run resumes seed-for-seed, re-executing only the missing
+    pairs.  ``shutdown`` drains on a graceful-stop request
+    (:class:`~repro.experiments.campaign.CampaignDrained`).
     """
     names = list(algorithms) if algorithms else list(PORTFOLIO)
     seeds = list(seeds)
@@ -123,17 +160,41 @@ def run_theorem1(
          slow_quiesce_threshold)
         for name in names for seed in seeds
     ]
-    with TrialPool(processes) as pool:
-        if trial_timeout is not None or retries:
-            outcomes = pool.map_outcomes(
-                _theorem1_job, jobs, timeout=trial_timeout, retries=retries,
+    if manifest is not None or shutdown is not None:
+        from .campaign import run_checkpointed_jobs
+
+        if manifest is None:
+            raise ValueError(
+                "run_theorem1 with a shutdown hook needs a manifest to "
+                "checkpoint into"
             )
-            all_reports = [
-                outcome.value if outcome.ok else None
-                for outcome in outcomes
-            ]
-        else:
-            all_reports = pool.map(_theorem1_job, jobs)
+        all_reports = run_checkpointed_jobs(
+            jobs, _theorem1_job,
+            manifest=manifest,
+            meta={
+                "driver": "theorem1",
+                "algorithms": names,
+                "n": n, "f": f,
+                "rng": {"seeds": seeds},
+            },
+            encode=_encode_report, decode=_decode_report,
+            checkpoint_every=checkpoint_every, shutdown=shutdown,
+            processes=processes, trial_timeout=trial_timeout,
+            retries=retries,
+        )
+    else:
+        with TrialPool(processes) as pool:
+            if trial_timeout is not None or retries:
+                outcomes = pool.map_outcomes(
+                    _theorem1_job, jobs, timeout=trial_timeout,
+                    retries=retries,
+                )
+                all_reports = [
+                    outcome.value if outcome.ok else None
+                    for outcome in outcomes
+                ]
+            else:
+                all_reports = pool.map(_theorem1_job, jobs)
     rows = []
     for index, name in enumerate(names):
         reports = [

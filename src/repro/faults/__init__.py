@@ -7,6 +7,11 @@ fault injectors that deliberately break the paper's execution model
 canonical algorithm/scenario cells with each fault armed and asserts the
 invariant checkers catch every seeded violation — a self-test of the
 detectors (:mod:`repro.faults.campaign`).
+
+A second, on-disk matrix targets the artifact store: seeded corruption
+injectors (:mod:`repro.faults.store_faults`) tear or bit-flip a scratch
+``RunStore`` log and the campaign asserts the store's durability layer
+(checksum verify + recovery quarantine) detects every corruption.
 """
 
 from .campaign import (
@@ -31,10 +36,19 @@ from .injectors import (
     make_fault,
     register_fault,
 )
+from .store_faults import (
+    STORE_FAULTS,
+    ChecksumFlipFault,
+    StoreFault,
+    TornWriteFault,
+    make_store_fault,
+    register_store_fault,
+)
 
 __all__ = [
     "CampaignCell",
     "CampaignReport",
+    "ChecksumFlipFault",
     "DecisionFlipFault",
     "DelayBurstFault",
     "FAULTS",
@@ -44,11 +58,16 @@ __all__ = [
     "MessageDuplicationFault",
     "MessageLossFault",
     "RumorLossFault",
+    "STORE_FAULTS",
     "ScheduleStallFault",
     "SilentStallFault",
     "StepBudgetFault",
+    "StoreFault",
+    "TornWriteFault",
     "format_campaign",
     "make_fault",
+    "make_store_fault",
     "register_fault",
+    "register_store_fault",
     "run_campaign",
 ]

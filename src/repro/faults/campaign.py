@@ -22,6 +22,9 @@ fails the campaign.  ``repro chaos`` exits nonzero unless detection is
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +35,7 @@ from ..sim.rng import derive_rng
 from ..spec.builder import build
 from ..spec.runspec import RunSpec
 from .injectors import FAULTS, make_fault
+from .store_faults import STORE_FAULTS, make_store_fault
 
 __all__ = [
     "CampaignCell",
@@ -138,12 +142,72 @@ def _execute_cell(spec: RunSpec, fault, rng) -> Tuple[Optional[str], str]:
     return None, "run completed with no detector firing"
 
 
+def _make_scratch_store(path: str, records: int, seed: int):
+    """A small real store: genuine specs, fabricated (cheap) metrics.
+
+    Corruption detection is purely syntactic — no simulation needs to
+    run to exercise it — so the records carry synthetic metrics stamped
+    exactly like real ones (schema, spec hash, CRC).
+    """
+    from ..store import RunStore
+
+    store = RunStore(path)
+    for index in range(records):
+        spec = RunSpec(kind="gossip", algorithm="ears", n=16, f=4,
+                       seed=seed * 1000 + index)
+        store.put(spec, {
+            "completed": True, "reason": "completed",
+            "time": 10 + index, "messages": 100 + index,
+        })
+    return store
+
+
+def _execute_store_cell(fault, trials_dir: str, trial: int, seed: int,
+                        records: int = 4) -> Tuple[Optional[str], str, bool]:
+    """Run one store-fault cell; returns (detected, message, fired).
+
+    Detection requires *both* halves of the durability contract: the
+    read-only :meth:`~repro.store.RunStore.verify` scan must flag
+    exactly the injected lines, and a recovery load must salvage every
+    surviving record while quarantining the corrupt ones.
+    """
+    from ..store import RunStore
+
+    path = os.path.join(trials_dir, f"{fault.name}-{trial}.jsonl")
+    _make_scratch_store(path, records, seed)
+    rng = derive_rng(seed, "chaos-store", fault.name, trial)
+    info = fault.inject(path, rng)
+
+    report = RunStore(path).verify()
+    if report["ok"] or len(report["corrupt"]) != info["corrupted_lines"]:
+        return None, (
+            f"verify missed the corruption: reported "
+            f"{len(report['corrupt'])} corrupt line(s), injected "
+            f"{info['corrupted_lines']} ({info})"
+        ), True
+    recovered = RunStore(path)
+    salvaged = len(recovered)
+    if salvaged != info["surviving_records"]:
+        return None, (
+            f"recovery salvaged {salvaged} record(s), expected "
+            f"{info['surviving_records']}"
+        ), True
+    if len(recovered.quarantined_entries()) != info["corrupted_lines"]:
+        return None, "corrupt line was not quarantined", True
+    return "store-corruption", (
+        f"verify flagged line {info.get('line')} "
+        f"({report['corrupt'][0]['reason']}); "
+        f"{salvaged} record(s) salvaged"
+    ), True
+
+
 def run_campaign(
     seed: int = 0,
     trials: int = 3,
     faults: Optional[Sequence[str]] = None,
     n: int = 24,
     consensus_n: int = 9,
+    store_faults: Optional[Sequence[str]] = None,
 ) -> CampaignReport:
     """Run the chaos matrix: every fault × every applicable algorithm ×
     ``trials`` seeds, plus clean control runs of every canonical cell.
@@ -151,7 +215,17 @@ def run_campaign(
     ``faults`` defaults to every registered fault except the explicitly
     out-of-model :class:`~repro.faults.injectors.MessageLossFault`
     toggle (whose impact is algorithm-dependent by design).
+
+    ``store_faults`` selects the artifact-store corruption injectors
+    (:mod:`repro.faults.store_faults`); each runs ``trials`` times
+    against scratch stores, with a clean-store ``verify`` as the
+    matching false-positive control.  When both fault lists are
+    defaulted the full matrix runs — every simulation fault and every
+    store fault; an explicit ``faults`` selection leaves the store
+    matrix off unless ``store_faults`` asks for it.
     """
+    if store_faults is None:
+        store_faults = sorted(STORE_FAULTS) if faults is None else ()
     if faults is None:
         faults = sorted(name for name in FAULTS if name != "message-loss")
     report = CampaignReport()
@@ -185,6 +259,42 @@ def run_campaign(
                     detected=detected, fired=fault.fired, ok=ok,
                     message=message,
                 ))
+
+    # Artifact-store matrix: each store fault corrupts a scratch store;
+    # the durability layer (verify + recovery load) must flag it.
+    if store_faults:
+        trials_dir = tempfile.mkdtemp(prefix="repro-chaos-store-")
+        try:
+            for trial in range(trials):
+                for fault_name in store_faults:
+                    fault = make_store_fault(fault_name)
+                    detected, message, fired = _execute_store_cell(
+                        fault, trials_dir, trial, seed + trial,
+                    )
+                    expected = tuple(fault.expects)
+                    report.cells.append(CampaignCell(
+                        fault=fault_name, kind="store",
+                        algorithm="runstore", trial=trial,
+                        seed=seed + trial, expected=expected,
+                        detected=detected, fired=fired,
+                        ok=detected in expected, message=message,
+                    ))
+            # False-positive control: a pristine store must verify clean.
+            from ..store import RunStore
+
+            clean_path = os.path.join(trials_dir, "clean-control.jsonl")
+            _make_scratch_store(clean_path, 4, seed)
+            report.controls += 1
+            clean = RunStore(clean_path).verify()
+            if not clean["ok"]:
+                report.false_positives.append(CampaignCell(
+                    fault="(none)", kind="store", algorithm="runstore",
+                    trial=0, seed=seed, expected=(), fired=False,
+                    ok=False, detected="store-corruption",
+                    message=f"clean store failed verify: {clean['corrupt']}",
+                ))
+        finally:
+            shutil.rmtree(trials_dir, ignore_errors=True)
 
     # Clean controls: canonical cells, invariants on, no fault — any
     # violation here is a false positive of the detectors themselves.

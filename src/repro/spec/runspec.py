@@ -21,7 +21,7 @@ import hashlib
 import json
 from collections.abc import Mapping as MappingABC
 from dataclasses import dataclass, fields
-from typing import Any, Dict, Mapping, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..sim.errors import ConfigurationError
 
@@ -171,6 +171,25 @@ class RunSpec:
     def load(cls, path: str) -> "RunSpec":
         with open(path, encoding="utf-8") as handle:
             return cls.from_json(handle.read())
+
+    @classmethod
+    def load_many(cls, path: str) -> List["RunSpec"]:
+        """Load a batch of specs: a JSON array of spec objects, a single
+        spec object, or JSONL (one spec per line)."""
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        stripped = text.lstrip()
+        if stripped.startswith("["):
+            return [cls.from_dict(item) for item in json.loads(text)]
+        if stripped.startswith("{") and "\n{" not in text:
+            try:
+                return [cls.from_dict(json.loads(text))]
+            except json.JSONDecodeError:
+                pass  # multiple pretty-printed objects: fall through
+        return [
+            cls.from_json(line)
+            for line in text.splitlines() if line.strip()
+        ]
 
     def save(self, path: str) -> None:
         with open(path, "w", encoding="utf-8") as handle:

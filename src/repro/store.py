@@ -1,4 +1,4 @@
-"""Versioned, provenance-stamped JSONL artifact store for spec executions.
+"""Durable, provenance-stamped JSONL artifact store for spec executions.
 
 Every record stamps the realized metrics of one execution with its full
 provenance: the canonical spec hash, the serialized spec itself, the
@@ -9,19 +9,43 @@ already-stored spec hash is a cache hit and runs no simulation.
 
 Record layout (one JSON object per line)::
 
-    {"schema": 1, "spec_hash": "ab12...", "spec": {...},
-     "package": "1.1.0", "metrics": {...}}
+    {"schema": 2, "spec_hash": "ab12...", "spec": {...},
+     "package": "1.2.0", "metrics": {...}, "crc": "9f3c21aa"}
 
-Readers refuse records whose schema version they do not know
-(:class:`UnknownSchemaError`), so a store written by a future layout is
-never silently misread.
+Durability contract (schema 2):
+
+* every record carries a CRC-32 over its canonical serialization, so a
+  bit flip anywhere in a stored line is detected on load;
+* appends write one complete line through a single ``write`` call,
+  flushed (and fsynced under ``fsync="always"``) before the in-memory
+  cache is updated — a failed write never leaves cache and disk
+  divergent;
+* concurrent writers serialize through an advisory ``flock`` on a
+  ``<path>.lock`` sidecar (a no-op where ``fcntl`` is unavailable);
+* loading performs a **recovery scan**: torn or corrupt lines — the
+  signature of a SIGKILL or power loss mid-append — are salvaged out of
+  the way into a ``<path>.quarantine`` sidecar and the valid records
+  load normally, instead of one bad tail line poisoning the whole
+  artifact set;
+* :meth:`RunStore.verify` reports corruption without mutating anything,
+  and :meth:`RunStore.compact` rewrites the log atomically, dropping
+  superseded duplicates and corrupt lines.
+
+Schema-1 records (no ``crc`` field) load unchanged — their lines simply
+have no checksum to check — so stores written by older builds keep
+working, spec hashes and cache-hit behavior included.  Readers still
+refuse records whose schema version they do not know
+(:class:`UnknownSchemaError`), so a store written by a *future* layout
+is never silently misread.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+import zlib
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from .sim.errors import ConfigurationError
 from .spec.builder import execute
@@ -31,17 +55,27 @@ from .spec.runspec import RunSpec
 __all__ = [
     "RunStore",
     "STORE_SCHEMA_VERSION",
+    "FSYNC_POLICIES",
     "UnknownSchemaError",
     "execute_batch",
     "execute_cached",
     "failed_record",
     "make_record",
     "metrics_of",
+    "record_crc",
 ]
 
 #: Version of the record layout.  Bump when a stamped field changes
-#: meaning; loaders refuse versions they do not know.
-STORE_SCHEMA_VERSION = 1
+#: meaning; loaders refuse versions they do not know.  Version 2 adds
+#: the per-record ``crc`` stamp; version-1 records load without one.
+STORE_SCHEMA_VERSION = 2
+
+#: ``fsync`` policies for :class:`RunStore` appends. ``"always"`` fsyncs
+#: every append before the cache sees it (crash-safe to the last record,
+#: the right setting for checkpointed campaigns); ``"never"`` leaves
+#: flushing to the OS (fastest; a crash can lose recently buffered
+#: records, which the recovery scan then handles as a torn tail).
+FSYNC_POLICIES = ("always", "never")
 
 
 class UnknownSchemaError(ConfigurationError):
@@ -84,23 +118,164 @@ def metrics_of(outcome: Any) -> Dict[str, Any]:
     }
 
 
+def _canonical_body(record: Dict[str, Any]) -> str:
+    """The serialization the CRC covers: every field except ``crc``
+    itself, canonically ordered.  ``default=str`` matches the line
+    serialization, so a record checksummed in memory verifies after its
+    JSON round-trip."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def record_crc(record: Dict[str, Any]) -> str:
+    """8-hex-digit CRC-32 of a record's canonical body."""
+    digest = zlib.crc32(_canonical_body(record).encode("utf-8"))
+    return format(digest & 0xFFFFFFFF, "08x")
+
+
 def make_record(spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
-    """One provenance-stamped record for an executed spec."""
-    return {
+    """One provenance-stamped, checksummed record for an executed spec."""
+    record = {
         "schema": STORE_SCHEMA_VERSION,
         "spec_hash": spec.spec_hash,
         "spec": spec.to_dict(),
         "package": _package_version(),
         "metrics": metrics,
     }
+    record["crc"] = record_crc(record)
+    return record
+
+
+@contextmanager
+def _advisory_lock(lock_path: str):
+    """Advisory exclusive lock on ``lock_path`` (no-op without fcntl).
+
+    Serializes concurrent writers (appends, compaction) on platforms
+    that support ``flock``; single-writer workflows pay one open/close.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    handle = open(lock_path, "a+")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+
+def _fsync_directory(path: str) -> None:
+    """Best-effort fsync of ``path``'s directory (persists a rename)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_replace_json(path: str, payload: Any) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically (tmp + rename).
+
+    The temporary file is fsynced before the rename and the directory
+    after it, so a crash leaves either the old file or the new one —
+    never a torn mixture.  This is the write discipline behind both
+    checkpoint manifests and store compaction.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, default=str)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(path)
 
 
 class RunStore:
-    """Append-only JSONL store of execution records, keyed by spec hash."""
+    """Append-only JSONL store of execution records, keyed by spec hash.
 
-    def __init__(self, path: str) -> None:
+    ``fsync`` selects the append durability policy (see
+    :data:`FSYNC_POLICIES`).  Corrupt lines discovered while loading are
+    moved to the ``<path>.quarantine`` sidecar and reported through
+    :attr:`last_recovery`; :meth:`verify` inspects without mutating and
+    :meth:`compact` rewrites the log clean.
+    """
+
+    def __init__(self, path: str, fsync: str = "never") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown fsync policy {fsync!r}; "
+                f"choose from {list(FSYNC_POLICIES)}"
+            )
         self.path = str(path)
+        self.fsync = fsync
         self._records: Optional[Dict[str, Dict[str, Any]]] = None
+        #: Report of the most recent load's recovery scan (``None``
+        #: until a load happens; ``quarantined`` empty on clean loads).
+        self.last_recovery: Optional[Dict[str, Any]] = None
+
+    @property
+    def lock_path(self) -> str:
+        return self.path + ".lock"
+
+    @property
+    def quarantine_path(self) -> str:
+        return self.path + ".quarantine"
+
+    # -- scanning ---------------------------------------------------------#
+
+    def _scan(self) -> Iterator[Tuple[int, str, Optional[Dict[str, Any]],
+                                      Optional[str]]]:
+        """Yield ``(lineno, raw, record-or-None, problem-or-None)``.
+
+        Problems are *corruption* (unparseable line, checksum mismatch,
+        non-object line) — recoverable by quarantine.  Unknown schema
+        versions are not corruption and are left to the caller: the
+        record is yielded with problem ``"unknown-schema"`` so
+        :meth:`verify` can report it while :meth:`_load` refuses it.
+        """
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, encoding="utf-8") as handle:
+            for lineno, line in enumerate(handle, 1):
+                raw = line.rstrip("\n")
+                if not raw.strip():
+                    continue
+                try:
+                    entry = json.loads(raw)
+                except json.JSONDecodeError:
+                    yield lineno, raw, None, "torn-or-unparseable"
+                    continue
+                if not isinstance(entry, dict):
+                    yield lineno, raw, None, "not-a-record"
+                    continue
+                schema = entry.get("schema")
+                if (not isinstance(schema, int)
+                        or not 1 <= schema <= STORE_SCHEMA_VERSION):
+                    yield lineno, raw, entry, "unknown-schema"
+                    continue
+                if schema >= 2:
+                    stamped = entry.get("crc")
+                    if stamped != record_crc(entry):
+                        yield lineno, raw, entry, "checksum-mismatch"
+                        continue
+                yield lineno, raw, entry, None
 
     # -- loading ----------------------------------------------------------#
 
@@ -108,23 +283,129 @@ class RunStore:
         if self._records is not None:
             return self._records
         records: Dict[str, Dict[str, Any]] = {}
-        if os.path.exists(self.path):
-            with open(self.path, encoding="utf-8") as handle:
-                for line in handle:
-                    if not line.strip():
-                        continue
-                    entry = json.loads(line)
-                    schema = entry.get("schema")
-                    if (not isinstance(schema, int)
-                            or not 1 <= schema <= STORE_SCHEMA_VERSION):
-                        raise UnknownSchemaError(
-                            f"store {self.path!r} holds a record with "
-                            f"schema version {schema!r}; this build reads "
-                            f"versions 1..{STORE_SCHEMA_VERSION}"
-                        )
-                    records[entry["spec_hash"]] = entry
+        quarantined: List[Dict[str, Any]] = []
+        for lineno, raw, entry, problem in self._scan():
+            if problem == "unknown-schema":
+                schema = (entry or {}).get("schema")
+                raise UnknownSchemaError(
+                    f"store {self.path!r} holds a record with "
+                    f"schema version {schema!r}; this build reads "
+                    f"versions 1..{STORE_SCHEMA_VERSION}"
+                )
+            if problem is not None:
+                quarantined.append(
+                    {"line": lineno, "reason": problem, "raw": raw}
+                )
+                continue
+            records[entry["spec_hash"]] = entry
+        if quarantined:
+            # Salvage: the valid prefix (and any valid suffix) loads;
+            # offending lines move to the sidecar for post-mortem.
+            atomic_replace_json(self.quarantine_path, {
+                "store": self.path,
+                "entries": quarantined,
+            })
+        self.last_recovery = {
+            "records": len(records),
+            "quarantined": quarantined,
+        }
         self._records = records
         return records
+
+    def quarantined_entries(self) -> List[Dict[str, Any]]:
+        """Entries currently sitting in the quarantine sidecar."""
+        if not os.path.exists(self.quarantine_path):
+            return []
+        with open(self.quarantine_path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return list(payload.get("entries", []))
+
+    # -- integrity --------------------------------------------------------#
+
+    def verify(self) -> Dict[str, Any]:
+        """Scan the log for corruption without mutating anything.
+
+        Returns a report: total ``lines`` scanned, ``records`` that
+        parsed and checksummed clean, ``unique`` spec hashes,
+        ``superseded`` duplicate lines, and a ``corrupt`` list of
+        ``{"line", "reason"}`` entries (torn lines, checksum mismatches,
+        unknown schemas).  ``ok`` is True iff ``corrupt`` is empty — a
+        clean store must report zero findings.
+        """
+        lines = 0
+        valid = 0
+        hashes: Dict[str, int] = {}
+        corrupt: List[Dict[str, Any]] = []
+        for lineno, _raw, entry, problem in self._scan():
+            lines += 1
+            if problem is not None:
+                corrupt.append({"line": lineno, "reason": problem})
+                continue
+            valid += 1
+            hashes[entry["spec_hash"]] = (
+                hashes.get(entry["spec_hash"], 0) + 1
+            )
+        return {
+            "path": self.path,
+            "lines": lines,
+            "records": valid,
+            "unique": len(hashes),
+            "superseded": sum(count - 1 for count in hashes.values()),
+            "corrupt": corrupt,
+            "ok": not corrupt,
+        }
+
+    def compact(self) -> Dict[str, Any]:
+        """Atomically rewrite the log with one clean record per hash.
+
+        Drops superseded duplicates (the last valid record per spec hash
+        wins, matching load semantics) and corrupt lines, re-stamps every
+        kept record at the current schema with a fresh CRC, and removes
+        the quarantine sidecar.  The rewrite goes through a fsynced
+        temporary file and ``os.replace``, so a crash mid-compaction
+        leaves the original log untouched.
+        """
+        with _advisory_lock(self.lock_path):
+            kept: Dict[str, Dict[str, Any]] = {}
+            lines = 0
+            dropped_corrupt = 0
+            for _lineno, _raw, entry, problem in self._scan():
+                lines += 1
+                if problem is not None:
+                    dropped_corrupt += 1
+                    continue
+                entry = dict(entry)
+                entry["schema"] = STORE_SCHEMA_VERSION
+                entry["crc"] = record_crc(entry)
+                kept[entry["spec_hash"]] = entry
+            if os.path.exists(self.path):
+                tmp_path = self.path + ".tmp"
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    for entry in kept.values():
+                        handle.write(json.dumps(entry, default=str) + "\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_path, self.path)
+                _fsync_directory(self.path)
+            if os.path.exists(self.quarantine_path):
+                os.remove(self.quarantine_path)
+        self._records = kept
+        self.last_recovery = {"records": len(kept), "quarantined": []}
+        return {
+            "kept": len(kept),
+            "dropped_superseded": lines - dropped_corrupt - len(kept),
+            "dropped_corrupt": dropped_corrupt,
+        }
+
+    def sync(self) -> None:
+        """fsync the log file (drain/flush path for graceful shutdown)."""
+        if not os.path.exists(self.path):
+            return
+        fd = os.open(self.path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
     # -- queries ----------------------------------------------------------#
 
@@ -143,13 +424,27 @@ class RunStore:
     # -- writes -----------------------------------------------------------#
 
     def put(self, spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one record durably, then update the in-memory cache.
+
+        The write happens (and is flushed, plus fsynced under the
+        ``"always"`` policy) *before* the cache mutation: a failed open
+        or write raises with cache and disk still agreeing.  The line is
+        emitted through a single ``write`` call so concurrent lockless
+        readers never observe an interleaved record.
+        """
         record = make_record(spec, metrics)
-        self._load()[record["spec_hash"]] = record
+        records = self._load()
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(json.dumps(record, default=str) + "\n")
+        line = json.dumps(record, default=str) + "\n"
+        with _advisory_lock(self.lock_path):
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                if self.fsync == "always":
+                    os.fsync(handle.fileno())
+        records[record["spec_hash"]] = record
         return record
 
 
@@ -203,6 +498,9 @@ def execute_batch(
     processes: int = 1,
     trial_timeout: Optional[float] = None,
     retries: int = 0,
+    manifest: Any = None,
+    checkpoint_every: int = 8,
+    shutdown: Any = None,
 ) -> List[Dict[str, Any]]:
     """Execute a batch of specs, skipping every already-stored hash.
 
@@ -217,8 +515,33 @@ def execute_batch(
     ``"failed": True``) instead of aborting the batch, and is **not**
     stored — re-running the same batch against the same store retries
     only the failed specs.
+
+    ``manifest`` (a :class:`~repro.experiments.campaign.CampaignManifest`
+    or a path) switches the batch to **checkpointed** execution: specs
+    run in chunks, and after each chunk the manifest — which records
+    every submitted spec (dict and hash), the completed/failed hashes,
+    and the batch's RNG provenance — is atomically rewritten, at least
+    every ``checkpoint_every`` completions.  A batch killed mid-run can
+    then be resumed from the manifest alone and re-runs exactly the
+    missing specs, seed for seed.  ``shutdown`` (a
+    :class:`~repro.experiments.campaign.GracefulShutdown` or any
+    0-argument callable) is polled between submissions: when it turns
+    truthy the batch stops submitting, drains in-flight trials, flushes
+    the store, writes the manifest, and raises
+    :class:`~repro.experiments.campaign.CampaignDrained`.
     """
     from .experiments.pool import TrialPool
+
+    specs = list(specs)
+    if manifest is not None or shutdown is not None:
+        from .experiments.campaign import run_manifest_batch
+
+        return run_manifest_batch(
+            specs, store=store, processes=processes,
+            trial_timeout=trial_timeout, retries=retries,
+            manifest=manifest, checkpoint_every=checkpoint_every,
+            shutdown=shutdown,
+        )
 
     fault_tolerant = trial_timeout is not None or retries > 0
 
@@ -232,7 +555,6 @@ def execute_batch(
         )
         return [o.value if o.ok else None for o in outcomes], outcomes
 
-    specs = list(specs)
     if store is None:
         with TrialPool(processes) as pool:
             metrics, outcomes = _run_jobs(pool, specs)

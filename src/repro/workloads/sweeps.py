@@ -88,6 +88,9 @@ def sweep_gossip(
     profile: Optional[StepProfiler] = None,
     trial_timeout: Optional[float] = None,
     retries: int = 0,
+    manifest: Optional[Any] = None,
+    checkpoint_every: int = 8,
+    shutdown: Optional[Callable[[], bool]] = None,
 ) -> List[SweepPoint]:
     """Run ``algorithm`` across a population sweep; aggregate per n.
 
@@ -103,6 +106,15 @@ def sweep_gossip(
     :meth:`~repro.experiments.pool.TrialPool.map_outcomes`: a run that
     hangs, raises, or kills its worker counts as a not-completed trial
     in its cell's ``completion_rate`` instead of aborting the sweep.
+
+    ``manifest`` (path or
+    :class:`~repro.experiments.campaign.CampaignManifest`) checkpoints
+    the sweep: per-run results are persisted (atomically, at least
+    every ``checkpoint_every`` completions) keyed by the run's
+    parameters, so a sweep killed mid-way resumes seed-for-seed,
+    re-executing only the missing (n, seed) runs.  ``shutdown`` drains
+    the sweep on a graceful-stop request and raises
+    :class:`~repro.experiments.campaign.CampaignDrained`.
     """
     # Lazy import: repro.experiments.scaling imports this module, so a
     # top-level import of the pool would be circular.
@@ -120,6 +132,33 @@ def sweep_gossip(
     if profile is not None:
         outcomes = [
             run_and_profile(job, profile) for job in jobs
+        ]
+    elif manifest is not None or shutdown is not None:
+        from ..experiments.campaign import run_checkpointed_jobs
+
+        if manifest is None:
+            raise ValueError(
+                "sweep_gossip with a shutdown hook needs a manifest to "
+                "checkpoint into"
+            )
+        results = run_checkpointed_jobs(
+            jobs, _sweep_job,
+            manifest=manifest,
+            meta={
+                "driver": "sweep",
+                "algorithm": algorithm,
+                "ns": list(ns),
+                "rng": {"seeds": seeds},
+            },
+            encode=list, decode=tuple,
+            checkpoint_every=checkpoint_every, shutdown=shutdown,
+            processes=processes, trial_timeout=trial_timeout,
+            retries=retries,
+        )
+        # A failed (None) run aggregates as a not-completed trial.
+        outcomes = [
+            tuple(result) if result is not None else (False, None, None)
+            for result in results
         ]
     elif trial_timeout is not None or retries:
         with TrialPool(processes) as pool:

@@ -1,0 +1,163 @@
+"""Kill-and-resume: a SIGKILLed campaign finishes correctly on resume.
+
+The crash-safety end-to-end test: a real child process runs a
+checkpointed ``execute_batch``; the parent SIGKILLs it mid-campaign
+(after at least a few records hit the store) and then resumes from the
+manifest.  The final record set must be identical, spec for spec, to an
+uninterrupted run — no lost records, no duplicates, no re-seeded cells.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.experiments import CampaignManifest
+from repro.spec import RunSpec
+from repro.store import RunStore, execute_batch
+
+N_SPECS = 30
+
+CHILD_SCRIPT = """\
+import sys
+
+from repro.spec import RunSpec
+from repro.store import RunStore, execute_batch
+
+specs = [
+    RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed)
+    for seed in range({n_specs})
+]
+execute_batch(
+    specs,
+    store=RunStore(sys.argv[1], fsync="always"),
+    manifest=sys.argv[2],
+    checkpoint_every=1,
+)
+"""
+
+
+def _specs():
+    return [
+        RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed)
+        for seed in range(N_SPECS)
+    ]
+
+
+def _child_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def _wait_for_records(store_path, minimum, proc, timeout=60.0):
+    """Poll until the store holds ``minimum`` complete lines."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.exists(store_path):
+            with open(store_path, encoding="utf-8") as handle:
+                if handle.read().count("\n") >= minimum:
+                    return
+        if proc.poll() is not None:
+            pytest.fail(
+                f"campaign child exited early (rc={proc.returncode}) "
+                f"before writing {minimum} records"
+            )
+        time.sleep(0.002)
+    pytest.fail(f"no {minimum} records within {timeout}s")
+
+
+def _metrics_by_hash(records):
+    return {record["spec_hash"]: record["metrics"] for record in records}
+
+
+def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(tmp_path):
+    store_path = str(tmp_path / "runs.jsonl")
+    manifest_path = str(tmp_path / "campaign.json")
+    script = tmp_path / "campaign_child.py"
+    script.write_text(CHILD_SCRIPT.format(n_specs=N_SPECS))
+
+    proc = subprocess.Popen(
+        [sys.executable, str(script), store_path, manifest_path],
+        env=_child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        _wait_for_records(store_path, 3, proc)
+        assert proc.poll() is None, "campaign finished before the kill"
+        proc.kill()  # SIGKILL: no handlers, no flushing, no goodbye
+    finally:
+        proc.wait(timeout=30)
+
+    # The store survives the kill: whatever tail damage the kill left is
+    # salvaged, and the valid records load.
+    interrupted = RunStore(store_path)
+    survived = len(interrupted)
+    assert 0 < survived < N_SPECS, "kill landed mid-campaign"
+
+    # Resume from the manifest: exactly the missing specs re-run.
+    records = execute_batch(
+        _specs(), store=RunStore(store_path, fsync="always"),
+        manifest=manifest_path, checkpoint_every=1,
+    )
+    assert len(records) == N_SPECS
+    manifest = CampaignManifest.load(manifest_path)
+    assert manifest.missing_keys() == []
+
+    # Byte-for-byte the same science as a never-interrupted campaign.
+    uninterrupted = execute_batch(
+        _specs(), store=RunStore(str(tmp_path / "clean.jsonl")),
+    )
+    assert _metrics_by_hash(records) == _metrics_by_hash(uninterrupted)
+
+    # And the repaired store itself verifies clean after a compact.
+    final = RunStore(store_path)
+    final.compact()
+    assert final.verify()["ok"]
+
+
+def test_cli_batch_drains_on_sigterm_and_resumes(tmp_path):
+    """One SIGTERM → graceful drain, exit 75, resumable manifest; the
+    re-run finishes the campaign and exits 0."""
+    store_path = str(tmp_path / "runs.jsonl")
+    manifest_path = str(tmp_path / "campaign.json")
+    specs_path = tmp_path / "specs.jsonl"
+    with open(specs_path, "w", encoding="utf-8") as handle:
+        for spec in _specs():
+            handle.write(spec.to_json(indent=None) + "\n")
+
+    argv = [
+        sys.executable, "-m", "repro", "batch",
+        "--specs", str(specs_path), "--store", store_path,
+        "--resume", manifest_path, "--checkpoint-every", "1",
+    ]
+    proc = subprocess.Popen(
+        argv, env=_child_env(),
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        _wait_for_records(store_path, 2, proc)
+        proc.send_signal(signal.SIGTERM)
+        returncode = proc.wait(timeout=60)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait(timeout=30)
+
+    assert returncode == 75  # DRAIN_EXIT_CODE: interrupted but resumable
+    with open(manifest_path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    assert payload["drained"] is True
+    assert len(payload["completed"]) < N_SPECS
+
+    finish = subprocess.run(argv, env=_child_env(), capture_output=True,
+                            text=True, timeout=120)
+    assert finish.returncode == 0, finish.stderr
+    assert f"{N_SPECS}/{N_SPECS} spec(s) ok" in finish.stdout
+    assert len(RunStore(store_path)) == N_SPECS

@@ -1,0 +1,263 @@
+"""Checkpoint manifests, graceful shutdown, and resumable drivers."""
+
+import json
+import signal
+
+import pytest
+
+from repro.experiments import (
+    CampaignDrained,
+    CampaignManifest,
+    GracefulShutdown,
+    run_checkpointed_jobs,
+    run_theorem1,
+)
+from repro.spec import RunSpec
+from repro.store import RunStore, execute_batch
+from repro.workloads.sweeps import quarter, sweep_gossip
+
+SPEC = RunSpec(algorithm="ears", n=16, f=4, d=1, delta=1, seed=0)
+
+
+def _square(args):
+    return args[0] * args[0]
+
+
+def _maybe_square(args):
+    if args[0] < 0:
+        raise ValueError("negative")
+    return args[0] * args[0]
+
+
+class TestManifest:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        manifest = CampaignManifest(path, meta={"driver": "test",
+                                                "rng": {"seeds": [0, 1]}})
+        manifest.submit("a", {"x": 1})
+        manifest.submit("b", {"x": 2})
+        manifest.complete("a", 17)
+        manifest.fail("b", "boom")
+        manifest.save()
+
+        loaded = CampaignManifest.load(path)
+        assert loaded.meta["rng"] == {"seeds": [0, 1]}
+        assert loaded.completed == {"a": 17}
+        assert loaded.failed == {"b": "boom"}
+        assert loaded.missing_keys() == ["b"]
+        assert not (tmp_path / "campaign.json.tmp").exists()
+
+    def test_ensure_resumes_existing_path_keeping_meta(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        CampaignManifest(path, meta={"driver": "original"}).save()
+        resumed = CampaignManifest.ensure(path, meta={"driver": "other"})
+        assert resumed.meta["driver"] == "original"
+        fresh = CampaignManifest.ensure(str(tmp_path / "new.json"),
+                                        meta={"driver": "other"})
+        assert fresh.meta["driver"] == "other"
+
+    def test_unknown_manifest_schema_refused(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps({"schema": 99}))
+        from repro.sim.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="schema version"):
+            CampaignManifest.load(str(path))
+
+    def test_checkpoint_cadence(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        manifest = CampaignManifest(str(path), checkpoint_every=3)
+        manifest.complete("a")
+        manifest.complete("b")
+        assert not manifest.maybe_save() and not path.exists()
+        manifest.complete("c")
+        assert manifest.maybe_save() and path.exists()
+
+
+class TestGracefulShutdown:
+    def test_first_signal_sets_flag_second_hard_stops(self):
+        with GracefulShutdown(signals=(signal.SIGTERM,),
+                              verbose=False) as shutdown:
+            assert not shutdown()
+            signal.raise_signal(signal.SIGTERM)
+            assert shutdown() and bool(shutdown)
+            with pytest.raises(KeyboardInterrupt, match="hard stop"):
+                signal.raise_signal(signal.SIGTERM)
+
+    def test_previous_handler_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown(signals=(signal.SIGTERM,), verbose=False):
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+
+class TestCheckpointedJobs:
+    def test_results_match_plain_map_and_resume_skips(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        jobs = [(value,) for value in range(5)]
+        results = run_checkpointed_jobs(
+            jobs, _square, manifest=path, checkpoint_every=2,
+        )
+        assert results == [0, 1, 4, 9, 16]
+
+        # Resume re-executes nothing: a poisoned job_fn proves it.
+        def boom(args):
+            raise AssertionError("resume must not re-run completed jobs")
+
+        assert run_checkpointed_jobs(jobs, boom, manifest=path) == results
+
+    def test_failed_jobs_stay_missing_and_retry(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        jobs = [(2,), (-1,), (3,)]
+        results = run_checkpointed_jobs(
+            jobs, _maybe_square, manifest=path, trial_timeout=30,
+        )
+        assert results == [4, None, 9]
+        manifest = CampaignManifest.load(path)
+        assert len(manifest.failed) == 1
+        assert manifest.missing_keys() == list(manifest.failed)
+
+        # The retry run executes only the failed job.
+        executed = []
+
+        def tracked(args):
+            executed.append(args)
+            return _square(args)
+
+        results = run_checkpointed_jobs(jobs, tracked, manifest=path,
+                                        trial_timeout=30)
+        assert results == [4, 1, 9]
+        assert executed == [(-1,)]  # only the failed job re-ran
+
+    def test_preset_shutdown_drains_before_work(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        shutdown = GracefulShutdown(verbose=False)
+        shutdown.requested = True
+        with pytest.raises(CampaignDrained) as excinfo:
+            run_checkpointed_jobs([(1,)], _square, manifest=path,
+                                  shutdown=shutdown)
+        assert excinfo.value.remaining == 1
+        assert CampaignManifest.load(path).drained
+
+    def test_drain_mid_campaign_then_resume(self, tmp_path):
+        path = str(tmp_path / "campaign.json")
+        shutdown = GracefulShutdown(verbose=False)
+        jobs = [(value,) for value in range(6)]
+        done = []
+
+        def stop_after_two(args):
+            done.append(args[0])
+            if len(done) == 2:
+                shutdown.requested = True
+            return _square(args)
+
+        with pytest.raises(CampaignDrained) as excinfo:
+            run_checkpointed_jobs(jobs, stop_after_two, manifest=path,
+                                  checkpoint_every=1, shutdown=shutdown)
+        assert 0 < excinfo.value.completed < 6
+        assert excinfo.value.completed + excinfo.value.remaining == 6
+
+        results = run_checkpointed_jobs(jobs, _square, manifest=path)
+        assert results == [0, 1, 4, 9, 16, 25]
+
+
+class TestCheckpointedBatch:
+    def test_batch_checkpoints_and_resumes_from_store(self, tmp_path):
+        store_path = str(tmp_path / "runs.jsonl")
+        manifest_path = str(tmp_path / "batch.json")
+        specs = [SPEC.replace(seed=seed) for seed in range(3)]
+
+        records = execute_batch(specs, store=RunStore(store_path),
+                                manifest=manifest_path, checkpoint_every=1)
+        assert all(r["metrics"]["completed"] for r in records)
+        manifest = CampaignManifest.load(manifest_path)
+        assert sorted(manifest.submitted) == sorted(
+            spec.spec_hash for spec in specs
+        )
+        assert manifest.missing_keys() == []
+        # Store is the source of truth: completions carry no payload.
+        assert set(manifest.completed.values()) == {None}
+
+        # Identical records to an unmanifested batch on the same store.
+        plain = execute_batch(specs, store=RunStore(store_path))
+        assert plain == records
+
+    def test_batch_backfills_manifest_from_store(self, tmp_path):
+        """Records that reached the store before a crash could write the
+        checkpoint are recognized on resume (the store wins)."""
+        store_path = str(tmp_path / "runs.jsonl")
+        manifest_path = str(tmp_path / "batch.json")
+        specs = [SPEC.replace(seed=seed) for seed in range(2)]
+        execute_batch(specs[:1], store=RunStore(store_path))
+
+        executed = []
+        import repro.store as store_module
+
+        real_job = store_module._spec_job
+
+        def spy(spec_dict):
+            executed.append(spec_dict["seed"])
+            return real_job(spec_dict)
+
+        store_module_job = store_module._spec_job
+        try:
+            store_module._spec_job = spy
+            execute_batch(specs, store=RunStore(store_path),
+                          manifest=manifest_path)
+        finally:
+            store_module._spec_job = store_module_job
+        assert executed == [1]
+        manifest = CampaignManifest.load(manifest_path)
+        assert manifest.missing_keys() == []
+
+    def test_storeless_batch_keeps_metrics_in_manifest(self, tmp_path):
+        manifest_path = str(tmp_path / "batch.json")
+        specs = [SPEC.replace(seed=seed) for seed in range(2)]
+        records = execute_batch(specs, manifest=manifest_path)
+
+        def boom(spec_dict):
+            raise AssertionError("resume must not re-execute")
+
+        import repro.store as store_module
+
+        real = store_module._spec_job
+        try:
+            store_module._spec_job = boom
+            resumed = execute_batch(specs, manifest=manifest_path)
+        finally:
+            store_module._spec_job = real
+        assert [r["metrics"] for r in resumed] == [
+            r["metrics"] for r in records
+        ]
+
+
+class TestCheckpointedDrivers:
+    def test_sweep_checkpointed_equals_plain(self, tmp_path):
+        kwargs = dict(ns=[16, 32], f_of_n=quarter, seeds=range(2))
+        plain = sweep_gossip("ears", **kwargs)
+        manifest_path = str(tmp_path / "sweep.json")
+        checkpointed = sweep_gossip("ears", manifest=manifest_path,
+                                    **kwargs)
+        assert checkpointed == plain
+        meta = CampaignManifest.load(manifest_path).meta
+        assert meta["driver"] == "sweep"
+        assert meta["rng"] == {"seeds": [0, 1]}
+
+    def test_sweep_shutdown_requires_manifest(self):
+        with pytest.raises(ValueError, match="needs a manifest"):
+            sweep_gossip("ears", ns=[16], f_of_n=quarter,
+                         shutdown=GracefulShutdown(verbose=False))
+
+    def test_theorem1_checkpointed_equals_plain(self, tmp_path):
+        kwargs = dict(n=32, f=8, seeds=[0], algorithms=["trivial"],
+                      samples=2, phase1_cap=200)
+        plain = run_theorem1(**kwargs)
+        manifest_path = str(tmp_path / "thm1.json")
+        checkpointed = run_theorem1(manifest=manifest_path, **kwargs)
+        assert len(checkpointed) == len(plain) == 1
+        assert checkpointed[0].cases == plain[0].cases
+        assert checkpointed[0].reports == plain[0].reports
+
+        # Resume decodes the persisted reports instead of re-running.
+        resumed = run_theorem1(manifest=manifest_path, **kwargs)
+        assert resumed[0].reports == plain[0].reports
