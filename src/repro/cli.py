@@ -394,6 +394,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "grid":
+        if args.resume and args.profile:
+            print("--resume and --profile cannot be combined: profiling "
+                  "runs cells sequentially without checkpointing",
+                  file=sys.stderr)
+            return 2
         algorithms = [a.strip() for a in args.algorithms.split(",")
                       if a.strip()]
         ns = [int(x) for x in args.ns.split(",") if x.strip()]
@@ -467,6 +472,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sweep":
         from .experiments import CampaignDrained, GracefulShutdown
 
+        if args.resume and args.profile:
+            print("--resume and --profile cannot be combined: profiling "
+                  "runs cells sequentially without checkpointing",
+                  file=sys.stderr)
+            return 2
         profiler = StepProfiler() if args.profile else None
         sweep_kwargs = dict(
             f_of_n=_F_RULES[args.f_rule],
@@ -477,7 +487,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trial_timeout=args.trial_timeout, retries=args.retries,
         )
         ns = geometric_ns(args.min_n, args.max_n, args.factor)
-        if args.resume and not args.profile:
+        if args.resume:
             with GracefulShutdown() as shutdown:
                 try:
                     points = sweep_gossip(
@@ -569,13 +579,27 @@ def main(argv: Optional[List[str]] = None) -> int:
                 for finding in report["corrupt"]:
                     print(f"  CORRUPT line {finding['line']}: "
                           f"{finding['reason']}")
-                print("ok" if report["ok"]
-                      else f"{len(report['corrupt'])} corrupt line(s) — "
-                           "a load quarantines them; 'store compact' "
-                           "rewrites the log clean")
+                if report["ok"]:
+                    print("ok")
+                elif any(finding["reason"] == "unknown-schema"
+                         for finding in report["corrupt"]):
+                    print(f"{len(report['corrupt'])} flagged line(s) — "
+                          "unknown-schema lines need a newer build to "
+                          "read ('store compact' refuses to drop them); "
+                          "a load quarantines the rest")
+                else:
+                    print(f"{len(report['corrupt'])} corrupt line(s) — "
+                          "a load quarantines them; 'store compact' "
+                          "rewrites the log clean")
             return 0 if report["ok"] else 1
         if args.action == "compact":
-            result = store.compact()
+            from .store import UnknownSchemaError
+
+            try:
+                result = store.compact()
+            except UnknownSchemaError as exc:
+                print(f"refusing to compact: {exc}", file=sys.stderr)
+                return 1
             if args.as_json:
                 print(_json.dumps(result, indent=2, sort_keys=True))
             else:

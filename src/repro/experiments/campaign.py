@@ -333,6 +333,14 @@ def run_checkpointed_jobs(
 
     encode = encode or (lambda value: value)
     decode = decode or (lambda value: value)
+
+    def normalize(value: Any) -> Any:
+        # Fresh results take the same encode → JSON → decode round-trip
+        # a resumed result takes through the manifest, so resumed and
+        # uninterrupted runs return identical shapes (tuples/dict keys
+        # are JSON-coerced either way).
+        return decode(json.loads(json.dumps(encode(value), default=str)))
+
     manifest = CampaignManifest.ensure(
         manifest, meta=meta, checkpoint_every=checkpoint_every
     )
@@ -374,7 +382,7 @@ def run_checkpointed_jobs(
                     for (key, _job), outcome in zip(chunk, outcomes):
                         if outcome.ok:
                             manifest.complete(key, encode(outcome.value))
-                            results[key] = outcome.value
+                            results[key] = normalize(outcome.value)
                         elif outcome.status == "cancelled":
                             cancelled = True
                         else:
@@ -387,7 +395,7 @@ def run_checkpointed_jobs(
                     values = pool.map(job_fn, chunk_jobs)
                     for (key, _job), value in zip(chunk, values):
                         manifest.complete(key, encode(value))
-                        results[key] = value
+                        results[key] = normalize(value)
                     manifest.maybe_save()
     manifest.maybe_save(force=True)
     if shutdown is not None and shutdown():

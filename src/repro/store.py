@@ -364,13 +364,26 @@ class RunStore:
         the quarantine sidecar.  The rewrite goes through a fsynced
         temporary file and ``os.replace``, so a crash mid-compaction
         leaves the original log untouched.
+
+        Lines with a schema version this build does not know are *not*
+        corruption — they may be valid records from a newer build — so
+        compaction refuses to run (:class:`UnknownSchemaError`) rather
+        than silently deleting them.
         """
         with _advisory_lock(self.lock_path):
             kept: Dict[str, Dict[str, Any]] = {}
             lines = 0
             dropped_corrupt = 0
-            for _lineno, _raw, entry, problem in self._scan():
+            for lineno, _raw, entry, problem in self._scan():
                 lines += 1
+                if problem == "unknown-schema":
+                    schema = (entry or {}).get("schema")
+                    raise UnknownSchemaError(
+                        f"store {self.path!r} line {lineno} has schema "
+                        f"version {schema!r}; this build reads versions "
+                        f"1..{STORE_SCHEMA_VERSION} and will not compact "
+                        f"away records it cannot interpret"
+                    )
                 if problem is not None:
                     dropped_corrupt += 1
                     continue
@@ -431,6 +444,12 @@ class RunStore:
         or write raises with cache and disk still agreeing.  The line is
         emitted through a single ``write`` call so concurrent lockless
         readers never observe an interleaved record.
+
+        A crash can leave the log with a torn final line and no trailing
+        newline; appending directly onto it would corrupt the *new*
+        record too.  So under the lock the tail is checked first and a
+        separating newline is written when the last byte is not one —
+        the torn line stays quarantinable, the new record stays intact.
         """
         record = make_record(spec, metrics)
         records = self._load()
@@ -439,8 +458,13 @@ class RunStore:
             os.makedirs(parent, exist_ok=True)
         line = json.dumps(record, default=str) + "\n"
         with _advisory_lock(self.lock_path):
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line)
+            with open(self.path, "a+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() > 0:
+                    handle.seek(-1, os.SEEK_END)
+                    if handle.read(1) != b"\n":
+                        handle.write(b"\n")
+                handle.write(line.encode("utf-8"))
                 handle.flush()
                 if self.fsync == "always":
                     os.fsync(handle.fileno())

@@ -151,6 +151,20 @@ class TestCli:
         out = capsys.readouterr().out
         assert "phase" in out and "seconds" in out
 
+    @pytest.mark.parametrize("argv", [
+        ["grid", "--algorithms", "trivial", "--ns", "8", "--seeds", "1"],
+        ["sweep", "--algorithm", "trivial", "--min-n", "8",
+         "--max-n", "8", "--seeds", "1"],
+    ])
+    def test_resume_and_profile_are_mutually_exclusive(
+            self, capsys, tmp_path, argv):
+        """Regression: --resume used to be silently ignored when
+        --profile was set (no checkpointing, no warning)."""
+        argv = argv + ["--profile", "--resume",
+                       str(tmp_path / "campaign.json")]
+        assert main(argv) == 2
+        assert "cannot be combined" in capsys.readouterr().err
+
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

@@ -29,6 +29,10 @@ def _maybe_square(args):
     return args[0] * args[0]
 
 
+def _nested_tuple(args):
+    return (args[0], (args[0], args[0] + 1))
+
+
 class TestManifest:
     def test_round_trip(self, tmp_path):
         path = str(tmp_path / "campaign.json")
@@ -105,6 +109,25 @@ class TestCheckpointedJobs:
             raise AssertionError("resume must not re-run completed jobs")
 
         assert run_checkpointed_jobs(jobs, boom, manifest=path) == results
+
+    def test_fresh_and_resumed_results_share_shape(self, tmp_path):
+        """Regression: fresh jobs returned raw values while resumed jobs
+        returned decode(JSON-coerced) ones, so a resumed run could yield
+        structurally different results (nested tuples became lists).
+        Both paths must take the same encode → JSON → decode trip."""
+        path = str(tmp_path / "campaign.json")
+        jobs = [(1,), (2,)]
+        kwargs = dict(manifest=path, encode=list, decode=tuple)
+        fresh = run_checkpointed_jobs(jobs, _nested_tuple, **kwargs)
+
+        def boom(args):
+            raise AssertionError("resume must not re-run completed jobs")
+
+        resumed = run_checkpointed_jobs(jobs, boom, **kwargs)
+        assert fresh == resumed
+        # decode=tuple revives the outer tuple only; the nested tuple is
+        # JSON-coerced to a list in both runs alike.
+        assert fresh == [(1, [1, 2]), (2, [2, 3])]
 
     def test_failed_jobs_stay_missing_and_retry(self, tmp_path):
         path = str(tmp_path / "campaign.json")

@@ -10,6 +10,7 @@ from repro.spec import RunSpec
 from repro.store import (
     RunStore,
     STORE_SCHEMA_VERSION,
+    UnknownSchemaError,
     execute_cached,
     make_record,
     record_crc,
@@ -48,6 +49,28 @@ def test_truncated_trailing_record_salvages_valid_prefix(tmp_path):
     assert store.last_recovery["quarantined"][0]["reason"] == (
         "torn-or-unparseable"
     )
+
+
+def test_put_after_torn_tail_keeps_new_record_intact(tmp_path):
+    """Regression: appending onto a crash-torn tail (no trailing
+    newline) used to concatenate the new record into the torn line,
+    silently losing it; put() must write a separating newline first."""
+    path = tmp_path / "runs.jsonl"
+    _filled_store(path)
+    whole = path.read_text()
+    path.write_text(whole[:-30])  # tear the final record, no newline
+
+    store = RunStore(str(path))
+    record = store.put(SPEC.replace(seed=99), {"completed": True})
+
+    fresh = RunStore(str(path))
+    assert fresh.get(record["spec_hash"]) == record
+    report = fresh.verify()
+    # Only the pre-existing torn line is corrupt; the append survived.
+    assert [f["reason"] for f in report["corrupt"]] == [
+        "torn-or-unparseable"
+    ]
+    assert report["records"] == 3
 
 
 def test_checksum_mismatch_is_quarantined(tmp_path):
@@ -118,6 +141,22 @@ def test_compact_drops_superseded_and_corrupt(tmp_path):
     # Last-write-wins semantics preserved through compaction.
     assert fresh.get(SPEC.replace(seed=0).spec_hash)["metrics"]["time"] == 42
     assert RunStore(str(path)).verify()["ok"]
+
+
+def test_compact_refuses_unknown_schema(tmp_path):
+    """Records from a newer build are not corruption; compaction must
+    not silently delete lines it cannot interpret."""
+    path = tmp_path / "runs.jsonl"
+    _filled_store(path)
+    future = make_record(SPEC.replace(seed=9), {"completed": True})
+    future["schema"] = STORE_SCHEMA_VERSION + 1
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(future) + "\n")
+    before = path.read_text()
+
+    with pytest.raises(UnknownSchemaError, match="will not compact"):
+        RunStore(str(path)).compact()
+    assert path.read_text() == before  # the log is untouched
 
 
 def test_compact_restamps_v1_records(tmp_path):
