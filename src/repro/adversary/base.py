@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import copy
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Set
+from typing import FrozenSet, Optional, Set
 
 from ..sim.message import Message
 
@@ -67,5 +67,25 @@ class Adversary(ABC):
         network, all processes quiescent): if no crash can still fire, nothing
         will ever change. Oblivious adversaries answer from their crash plan;
         the conservative default is False (no pending events).
+
+        Contract (relied on by the time-leap engine): the truth value is
+        monotone non-increasing in ``t`` — once the adversary has nothing
+        pending, it never regains pending events.
         """
         return False
+
+    def next_event_at(self, t: int) -> Optional[int]:
+        """Earliest time ``>= t`` at which anything can happen, or ``None``.
+
+        The time-leap engine asks this before each step. A return of
+        ``t' > t`` asserts that every step in ``[t, t')`` is inert — no
+        pid scheduled, no crash fired — *and* that
+        :meth:`has_pending_events` cannot change value strictly inside
+        the gap, so the engine may jump ``sim.now`` straight to ``t'``
+        with bit-identical results. ``None`` means "cannot predict",
+        forcing stepwise execution: the conservative default, and the
+        correct answer for adaptive adversaries whose choices depend on
+        execution state the engine is about to produce. Returning ``t``
+        ("something may happen right now") is always safe.
+        """
+        return None

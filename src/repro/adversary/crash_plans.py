@@ -8,6 +8,7 @@ a targeted list.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..sim.errors import ConfigurationError
@@ -30,7 +31,8 @@ class CrashPlan:
                 )
             seen |= pids
         self._victims = frozenset(seen)
-        self._last_time = max(self._events) if self._events else -1
+        self._times = sorted(self._events)
+        self._last_time = self._times[-1] if self._times else -1
 
     @property
     def victims(self) -> frozenset:
@@ -49,6 +51,14 @@ class CrashPlan:
         if t > self._last_time:
             return False
         return any(time >= t for time in self._events)
+
+    def next_event_at(self, t: int) -> Optional[int]:
+        """Earliest crash time ``>= t``, or ``None`` once the plan is
+        exhausted (the time-leap protocol's crash component)."""
+        idx = bisect_left(self._times, t)
+        if idx == len(self._times):
+            return None
+        return self._times[idx]
 
     def correct_pids(self, n: int) -> frozenset:
         """The paper's *correct* processes: those that never crash."""

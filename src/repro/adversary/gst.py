@@ -28,6 +28,7 @@ from typing import FrozenSet, Optional, Set
 
 from ..sim.errors import ConfigurationError
 from ..sim.message import Message
+from ..sim.scheduler import next_residue_step
 from .base import Adversary
 from .crash_plans import CrashPlan, no_crashes
 
@@ -98,6 +99,34 @@ class GstAdversary(Adversary):
     def has_pending_events(self, t: int) -> bool:
         # Crashes may still fire, and before GST the world still changes.
         return t < self.gst or self.crashes.has_pending(t)
+
+    def next_event_at(self, t: int) -> Optional[int]:
+        """Next scheduled step, crash, or the GST boundary itself.
+
+        Both regimes are residue-class schedules, so the next busy step
+        is exact. Pre-GST returns never exceed ``gst``: the boundary is
+        an event in its own right (the scheduling regime switches and
+        :meth:`has_pending_events` flips there), so the leap engine must
+        not jump across it.
+        """
+        sim = getattr(self, "sim", None)
+        if sim is None:
+            return None
+        alive = sim.alive_pids
+        crash = self.crashes.next_event_at(t)
+        sched: Optional[int]
+        if t < self.gst:
+            sched = next_residue_step(t, self.pre_gst_delta, alive)
+            sched = self.gst if sched is None else min(sched, self.gst)
+        elif self.delta == 1:
+            sched = t if alive else None
+        else:
+            sched = next_residue_step(t, self.delta, alive)
+        if sched is None:
+            return crash
+        if crash is None:
+            return sched
+        return min(sched, crash)
 
     @property
     def target_d(self) -> int:

@@ -84,6 +84,26 @@ class ObliviousAdversary(Adversary):
     def has_pending_events(self, t: int) -> bool:
         return self.crashes.has_pending(t)
 
+    def next_event_at(self, t: int) -> Optional[int]:
+        """Next scheduled step or crash, whichever comes first.
+
+        Both composed plans are oblivious, so the answer is exact; the
+        time-leap engine jumps over the gap. ``None`` (plan schedules
+        nothing ever again *and* no crash pending) degrades to stepwise
+        execution, which is the degenerate starved-forever case — the
+        stepwise loop's stall detection handles it as before.
+        """
+        sim = getattr(self, "sim", None)
+        if sim is None:
+            return None
+        sched = self.schedule.next_event_at(t, sim.alive_pids)
+        crash = self.crashes.next_event_at(t)
+        if sched is None:
+            return crash
+        if crash is None:
+            return sched
+        return min(sched, crash)
+
     def clone_into(self, sim) -> "ObliviousAdversary":
         """O(1) copy for simulation forking.
 

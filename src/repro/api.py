@@ -46,6 +46,7 @@ def run_gossip(
     check_interval: int = 1,
     measure_bits: bool = False,
     observers: Sequence[Observer] = (),
+    engine: str = "auto",
 ) -> GossipRun:
     """Run one gossip execution under a uniform oblivious (d, δ)-adversary.
 
@@ -70,6 +71,9 @@ def run_gossip(
         check_interval: how often (in steps) the monitor is evaluated.
         observers: :class:`~repro.sim.events.Observer` instances to
             subscribe on the simulation (tracers, profilers, samplers).
+        engine: execution strategy — ``auto`` (event-driven time-leap
+            fast path with stepwise fallback, the default), ``stepwise``
+            (the reference loop) or ``leap``; all bit-identical.
 
     Returns:
         A :class:`GossipRun` with completion status, the time and message
@@ -94,6 +98,7 @@ def run_gossip(
         measure_bits=measure_bits,
         check_interval=check_interval,
         max_steps=max_steps,
+        engine=engine,
     )
     return execute(
         spec,
@@ -113,6 +118,7 @@ def run_consensus(
     values: Optional[Sequence[int]] = None,
     crashes: Union[None, int, CrashPlan] = None,
     max_steps: Optional[int] = None,
+    engine: str = "auto",
 ):
     """Run one randomized consensus execution (Section 6).
 
@@ -135,4 +141,5 @@ def run_consensus(
         values=values,
         crashes=crashes,
         max_steps=max_steps,
+        engine=engine,
     )

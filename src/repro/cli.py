@@ -124,6 +124,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="number of seeds for aggregated experiments")
     parser.add_argument("--crashes", type=int, default=None,
                         help="random crash count (default: none)")
+    parser.add_argument("--engine", default="auto",
+                        choices=["auto", "stepwise", "leap"],
+                        help="execution strategy: 'auto' (time-leap fast "
+                             "path with stepwise fallback), 'stepwise' "
+                             "(reference loop) or 'leap'; all strategies "
+                             "are seed-for-seed bit-identical")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -328,7 +334,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f = args.f if args.f is not None else args.n // 4
         run = run_gossip(
             args.algorithm, n=args.n, f=f, d=args.d, delta=args.delta,
-            seed=args.seed, crashes=args.crashes,
+            seed=args.seed, crashes=args.crashes, engine=args.engine,
         )
         print(
             f"{args.algorithm}: completed={run.completed} "
@@ -342,7 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         f = args.f if args.f is not None else (args.n - 1) // 2
         run = run_consensus(
             args.transport, n=args.n, f=f, d=args.d, delta=args.delta,
-            seed=args.seed, crashes=args.crashes,
+            seed=args.seed, crashes=args.crashes, engine=args.engine,
         )
         print(
             f"CR-{args.transport}: completed={run.completed} "

@@ -57,6 +57,7 @@ def run_consensus(
     max_steps: Optional[int] = None,
     probe_interval: int = 6,
     adversary=None,
+    engine: str = "auto",
 ) -> ConsensusRun:
     """Run one randomized consensus execution and check its properties.
 
@@ -89,6 +90,7 @@ def run_consensus(
         # so this call hashes identically to the minimal declarative spec.
         probe_interval=probe_interval if probe_interval != 6 else None,
         max_steps=max_steps,
+        engine=engine,
     )
     return execute(
         spec,

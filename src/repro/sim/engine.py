@@ -37,7 +37,15 @@ from .process import Algorithm, Context, ProcessHandle
 from .rng import derive_rng
 from .trace import EventTrace
 
-__all__ = ["RunResult", "SimSnapshot", "Simulation"]
+__all__ = ["ENGINES", "RunResult", "SimSnapshot", "Simulation"]
+
+#: Recognized execution strategies. ``"auto"`` (the default) uses the
+#: event-driven time-leap fast path, which transparently degrades to
+#: stepwise execution whenever the adversary cannot predict its next
+#: event, so it is always bit-identical to ``"stepwise"``. ``"leap"``
+#: requests the same fast path explicitly; ``"stepwise"`` forces the
+#: classical one-step-at-a-time loop (the reference semantics).
+ENGINES = ("auto", "stepwise", "leap")
 
 
 class SimSnapshot:
@@ -74,12 +82,18 @@ class Simulation(EngineCore):
         trace: Optional[EventTrace] = None,
         bit_meter=None,
         observers: Sequence[Observer] = (),
+        engine: str = "auto",
     ) -> None:
         self._init_core(n, f, seed, monitor)
         if len(algorithms) != n:
             raise ConfigurationError(
                 f"expected {n} algorithm instances, got {len(algorithms)}"
             )
+        if engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {engine!r}; choose from {list(ENGINES)}"
+            )
+        self.engine = engine
         self.check_interval = max(1, check_interval)
 
         self.network = Network(n)
@@ -274,7 +288,21 @@ class Simulation(EngineCore):
         :class:`~repro.sim.errors.IncompleteRunError` carrying the stop
         reason, the in-flight message count and the quiescent set, instead
         of returning a ``completed=False`` result.
+
+        The ``engine=`` knob selects the execution strategy: ``"stepwise"``
+        grinds through every time step; ``"auto"``/``"leap"`` use the
+        event-driven time-leap fast path, which asks the adversary for its
+        next event and jumps over provably inert gaps. Both strategies are
+        seed-for-seed bit-identical (same RunResult, same metrics, same
+        RNG consumption); the leap path only skips steps in which no
+        process is scheduled and no crash fires.
         """
+        if self.engine == "stepwise":
+            return self._run_stepwise(max_steps, strict)
+        return self._run_leap(max_steps, strict)
+
+    def _run_stepwise(self, max_steps: int, strict: bool) -> RunResult:
+        """The reference loop: one :meth:`step` per time step."""
         # Step index of the last monitor check that returned False; the
         # completion cannot pre-date it.
         known_false_at = self._now - 1
@@ -289,20 +317,135 @@ class Simulation(EngineCore):
             if self._stalled() and not self.adversary.has_pending_events(
                 self._now
             ):
-                if self.monitor is None:
-                    self._completed = True
-                    self.metrics.completion_time = self._now
-                    self._emit_complete(self._now)
-                    return self._result(True, "quiescent")
-                if self.monitor.check(self):
-                    return self._complete(known_false_at)
-                return self._finish(False, "stalled", strict)
+                return self._stall_stop(known_false_at, strict)
         # Final check: the monitor may have become true since the last
         # interval check (or the interval may not divide max_steps).
         if (self.monitor is not None and known_false_at != self._now
                 and self.monitor.check(self)):
             return self._complete(known_false_at)
         return self._finish(False, "step-limit", strict)
+
+    def _run_leap(self, max_steps: int, strict: bool) -> RunResult:
+        """The time-leap loop: jump over gaps of provably inert steps.
+
+        Identical to :meth:`_run_stepwise` observable-for-observable: an
+        inert step (nothing scheduled, no crash) mutates nothing but the
+        clock, so jumping the clock — while back-filling
+        ``steps_elapsed``, observer ``step_begin``/``step_end`` emissions,
+        the stalled-system early stop, and the monitor's
+        ``check_interval`` boundaries — reproduces the stepwise execution
+        exactly. Any time the adversary cannot predict its next event
+        (``next_event_at`` returns ``None``) the loop degrades to plain
+        stepwise iteration.
+        """
+        known_false_at = self._now - 1
+        while self._now < max_steps:
+            nxt = self.adversary.next_event_at(self._now)
+            if nxt is not None and nxt > self._now:
+                outcome, known_false_at = self._leap_gap(
+                    min(nxt, max_steps), known_false_at, strict
+                )
+                if outcome is not None:
+                    return outcome
+                if self._now >= max_steps:
+                    break
+            self.step()
+            if self.monitor is not None and (
+                self._now % self.check_interval == 0
+            ):
+                if self.monitor.check(self):
+                    return self._complete(known_false_at)
+                known_false_at = self._now
+            if self._stalled() and not self.adversary.has_pending_events(
+                self._now
+            ):
+                return self._stall_stop(known_false_at, strict)
+        if (self.monitor is not None and known_false_at != self._now
+                and self.monitor.check(self)):
+            return self._complete(known_false_at)
+        return self._finish(False, "step-limit", strict)
+
+    def _leap_gap(self, target: int, known_false_at: int, strict: bool):
+        """Jump ``_now`` over the inert gap up to ``target``.
+
+        Returns ``(result_or_None, known_false_at)``: a result when the
+        jump hit a stepwise stopping point (monitor became true at a
+        check boundary, or the stalled-system stop fired inside the gap).
+        """
+        # Stepwise runs its stall check after every (inert) step: with the
+        # state frozen across the gap, the run would stop at the first
+        # post-step time u with no pending adversary events. Find it
+        # (has_pending_events is monotone non-increasing, so bisect) and
+        # stop the jump there.
+        stop_at = None
+        if self._stalled():
+            nxt = self._now + 1
+            if not self.adversary.has_pending_events(nxt):
+                stop_at = nxt
+            elif not self.adversary.has_pending_events(target):
+                lo, hi = nxt, target  # pending at lo, none at hi
+                while hi - lo > 1:
+                    mid = (lo + hi) // 2
+                    if self.adversary.has_pending_events(mid):
+                        lo = mid
+                    else:
+                        hi = mid
+                stop_at = hi
+            if stop_at is not None:
+                target = stop_at
+
+        # Monitors that read the clock (not just state) must be evaluated
+        # at every check boundary for real: cap the jump at the next one.
+        k = self.check_interval
+        boundary = ((self._now // k) + 1) * k
+        frozen_verdict = (
+            self.monitor is None
+            or getattr(self.monitor, "leap_safe", False)
+        )
+        if not frozen_verdict and boundary < target:
+            target = boundary
+            if stop_at is not None and target < stop_at:
+                stop_at = None
+
+        start = self._now
+        if self._obs_step_begin or self._obs_step_end:
+            for t in range(start, target):
+                for handler in self._obs_step_begin:
+                    handler(t)
+                for handler in self._obs_step_end:
+                    handler(t)
+
+        if self.monitor is not None and boundary <= target:
+            # State is frozen across the gap, so every interval check in
+            # (start, target] returns the same verdict: evaluate once at
+            # the first boundary — with the clock showing the boundary,
+            # reproducing both a true-verdict stop and time-stamped side
+            # effects (gathering_time) exactly as stepwise would — then
+            # fast-forward. (For non-leap-safe monitors the jump was
+            # capped at the first boundary above, so this *is* the real
+            # per-boundary evaluation.)
+            self._now = boundary
+            self.metrics.steps_elapsed = boundary
+            if self.monitor.check(self):
+                return self._complete(known_false_at), known_false_at
+            known_false_at = (target // k) * k
+        self._now = target
+        self.metrics.steps_elapsed = target
+
+        if stop_at is not None and self._now == stop_at:
+            return self._stall_stop(known_false_at, strict), known_false_at
+        return None, known_false_at
+
+    def _stall_stop(self, known_false_at: int, strict: bool) -> RunResult:
+        """The early stop for a stalled system with no pending events."""
+        if self.monitor is None:
+            self._completed = True
+            self.metrics.completion_time = self._now
+            self._emit_complete(self._now)
+            return self._result(True, "quiescent")
+        if self.monitor.check(self):
+            return self._complete(known_false_at)
+        return self._finish(False, "stalled", strict)
 
     def _complete(self, known_false_at: int) -> RunResult:
         """Record a monitored completion, back-dated to the first step at
@@ -335,8 +478,30 @@ class Simulation(EngineCore):
         return result
 
     def run_for(self, steps: int) -> None:
-        """Execute exactly ``steps`` further steps (no monitor checks)."""
-        for _ in range(steps):
+        """Execute exactly ``steps`` further steps (no monitor checks).
+
+        Under the leap engine, inert gaps inside the window are jumped
+        (with observer back-fill), bit-identically to stepping them.
+        """
+        if self.engine == "stepwise":
+            for _ in range(steps):
+                self.step()
+            return
+        end = self._now + steps
+        while self._now < end:
+            nxt = self.adversary.next_event_at(self._now)
+            if nxt is not None and nxt > self._now:
+                target = min(nxt, end)
+                if self._obs_step_begin or self._obs_step_end:
+                    for t in range(self._now, target):
+                        for handler in self._obs_step_begin:
+                            handler(t)
+                        for handler in self._obs_step_end:
+                            handler(t)
+                self._now = target
+                self.metrics.steps_elapsed = target
+                if self._now >= end:
+                    return
             self.step()
 
     # ------------------------------------------------------------------ #
@@ -385,6 +550,7 @@ class Simulation(EngineCore):
         target.n = self.n
         target.f = self.f
         target.seed = self.seed
+        target.engine = self.engine
         target.check_interval = self.check_interval
         # Monitors hold a little mutable state (e.g. gathering_time) with no
         # references into the simulation, so deepcopy is both correct and
@@ -415,6 +581,13 @@ class Simulation(EngineCore):
         target.adversary = self.adversary.clone_into(target)
 
     def _result(self, completed: bool, reason: str) -> RunResult:
+        # Fold trailing scheduling gaps (starvation from a process's last
+        # scheduled step to the end of the run) into realized δ; see
+        # Metrics.finalize.
+        end = self.metrics.completion_time
+        if end is None:
+            end = self._now
+        self.metrics.finalize(end, self._alive)
         return RunResult(
             completed=completed,
             reason=reason,

@@ -83,6 +83,31 @@ class Metrics:
         self.crash_times[pid] = now
         self._last_scheduled.pop(pid, None)
 
+    def finalize(self, end: int, alive) -> None:
+        """Fold each live process's trailing scheduling gap into
+        ``realized_delta``.
+
+        ``record_scheduled`` can only observe a gap when the *next*
+        scheduled step arrives, so a process starved from its last
+        scheduled step until the end of the execution (``end``:
+        ``completion_time`` when the run completed, the current step
+        otherwise) would under-report the very δ that starvation
+        schedules are built to inflate. The trailing gap is
+        ``end - last_scheduled[pid]``, or ``end + 1`` for a live process
+        never scheduled at all (matching the from-time-0 convention in
+        :meth:`record_scheduled`).
+
+        Idempotent and monotone: gaps are max-folded and
+        ``_last_scheduled`` is left untouched, so calling this at the end
+        of a run and again after resuming it never over- or
+        double-counts.
+        """
+        for pid in alive:
+            last = self._last_scheduled.get(pid)
+            gap = end - last if last is not None else end + 1
+            if gap > self.realized_delta:
+                self.realized_delta = gap
+
     def clone(self) -> "Metrics":
         """O(state) copy for simulation forking: counters and dicts are
         rebuilt, scalars carried over. Equivalent to ``copy.deepcopy`` but

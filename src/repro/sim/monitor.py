@@ -22,6 +22,19 @@ from .._util import popcount
 class CompletionMonitor(ABC):
     """A pluggable global predicate checked by the engine as time advances."""
 
+    #: True when :meth:`check`'s verdict is a pure function of the
+    #: simulation *state* (process state, network, live set) and not of
+    #: ``sim.now`` itself, so its answer cannot change across steps in
+    #: which nothing happens. The time-leap engine collapses the interval
+    #: checks inside a jumped-over gap of inert steps to a single
+    #: evaluation for such monitors; for monitors that leave this False it
+    #: caps every jump at the next ``check_interval`` boundary and
+    #: evaluates there for real. (Reading ``sim.now`` for a *timestamp*
+    #: side effect, as :class:`GossipCompletionMonitor` does for
+    #: ``gathering_time``, is fine — the engine presents the exact
+    #: boundary time stepwise execution would have.)
+    leap_safe = False
+
     @abstractmethod
     def check(self, sim) -> bool:
         """Return True once the execution has completed."""
@@ -45,6 +58,8 @@ class GossipCompletionMonitor(CompletionMonitor):
     (``⌊n/2⌋ + 1``) of all rumors — the paper's *majority gossip* from
     Section 5.
     """
+
+    leap_safe = True
 
     def __init__(self, majority: bool = False) -> None:
         self.majority = majority
@@ -90,6 +105,8 @@ class GossipCompletionMonitor(CompletionMonitor):
 class QuiescenceMonitor(CompletionMonitor):
     """Completes when the system can provably send no further message."""
 
+    leap_safe = True
+
     def check(self, sim) -> bool:
         if sim.network.in_flight:
             return False
@@ -99,11 +116,18 @@ class QuiescenceMonitor(CompletionMonitor):
 
 
 class PredicateMonitor(CompletionMonitor):
-    """Adapt an arbitrary callable ``sim -> bool`` (used by tests/consensus)."""
+    """Adapt an arbitrary callable ``sim -> bool`` (used by tests/consensus).
 
-    def __init__(self, predicate, name: str = "predicate") -> None:
+    Pass ``state_driven=True`` when the predicate reads only simulation
+    state (not ``sim.now``), which lets the time-leap engine collapse the
+    checks inside a jumped-over gap; the default assumes nothing.
+    """
+
+    def __init__(self, predicate, name: str = "predicate",
+                 state_driven: bool = False) -> None:
         self.predicate = predicate
         self.name = name
+        self.leap_safe = bool(state_driven)
 
     def check(self, sim) -> bool:
         return bool(self.predicate(sim))

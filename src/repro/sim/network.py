@@ -12,10 +12,17 @@ known bound.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List
+import warnings
+from typing import Dict, List, Optional
 
 from .errors import InvalidDelayError
 from .message import Message
+
+#: The magic value :meth:`Network.earliest_deliverable` historically
+#: returned for an empty queue. Kept only for the deprecation shim;
+#: callers comparing it to step counts silently treated "empty queue"
+#: as "event at t=4.6e18".
+LEGACY_EMPTY_SENTINEL = 2 ** 62
 
 
 class Network:
@@ -100,12 +107,43 @@ class Network:
         """Number of messages currently queued for ``pid``."""
         return len(self._pending[pid])
 
-    def earliest_deliverable(self, pid: int) -> int:
+    def earliest_deliverable(self, pid: int) -> Optional[int]:
         """Earliest ``deliverable_at`` among messages queued for ``pid``.
 
-        Returns a large sentinel when the queue is empty.
+        Returns ``None`` when the queue is empty (historically a
+        ``2 ** 62`` sentinel; see :meth:`earliest_deliverable_or_sentinel`
+        for the deprecated old contract).
         """
         heap = self._pending[pid]
         if not heap:
-            return 2 ** 62
+            return None
         return heap[0][0]
+
+    def earliest_deliverable_any(self) -> Optional[int]:
+        """Earliest ``deliverable_at`` across *all* receivers, or ``None``
+        when nothing is in flight.
+
+        This is the network's contribution to the time-leap protocol: no
+        delivery can happen before this time. (In the paper's model
+        deliveries only occur at a receiver's scheduled steps, so the
+        engine's leap decisions are driven by the schedule — this query
+        exists for observers, diagnostics and future delivery-driven
+        plans.)
+        """
+        earliest: Optional[int] = None
+        for heap in self._pending.values():
+            if heap and (earliest is None or heap[0][0] < earliest):
+                earliest = heap[0][0]
+        return earliest
+
+    def earliest_deliverable_or_sentinel(self, pid: int) -> int:
+        """Deprecated: :meth:`earliest_deliverable` under the old contract
+        (``2 ** 62`` means "empty queue")."""
+        warnings.warn(
+            "earliest_deliverable_or_sentinel() is deprecated; use "
+            "earliest_deliverable(), which returns None for an empty queue",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        value = self.earliest_deliverable(pid)
+        return LEGACY_EMPTY_SENTINEL if value is None else value

@@ -11,7 +11,32 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import FrozenSet, Sequence, Set
+from bisect import bisect_left
+from typing import FrozenSet, Optional, Sequence, Set
+
+
+def next_residue_step(
+    t: int, period: int, alive: FrozenSet[int]
+) -> Optional[int]:
+    """Smallest ``t' >= t`` with some alive pid ``≡ t' (mod period)``.
+
+    The shared kernel of round-robin ``next_event_at`` implementations
+    (used by :class:`RoundRobinWindows` and the GST adversary's two
+    regimes): a residue-class schedule has an empty step exactly when no
+    live pid occupies the step's residue, so the next busy step is found
+    by bisecting the sorted set of occupied residues. Returns ``None``
+    when ``alive`` is empty.
+    """
+    if not alive:
+        return None
+    if period <= 1:
+        return t
+    residues = sorted({pid % period for pid in alive})
+    r = t % period
+    idx = bisect_left(residues, r)
+    if idx < len(residues):
+        return t + (residues[idx] - r)
+    return t + (period - r) + residues[0]
 
 
 class SchedulePlan(ABC):
@@ -28,6 +53,20 @@ class SchedulePlan(ABC):
         return crashed pids harmlessly.
         """
 
+    def next_event_at(self, t: int, alive: FrozenSet[int]) -> Optional[int]:
+        """Earliest ``t' >= t`` at which this plan schedules a live pid.
+
+        The time-leap engine jumps over the gap ``[t, t')``, so a return
+        of ``t' > t`` asserts ``scheduled_at(u, alive) & alive`` is empty
+        for every ``t <= u < t'`` (with ``alive`` unchanged — the engine
+        re-queries after every executed step, and crashes only fire at
+        event steps). ``None`` means the plan never schedules a live pid
+        at or after ``t``. The base implementation conservatively returns
+        ``t`` ("something may happen right now"), which keeps unknown
+        subclasses correct: the engine then advances stepwise.
+        """
+        return t
+
 
 class EveryStep(SchedulePlan):
     """All processes take a step every time step (``δ = 1``).
@@ -40,6 +79,9 @@ class EveryStep(SchedulePlan):
 
     def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
         return set(alive)
+
+    def next_event_at(self, t: int, alive: FrozenSet[int]) -> Optional[int]:
+        return t if alive else None
 
 
 class RoundRobinWindows(SchedulePlan):
@@ -61,6 +103,9 @@ class RoundRobinWindows(SchedulePlan):
         residue = t % self.delta
         return {pid for pid in alive if pid % self.delta == residue}
 
+    def next_event_at(self, t: int, alive: FrozenSet[int]) -> Optional[int]:
+        return next_residue_step(t, self.delta, alive)
+
 
 class StaggeredWindows(SchedulePlan):
     """One deterministic-but-scrambled slot per process per window.
@@ -79,7 +124,14 @@ class StaggeredWindows(SchedulePlan):
         self.delta = delta
         self.seed = seed
         self.target_delta = max(1, 2 * delta - 1)
+        # Pure memo over (pid, window) — slots are a deterministic function
+        # of (seed, pid, window), so the cache is never part of the plan's
+        # identity: it is pruned as windows advance (a long run would
+        # otherwise accumulate one entry per pid per window forever) and
+        # excluded from clones/pickles (Theorem 1 forks deepcopy the
+        # adversary; dragging the memo through every fork is pure waste).
         self._slot_cache: dict = {}
+        self._cache_window = -1
 
     def _slot(self, pid: int, window: int) -> int:
         key = (pid, window)
@@ -91,9 +143,44 @@ class StaggeredWindows(SchedulePlan):
             self._slot_cache[key] = slot
         return slot
 
+    def _prune_cache(self, window: int) -> None:
+        """Drop memo entries older than the previous window."""
+        if window <= self._cache_window:
+            return
+        self._cache_window = window
+        cutoff = window - 1
+        stale = [key for key in self._slot_cache if key[1] < cutoff]
+        for key in stale:
+            del self._slot_cache[key]
+
+    def __getstate__(self) -> dict:
+        # Clones (copy / deepcopy / pickle) recompute slots on demand;
+        # determinism is unaffected because _slot is pure.
+        state = self.__dict__.copy()
+        state["_slot_cache"] = {}
+        state["_cache_window"] = -1
+        return state
+
     def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
         window, offset = divmod(t, self.delta)
+        self._prune_cache(window)
         return {pid for pid in alive if self._slot(pid, window) == offset}
+
+    def next_event_at(self, t: int, alive: FrozenSet[int]) -> Optional[int]:
+        if not alive:
+            return None
+        window, offset = divmod(t, self.delta)
+        best: Optional[int] = None
+        for pid in alive:
+            slot = self._slot(pid, window)
+            if slot >= offset and (best is None or slot < best):
+                best = slot
+        if best is not None:
+            return window * self.delta + best
+        # Every live slot in this window is behind ``t``: the next event
+        # is the earliest live slot of the following window.
+        nxt = min(self._slot(pid, window + 1) for pid in alive)
+        return (window + 1) * self.delta + nxt
 
 
 class ExplicitSchedule(SchedulePlan):
@@ -112,6 +199,17 @@ class ExplicitSchedule(SchedulePlan):
             return set(self.table[t]) & alive
         return set(alive)
 
+    def next_event_at(self, t: int, alive: FrozenSet[int]) -> Optional[int]:
+        if not alive:
+            return None
+        u = t
+        while u < len(self.table):
+            if self.table[u] & alive:
+                return u
+            u += 1
+        # Beyond the table everyone is scheduled.
+        return max(t, len(self.table))
+
 
 class SubsetEveryStep(SchedulePlan):
     """Schedule a fixed subset every step; everyone else is frozen out.
@@ -128,3 +226,6 @@ class SubsetEveryStep(SchedulePlan):
 
     def scheduled_at(self, t: int, alive: FrozenSet[int]) -> Set[int]:
         return set(self.subset & alive)
+
+    def next_event_at(self, t: int, alive: FrozenSet[int]) -> Optional[int]:
+        return t if self.subset & alive else None

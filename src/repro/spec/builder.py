@@ -258,7 +258,8 @@ def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
     if spec.algorithm == "uniform" and not isinstance(params, dict):
         # The naive epidemic never quiesces; completion = gathering only.
         monitor = PredicateMonitor(
-            lambda sim: gathering_holds(sim), name="gathering-only"
+            lambda sim: gathering_holds(sim), name="gathering-only",
+            state_driven=True,
         )
     else:
         monitor = GossipCompletionMonitor(majority=majority)
@@ -287,6 +288,7 @@ def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
         check_interval=spec.check_interval,
         bit_meter=bit_meter,
         observers=observers,
+        engine=spec.engine,
     )
     limit = (
         spec.max_steps if spec.max_steps is not None
@@ -379,12 +381,13 @@ def _build_consensus(spec, observers, params, values, adversary) -> BuiltRun:
             sim.algorithm(pid).decided is not None for pid in sim.alive_pids
         ),
         name="all-decided",
+        state_driven=True,
     )
     observers = _with_invariants(spec, observers)
     sim = Simulation(
         n=n, f=f, algorithms=algorithms, adversary=adversary,
         monitor=monitor, seed=seed, check_interval=spec.check_interval,
-        observers=observers,
+        observers=observers, engine=spec.engine,
     )
     limit = (
         spec.max_steps if spec.max_steps is not None

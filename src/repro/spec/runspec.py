@@ -76,6 +76,9 @@ class RunSpec:
             a paper property is broken.  Defaults off (the observer-free
             fast path); hash-stable because defaulted fields are omitted
             from the serialization.
+        engine: execution strategy (``"auto"``/``"stepwise"``/``"leap"``);
+            round-trips through serialization but never enters the spec
+            hash, since all engines produce bit-identical results.
     """
 
     kind: str = "gossip"
@@ -96,6 +99,12 @@ class RunSpec:
     probe_interval: Optional[int] = None
     max_steps: Optional[int] = None
     check_invariants: bool = False
+    #: Execution strategy: ``"auto"`` (time-leap fast path with stepwise
+    #: fallback), ``"stepwise"`` (reference loop) or ``"leap"``. Bit-
+    #: identical by construction, so this is *not* part of the spec's
+    #: identity: it is excluded from :meth:`canonical_json` /
+    #: :attr:`spec_hash` and artifact stores dedupe across engines.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -107,6 +116,11 @@ class RunSpec:
         if self.scenario is not None and self.adversary is not None:
             raise ConfigurationError(
                 "a spec sets either 'scenario' or 'adversary', not both"
+            )
+        if self.engine not in ("auto", "stepwise", "leap"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from "
+                "['auto', 'stepwise', 'leap']"
             )
         for name in ("params", "adversary"):
             value = getattr(self, name)
@@ -198,10 +212,15 @@ class RunSpec:
     # -- identity ---------------------------------------------------------#
 
     def canonical_json(self) -> str:
-        """The canonical serialization the hash is computed over."""
-        return json.dumps(
-            self.to_dict(), sort_keys=True, separators=(",", ":")
-        )
+        """The canonical serialization the hash is computed over.
+
+        Execution-strategy knobs (``engine``) are stripped: the time-leap
+        engine is bit-identical to stepwise, so the same run under a
+        different engine must dedupe to the same artifact.
+        """
+        data = self.to_dict()
+        data.pop("engine", None)
+        return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
     @property
     def spec_hash(self) -> str:

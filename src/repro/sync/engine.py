@@ -226,6 +226,13 @@ class SyncSimulation(EngineCore):
         if completed:
             self.metrics.completion_time = self.round
             self._emit_complete(self.round)
+        # Every live process steps every round, so the trailing-gap fold
+        # is a no-op value-wise; called for metric-semantics parity with
+        # the asynchronous engine.
+        end = self.metrics.completion_time
+        if end is None:
+            end = self.round
+        self.metrics.finalize(end, self.alive)
         return SyncResult(
             completed=completed,
             reason=reason,

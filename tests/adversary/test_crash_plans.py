@@ -84,3 +84,22 @@ class TestGenerators:
         # Wave sizes halve (6, 3, 1, 1, 1 pattern-ish): first is largest.
         sizes = [len(p) for _, p in plan.events()]
         assert sizes[0] == max(sizes)
+
+
+class TestNextEventAt:
+    def test_exact_next_crash_time(self):
+        plan = crash_at({3: [0], 9: [1, 2], 15: [4]})
+        assert plan.next_event_at(0) == 3
+        assert plan.next_event_at(3) == 3
+        assert plan.next_event_at(4) == 9
+        assert plan.next_event_at(9) == 9
+        assert plan.next_event_at(10) == 15
+        assert plan.next_event_at(16) is None
+
+    def test_empty_plan_has_no_events(self):
+        assert no_crashes().next_event_at(0) is None
+
+    def test_agrees_with_has_pending(self):
+        plan = random_crashes(20, 6, 30, seed=7)
+        for t in range(40):
+            assert (plan.next_event_at(t) is not None) == plan.has_pending(t)

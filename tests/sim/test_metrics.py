@@ -1,6 +1,11 @@
 """Tests for execution accounting."""
 
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.sim.engine import Simulation
 from repro.sim.metrics import Metrics
+from repro.sim.scheduler import ExplicitSchedule
+
+from .algos import RingSender
 
 
 class TestSendAccounting:
@@ -41,6 +46,69 @@ class TestRealizedDelta:
         # A crashed process's later "gap" must not count; there is none.
         assert m.crashes == 1
         assert m.crash_times[0] == 1
+
+
+class TestFinalize:
+    def test_trailing_gap_folds_into_realized_delta(self):
+        m = Metrics(n=2)
+        m.record_scheduled(0, 0)
+        m.record_scheduled(0, 2)
+        m.record_scheduled(1, 0)
+        assert m.realized_delta == 2
+        # Pid 1 starved from t=0 until completion at t=10.
+        m.finalize(10, alive={0, 1})
+        assert m.realized_delta == 10
+
+    def test_never_scheduled_counts_full_window(self):
+        m = Metrics(n=2)
+        m.record_scheduled(0, 0)
+        m.finalize(7, alive={0, 1})
+        # Pid 1 unscheduled through steps 0..6: a window of 7 steps with
+        # no schedule forces delta >= 8, matching the lead-in convention.
+        assert m.realized_delta == 8
+
+    def test_crashed_pids_do_not_count(self):
+        m = Metrics(n=2)
+        m.record_scheduled(0, 4)
+        m.record_scheduled(1, 0)
+        m.record_crash(1, 1)
+        m.finalize(20, alive={0})
+        assert m.realized_delta == 20 - 4
+
+    def test_idempotent_and_monotone_across_resumes(self):
+        m = Metrics(n=1)
+        m.record_scheduled(0, 1)
+        m.finalize(5, alive={0})
+        assert m.realized_delta == 4
+        m.finalize(5, alive={0})
+        assert m.realized_delta == 4
+        # Resuming and finalizing later can only grow the fold.
+        m.finalize(9, alive={0})
+        assert m.realized_delta == 8
+
+
+class TestTailGapRegression:
+    """The realized-δ accounting bug: a process starved from its last
+    scheduled step to the end of the run used to report only the gaps
+    *between* its scheduled steps."""
+
+    def test_tail_starvation_is_visible(self):
+        table = [{0, 1}] + [{0}] * 60
+        adversary = ObliviousAdversary(
+            schedule=ExplicitSchedule(table, target_delta=50)
+        )
+        sim = Simulation(
+            n=2, f=0, algorithms=[RingSender(3), RingSender(1)],
+            adversary=adversary, monitor=None, seed=0,
+        )
+        result = sim.run(max_steps=50)
+        # Pid 1 was scheduled once (t=0) and then starved for the whole
+        # run; its messages stay undeliverable so the run hits the step
+        # limit. Before the fix the run reported realized_delta == 1 (the
+        # only gaps ever *observed* were pid 0's back-to-back steps and
+        # the t=0 lead-ins); the 50-step tail starvation was invisible.
+        assert not result.completed
+        assert result.metrics["realized_delta"] == 50
 
 
 class TestRealizedD:

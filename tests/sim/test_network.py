@@ -92,7 +92,27 @@ class TestAccounting:
 
     def test_earliest_deliverable(self):
         net = Network(4)
-        assert net.earliest_deliverable(1) > 10 ** 12
+        assert net.earliest_deliverable(1) is None
         net.enqueue(msg(0, 1, 0, 4))
         net.enqueue(msg(0, 1, 0, 2))
         assert net.earliest_deliverable(1) == 2
+
+    def test_earliest_deliverable_any(self):
+        net = Network(4)
+        assert net.earliest_deliverable_any() is None
+        net.enqueue(msg(0, 1, 0, 4))
+        net.enqueue(msg(0, 2, 1, 2))
+        assert net.earliest_deliverable_any() == 3
+        net.collect(2, 5)
+        assert net.earliest_deliverable_any() == 4
+        net.collect(1, 5)
+        assert net.earliest_deliverable_any() is None
+
+    def test_earliest_deliverable_sentinel_shim(self):
+        net = Network(4)
+        with pytest.deprecated_call():
+            value = net.earliest_deliverable_or_sentinel(1)
+        assert value == 2 ** 62
+        net.enqueue(msg(0, 1, 0, 2))
+        with pytest.deprecated_call():
+            assert net.earliest_deliverable_or_sentinel(1) == 2

@@ -1,13 +1,18 @@
 """Tests for schedule plans and their delta guarantees."""
 
+import copy
+import pickle
+
 import pytest
 
 from repro.sim.scheduler import (
     EveryStep,
     ExplicitSchedule,
     RoundRobinWindows,
+    SchedulePlan,
     StaggeredWindows,
     SubsetEveryStep,
+    next_residue_step,
 )
 
 ALIVE = frozenset(range(8))
@@ -116,3 +121,109 @@ class TestSubsetEveryStep:
     def test_respects_alive(self):
         plan = SubsetEveryStep({1, 3})
         assert plan.scheduled_at(0, frozenset({3, 4})) == {3}
+
+
+def brute_next_event(plan, t, alive, horizon=4000):
+    """Reference implementation: scan for the next busy step."""
+    for u in range(t, horizon):
+        if plan.scheduled_at(u, alive) & alive:
+            return u
+    return None
+
+
+NEXT_EVENT_PLANS = [
+    EveryStep(),
+    RoundRobinWindows(1),
+    RoundRobinWindows(4),
+    RoundRobinWindows(13),
+    RoundRobinWindows(64),
+    StaggeredWindows(1, seed=3),
+    StaggeredWindows(5, seed=3),
+    StaggeredWindows(16, seed=9),
+    ExplicitSchedule([{0}, set(), set(), {1, 2}, set(), {7}]),
+    ExplicitSchedule([set(), set()]),
+    SubsetEveryStep({1, 3}),
+    SubsetEveryStep({6}),
+]
+
+
+class TestNextEventAt:
+    """next_event_at must be the exact first busy step — the leap engine's
+    bit-identity rests on this property."""
+
+    @pytest.mark.parametrize(
+        "plan", NEXT_EVENT_PLANS, ids=lambda p: repr(type(p).__name__)
+    )
+    @pytest.mark.parametrize(
+        "alive",
+        [ALIVE, frozenset({5}), frozenset({2, 7}), frozenset({0, 3, 6})],
+        ids=["all", "one", "two", "three"],
+    )
+    def test_matches_brute_force_scan(self, plan, alive):
+        for t in range(0, 140):
+            assert plan.next_event_at(t, alive) == brute_next_event(
+                plan, t, alive
+            ), f"divergence at t={t}"
+
+    @pytest.mark.parametrize(
+        "plan", NEXT_EVENT_PLANS, ids=lambda p: repr(type(p).__name__)
+    )
+    def test_empty_alive_means_no_event(self, plan):
+        assert plan.next_event_at(17, frozenset()) is None
+
+    def test_base_class_is_conservative(self):
+        class Unknown(SchedulePlan):
+            def scheduled_at(self, t, alive):
+                return set()
+
+        # A plan that does not implement the protocol must force stepwise
+        # progress ("an event may happen right now").
+        assert Unknown().next_event_at(42, ALIVE) == 42
+
+    def test_next_residue_step_kernel(self):
+        alive = frozenset({0, 3, 6})
+        for period in (1, 2, 5, 8, 64):
+            plan = RoundRobinWindows(period)
+            for t in range(0, 3 * period + 2):
+                assert next_residue_step(t, period, alive) == brute_next_event(
+                    plan, t, alive
+                )
+        assert next_residue_step(10, 4, frozenset()) is None
+
+
+class TestStaggeredWindowsCache:
+    def test_cache_pruned_as_windows_advance(self):
+        plan = StaggeredWindows(4, seed=2)
+        for t in range(40 * 4):
+            plan.scheduled_at(t, ALIVE)
+        # Entries older than the previous window are evicted: at most the
+        # previous + current window per pid survive a scheduled_at sweep
+        # (next_event_at may additionally warm the following window).
+        windows = {key[1] for key in plan._slot_cache}
+        assert windows <= {38, 39}
+        assert len(plan._slot_cache) <= 3 * len(ALIVE)
+
+    def test_pruning_does_not_change_schedule(self):
+        pruned = StaggeredWindows(6, seed=13)
+        fresh = StaggeredWindows(6, seed=13)
+        history = [pruned.scheduled_at(t, ALIVE) for t in range(200)]
+        # Replay in reverse on a fresh plan: pure slots mean identical sets
+        # regardless of cache state or query order.
+        for t in reversed(range(200)):
+            assert fresh.scheduled_at(t, ALIVE) == history[t]
+
+    @pytest.mark.parametrize(
+        "cloner",
+        [copy.copy, copy.deepcopy, lambda p: pickle.loads(pickle.dumps(p))],
+        ids=["copy", "deepcopy", "pickle"],
+    )
+    def test_clones_exclude_cache_and_stay_deterministic(self, cloner):
+        plan = StaggeredWindows(5, seed=7)
+        baseline = [plan.scheduled_at(t, ALIVE) for t in range(50)]
+        assert plan._slot_cache  # warmed
+        dup = cloner(plan)
+        assert dup._slot_cache == {}
+        assert dup._cache_window == -1
+        assert [dup.scheduled_at(t, ALIVE) for t in range(50)] == baseline
+        # The original's cache is untouched by cloning.
+        assert plan._slot_cache

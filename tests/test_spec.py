@@ -111,6 +111,29 @@ class TestHashStability:
         assert RunSpec.load(path).spec_hash == "4b533c0adb6065c5"
 
 
+class TestEngineKnob:
+    def test_engine_never_enters_the_hash(self):
+        # Engines are bit-identical by construction: the same run under a
+        # different execution strategy must dedupe to the same artifact.
+        spec = RunSpec(algorithm="ears", n=16, seed=3)
+        for engine in ("auto", "stepwise", "leap"):
+            assert spec.replace(engine=engine).spec_hash == spec.spec_hash
+            assert "engine" not in json.loads(
+                spec.replace(engine=engine).canonical_json()
+            )
+
+    def test_engine_round_trips_through_serialization(self):
+        spec = RunSpec(algorithm="ears", n=16, engine="stepwise")
+        assert spec.to_dict()["engine"] == "stepwise"
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+        # The default is omitted, keeping old spec files readable.
+        assert "engine" not in RunSpec(algorithm="ears", n=16).to_dict()
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            RunSpec(algorithm="ears", engine="warp")
+
+
 # -- registries ------------------------------------------------------------- #
 
 class TestRegistries:
