@@ -1,0 +1,238 @@
+"""Benchmark STORE-QUERY: indexed SQLite selects vs. the JSONL full scan.
+
+Builds a synthetic campaign store (genuine specs and provenance stamps,
+fabricated metrics — no simulation runs), materializes it both as the
+JSONL write-ahead log and as the SQLite index (via ``ingest``), and
+times the two query paths a results consumer actually takes:
+
+* **point lookup** — ``store.get(spec_hash)`` on a fresh handle, the
+  cache-hit probe every ``execute_cached`` resume performs;
+* **filtered select** — ``store.select(algorithm=..., n=...)`` on a
+  fresh handle, the ``repro-gossip store query`` path.
+
+A fresh handle per query is the honest cost model: the JSONL backend
+must recovery-scan the whole log before it can answer anything, while
+the SQLite backend walks an index.  The gate asserts the indexed
+backend beats the full scan on both paths — the acceptance bar for the
+layered store ("filtered selects over a 100k-record store without a
+full JSONL scan").
+
+Usage (standalone, not pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_store_query.py \
+        --out BENCH_store_query.json
+    PYTHONPATH=src python benchmarks/bench_store_query.py --quick
+
+``--quick`` shrinks the store to a few thousand records for CI and
+gates on "sqlite is not slower"; the full run builds the 100k-record
+store and gates on the committed speedup floors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+
+if "src" not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    )
+
+from repro.spec.runspec import RunSpec  # noqa: E402
+from repro.store import (  # noqa: E402
+    JsonlStore,
+    SqliteStore,
+    make_record,
+)
+
+ALGORITHMS = ("ears", "sears", "tears")
+NS = (16, 32, 64, 128)
+
+FULL_RECORDS = 100_000
+QUICK_RECORDS = 4_000
+
+#: Full-run speedup floors (sqlite over jsonl, fresh handle per query).
+#: Kept far below measured (~100x+) so machine variance never flakes.
+FULL_FLOORS = {"point_lookup": 10.0, "filtered_select": 5.0}
+QUICK_FLOORS = {"point_lookup": 1.0, "filtered_select": 1.0}
+
+
+def synth_records(count):
+    """``count`` records with genuine spec hashes and CRC stamps but
+    fabricated metrics — corruption-free by construction."""
+    records = []
+    for index in range(count):
+        spec = RunSpec(
+            kind="gossip",
+            algorithm=ALGORITHMS[index % len(ALGORITHMS)],
+            n=NS[(index // len(ALGORITHMS)) % len(NS)],
+            f=NS[(index // len(ALGORITHMS)) % len(NS)] // 4,
+            d=2, delta=4, seed=index,
+        )
+        records.append(make_record(spec, {
+            "completed": True,
+            "reason": "completed",
+            "time": 20 + (index % 977),
+            "messages": 100 + (index % 7919),
+        }))
+    return records
+
+
+def build_stores(workdir, records):
+    jsonl_path = os.path.join(workdir, "runs.jsonl")
+    with open(jsonl_path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, default=str) + "\n")
+    sqlite_path = os.path.join(workdir, "runs.sqlite")
+    index = SqliteStore(sqlite_path)
+    report = index.ingest(jsonl_path)
+    assert report["ingested"] == len(records), report
+    assert report["quarantined"] == 0, report
+    index.sync()
+    index.close()
+    return jsonl_path, sqlite_path
+
+
+def fresh(backend, path):
+    return JsonlStore(path) if backend == "jsonl" else SqliteStore(path)
+
+
+def time_query(backend, path, query, repeats):
+    """Best-of-``repeats`` wall clock; each repeat opens a fresh handle."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        store = fresh(backend, path)
+        start = time.perf_counter()
+        got = query(store)
+        wall = time.perf_counter() - start
+        best = wall if best is None else min(best, wall)
+        if result is None:
+            result = got
+        elif got != result:
+            raise AssertionError(f"non-deterministic {backend} query")
+        if backend == "sqlite":
+            store.close()
+    return best, result
+
+
+def run_queries(jsonl_path, sqlite_path, records, repeats):
+    probe = records[len(records) // 2]
+    queries = [
+        (
+            "point_lookup",
+            f"get({probe['spec_hash']!r}) on a fresh handle",
+            lambda store: store.get(probe["spec_hash"]),
+        ),
+        (
+            "filtered_select",
+            "select(algorithm='sears', n=64, seed in first 500) "
+            "on a fresh handle",
+            lambda store: len(store.select(
+                algorithm="sears", n=64, seed=list(range(500)),
+            )),
+        ),
+    ]
+    rows = []
+    for query_id, note, query in queries:
+        jsonl_s, ref = time_query("jsonl", jsonl_path, query, repeats)
+        sqlite_s, got = time_query("sqlite", sqlite_path, query, repeats)
+        if got != ref:
+            raise AssertionError(
+                f"[{query_id}] backends disagreed: {ref!r} != {got!r}"
+            )
+        speedup = jsonl_s / sqlite_s if sqlite_s > 0 else float("inf")
+        rows.append({
+            "id": query_id,
+            "note": note,
+            "jsonl_s": round(jsonl_s, 4),
+            "sqlite_s": round(sqlite_s, 4),
+            "speedup": round(speedup, 2),
+        })
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"shrunken store ({QUICK_RECORDS} records) for CI; gate: "
+             "sqlite never slower",
+    )
+    parser.add_argument(
+        "--records", type=int, default=None,
+        help=f"store size (default: {FULL_RECORDS}, "
+             f"quick: {QUICK_RECORDS})",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_store_query.json",
+        help="output JSON path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="repeats per query, fresh handle each (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-gate", action="store_true",
+        help="record speedups without enforcing the floors",
+    )
+    args = parser.parse_args(argv)
+    count = args.records or (QUICK_RECORDS if args.quick else FULL_RECORDS)
+    floors = QUICK_FLOORS if args.quick else FULL_FLOORS
+
+    build_start = time.perf_counter()
+    records = synth_records(count)
+    with tempfile.TemporaryDirectory(prefix="bench-store-query-") as workdir:
+        jsonl_path, sqlite_path = build_stores(workdir, records)
+        build_s = time.perf_counter() - build_start
+        print(f"built {count} record(s) as jsonl+sqlite in {build_s:.1f}s")
+        rows = run_queries(jsonl_path, sqlite_path, records, args.repeats)
+
+    failures = []
+    for row in rows:
+        floor = floors[row["id"]]
+        status = ""
+        if not args.no_gate:
+            if row["speedup"] < floor:
+                failures.append(
+                    f"{row['id']}: speedup {row['speedup']}x is below "
+                    f"the floor {floor}x"
+                )
+                status = "  [GATE FAILED]"
+            else:
+                status = f"  [>= {floor}x ok]"
+        print(
+            f"{row['id']}: jsonl {row['jsonl_s']}s, "
+            f"sqlite {row['sqlite_s']}s -> {row['speedup']}x{status}"
+        )
+
+    report = {
+        "benchmark": "store_query",
+        "quick": args.quick,
+        "records": count,
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "queries": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if failures:
+        print("speedup gates FAILED:", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,6 +97,15 @@ def _add_fault_tolerance(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", default="auto", choices=["auto", "jsonl", "sqlite"],
+        help="artifact-store backend: 'auto' picks by extension "
+             "(.sqlite/.sqlite3/.db → sqlite, anything else → the JSONL "
+             "write-ahead log)",
+    )
+
+
 def _add_checkpointing(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--resume", default=None, metavar="MANIFEST",
@@ -186,7 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--name", default="cli-grid",
                    help="grid (and cache file) name")
     p.add_argument("--out-dir", default=None,
-                   help="JSONL cache directory (no caching if omitted)")
+                   help="cell cache directory (no caching if omitted)")
+    p.add_argument("--backend", default="jsonl",
+                   choices=["jsonl", "sqlite"],
+                   help="cell cache format under --out-dir "
+                        "(default: jsonl)")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
     _add_fault_tolerance(p)
@@ -231,12 +244,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="spec file: a JSON array of RunSpec objects, a "
                         "single object, or JSONL (one spec per line)")
     p.add_argument("--store", default=None,
-                   help="JSONL artifact store; stored spec hashes are "
+                   help="artifact store; stored spec hashes are "
                         "cache hits and run no simulation")
+    _add_backend(p)
     p.add_argument("--fsync", default="always",
                    choices=["always", "never"],
-                   help="store append durability policy (default: always "
+                   help="store write durability policy (default: always "
                         "— crash-safe to the last record)")
+    p.add_argument("--shard", default=None, metavar="INDEX/COUNT",
+                   help="run only this spec-hash shard of the batch "
+                        "(e.g. 0/4 .. 3/4 on four hosts); merge the "
+                        "shard stores afterwards with 'store merge'")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
     _add_fault_tolerance(p)
@@ -246,17 +264,95 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "store",
-        help="artifact-store maintenance: verify integrity, compact the "
-             "log, or show quarantined lines",
+        help="artifact-store maintenance and queries: verify, compact, "
+             "quarantine, query, ingest, export, merge",
     )
-    p.add_argument("action", choices=["verify", "compact", "quarantine"],
-                   help="verify: scan for torn/corrupt lines (read-only, "
-                        "exit 1 on findings); compact: atomically rewrite "
-                        "the log dropping superseded and corrupt lines; "
-                        "quarantine: show lines salvaged by recovery")
-    p.add_argument("path", help="JSONL store path")
-    p.add_argument("--json", action="store_true", dest="as_json",
-                   help="emit the report as JSON")
+    store_sub = p.add_subparsers(dest="action", required=True)
+
+    def _store_action(name: str, help_text: str, path_help: str
+                      ) -> argparse.ArgumentParser:
+        action = store_sub.add_parser(name, help=help_text)
+        action.add_argument("path", help=path_help)
+        _add_backend(action)
+        action.add_argument("--json", action="store_true", dest="as_json",
+                            help="emit the result as JSON")
+        return action
+
+    _store_action(
+        "verify",
+        "scan for corruption (read-only, exit 1 on findings)",
+        "store path (JSONL log or SQLite index)",
+    )
+    _store_action(
+        "compact",
+        "rewrite the store clean, dropping superseded and corrupt "
+        "records",
+        "store path (JSONL log or SQLite index)",
+    )
+    _store_action(
+        "quarantine",
+        "show corrupt lines salvaged by recovery or ingest",
+        "store path (JSONL log or SQLite index)",
+    )
+
+    action = _store_action(
+        "query",
+        "filtered select over the store, emitted as JSON or CSV",
+        "store path (JSONL log or SQLite index)",
+    )
+    action.add_argument(
+        "--filter", action="append", default=[], metavar="FIELD=VALUE",
+        help="equality filter on a spec/metric field (repeatable; "
+             "comma-separate values for membership, e.g. n=64,128)")
+    action.add_argument(
+        "--where", default=None,
+        help="predicate expression, e.g. \"metrics.time < 100 and "
+             "completed == true\"")
+    action.add_argument("--limit", type=int, default=None,
+                        help="return at most N records")
+    action.add_argument("--format", default="json",
+                        choices=["json", "csv"], dest="out_format",
+                        help="output format (default: json)")
+    action.add_argument("--count", action="store_true",
+                        help="print only the matching record count")
+
+    action = store_sub.add_parser(
+        "ingest",
+        help="replay JSONL write-ahead logs into a SQLite index "
+             "(corrupt lines are quarantined, exit 1 when any are)")
+    action.add_argument("dest", help="SQLite index path")
+    action.add_argument("sources", nargs="+",
+                        help="JSONL log path(s) to replay")
+    action.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON")
+
+    action = store_sub.add_parser(
+        "export",
+        help="write a SQLite index back out as a JSONL log")
+    action.add_argument("source", help="SQLite index path")
+    action.add_argument("dest", help="JSONL log path to write")
+
+    action = store_sub.add_parser(
+        "merge",
+        help="merge shard stores (and optionally their campaign "
+             "manifests) into one artifact set")
+    action.add_argument("dest", help="destination store path")
+    action.add_argument("sources", nargs="*", default=[],
+                        help="shard store path(s) to merge in")
+    _add_backend(action)
+    action.add_argument(
+        "--policy", default="error", choices=["error", "provenance"],
+        help="conflict policy for divergent records with the same spec "
+             "hash: 'error' refuses, 'provenance' keeps the newest "
+             "build deterministically (default: error)")
+    action.add_argument(
+        "--manifest", default=None, metavar="DEST_MANIFEST",
+        help="also merge campaign manifests into this path")
+    action.add_argument(
+        "--manifests", nargs="*", default=[], metavar="SHARD_MANIFEST",
+        help="manifest shard path(s) to merge into --manifest")
+    action.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the merge report as JSON")
 
     p = sub.add_parser(
         "chaos",
@@ -284,8 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--spec", required=True,
                    help="path to a RunSpec JSON file")
     p.add_argument("--store", default=None,
-                   help="JSONL artifact store; a stored spec hash is a "
+                   help="artifact store; a stored spec hash is a "
                         "cache hit and runs no simulation")
+    _add_backend(p)
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="print the full provenance record as JSON")
 
@@ -444,6 +541,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     manifest_path=args.resume,
                     checkpoint_every=args.checkpoint_every,
                     shutdown=shutdown,
+                    backend=args.backend,
                 )
                 try:
                     rows = runner.run(spec)
@@ -454,7 +552,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             runner = GridRunner(out_dir=args.out_dir,
                                 processes=args.processes,
                                 trial_timeout=args.trial_timeout,
-                                retries=args.retries)
+                                retries=args.retries,
+                                backend=args.backend)
             rows = runner.run(spec)
         if profiler is None:
             summary = runner.last_summary
@@ -528,10 +627,25 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from .experiments import CampaignDrained, GracefulShutdown
         from .spec import RunSpec
-        from .store import RunStore, execute_batch
+        from .store import execute_batch, open_store, shard_specs
 
         specs = RunSpec.load_many(args.specs)
-        store = RunStore(args.store, fsync=args.fsync) if args.store else None
+        if args.shard:
+            try:
+                index_text, count_text = args.shard.split("/", 1)
+                index, count = int(index_text), int(count_text)
+            except ValueError:
+                print(f"bad --shard {args.shard!r}: expected INDEX/COUNT "
+                      f"(e.g. 0/4)", file=sys.stderr)
+                return 2
+            total = len(specs)
+            specs = shard_specs(specs, index, count)
+            print(f"shard {index}/{count}: {len(specs)}/{total} spec(s)",
+                  file=sys.stderr)
+        store = (
+            open_store(args.store, backend=args.backend, fsync=args.fsync)
+            if args.store else None
+        )
         batch_kwargs = dict(
             store=store, processes=args.processes,
             trial_timeout=args.trial_timeout, retries=args.retries,
@@ -570,9 +684,102 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "store":
         import json as _json
 
-        from .store import RunStore
+        from .store import open_store
 
-        store = RunStore(args.path)
+        if args.action == "ingest":
+            from .store import SqliteStore
+
+            store = SqliteStore(args.dest)
+            quarantined = 0
+            reports = []
+            for source in args.sources:
+                report = store.ingest(source)
+                reports.append(report)
+                quarantined += report["quarantined"]
+            store.sync()
+            if args.as_json:
+                print(_json.dumps(reports, indent=2, sort_keys=True))
+            else:
+                for report in reports:
+                    print(f"{report['source']}: {report['ingested']} "
+                          f"record(s) ingested, {report['quarantined']} "
+                          f"corrupt line(s) quarantined")
+                print(f"{args.dest}: {len(store)} record(s)")
+            return 0 if not quarantined else 1
+
+        if args.action == "export":
+            from .store import SqliteStore
+
+            count = SqliteStore(args.source).export(args.dest)
+            print(f"{args.dest}: {count} record(s) exported")
+            return 0
+
+        if args.action == "merge":
+            from .store import MergeConflict, merge_manifests, merge_stores
+
+            dest = open_store(args.dest, backend=args.backend)
+            try:
+                report = merge_stores(dest, args.sources,
+                                      policy=args.policy)
+                if args.manifest and args.manifests:
+                    manifest = merge_manifests(args.manifest,
+                                               args.manifests,
+                                               policy=args.policy)
+                    report["manifest"] = manifest.summary()
+            except MergeConflict as exc:
+                print(f"merge conflict: {exc}", file=sys.stderr)
+                return 1
+            dest.sync()
+            if args.as_json:
+                print(_json.dumps(report, indent=2, sort_keys=True))
+            else:
+                print(f"{args.dest}: {report['added']} added, "
+                      f"{report['identical']} identical, "
+                      f"{report['replaced']} replaced "
+                      f"({report['conflicts']} conflict(s) resolved); "
+                      f"{len(dest)} record(s) total")
+                if "manifest" in report:
+                    summary = report["manifest"]
+                    print(f"{args.manifest}: {summary['completed']}/"
+                          f"{summary['submitted']} job(s) completed, "
+                          f"{summary['missing']} missing")
+            return 0
+
+        store = open_store(args.path, backend=args.backend)
+        if args.action == "query":
+            filters = {}
+            for item in args.filter:
+                if "=" not in item:
+                    print(f"bad --filter {item!r}: expected FIELD=VALUE",
+                          file=sys.stderr)
+                    return 2
+                key, _, text = item.partition("=")
+
+                def _literal(token):
+                    try:
+                        return _json.loads(token)
+                    except _json.JSONDecodeError:
+                        return token
+
+                values = [_literal(token) for token in text.split(",")]
+                filters[key] = values if len(values) > 1 else values[0]
+            from .sim.errors import ConfigurationError
+
+            try:
+                records = store.select(where=args.where, limit=args.limit,
+                                       **filters)
+            except ConfigurationError as exc:
+                print(f"bad query: {exc}", file=sys.stderr)
+                return 2
+            if args.count:
+                print(len(records))
+            elif args.out_format == "csv":
+                from .store.query import rows_to_csv
+
+                sys.stdout.write(rows_to_csv(records))
+            else:
+                print(_json.dumps(records, indent=2, sort_keys=True))
+            return 0
         if args.action == "verify":
             report = store.verify()
             if args.as_json:
@@ -658,11 +865,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         import json as _json
 
         from .spec import RunSpec, execute
-        from .store import RunStore, execute_cached, make_record, metrics_of
+        from .store import (
+            execute_cached,
+            make_record,
+            metrics_of,
+            open_store,
+        )
 
         spec = RunSpec.load(args.spec)
         if args.store:
-            record, hit = execute_cached(spec, RunStore(args.store))
+            record, hit = execute_cached(
+                spec, open_store(args.store, backend=args.backend)
+            )
         else:
             record, hit = make_record(spec, metrics_of(execute(spec))), False
         metrics = record["metrics"]

@@ -423,7 +423,8 @@ def run_manifest_batch(
     submitted-but-not-completed (or failed) spec hashes — seed for seed,
     because the spec hash pins the seed.
     """
-    from ..store import _spec_job, failed_record, make_record
+    from ..store import make_record
+    from ..store.batch import _spec_job, failed_record
     from .pool import TrialPool
 
     specs = list(specs)

@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import importlib
 import itertools
-import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
+from ..store.cells import canonicalize_params, cell_key, open_cell_log
 from .pool import TIMED_OUT, TrialPool, summarize_outcomes
 
 Recorder = Callable[..., Dict[str, Any]]
@@ -139,24 +139,6 @@ class GridSpec:
         return cells
 
 
-def canonicalize_params(params: Dict[str, Any]) -> Dict[str, Any]:
-    """Round-trip ``params`` through JSON, as the JSONL store does.
-
-    Tuples become lists, non-string dict keys become strings, and
-    non-JSON-native values collapse to their ``str()`` form — exactly the
-    shape ``json.loads`` hands back when a store is reloaded. Keying on
-    the canonical form guarantees a cell written in one process run is a
-    cache hit in the next, whatever Python types the live spec used.
-    """
-    return json.loads(json.dumps(params, sort_keys=True, default=str))
-
-
-def cell_key(params: Dict[str, Any]) -> str:
-    """Canonical JSON key for a cell (order- and type-representation-
-    independent: live params and their JSONL round-trip key identically)."""
-    return json.dumps(canonicalize_params(params), sort_keys=True)
-
-
 def _run_cell(args):
     """Execute one cell in a (possibly child) process.
 
@@ -205,7 +187,12 @@ def failure_record(outcome) -> Dict[str, Any]:
 
 @dataclass
 class GridRunner:
-    """Executes grid specs with a JSONL cache and optional parallelism.
+    """Executes grid specs with a cell cache and optional parallelism.
+
+    ``backend`` selects the cell cache format under ``out_dir``:
+    ``"jsonl"`` (default — the original ``<grid>.jsonl`` append log,
+    format unchanged) or ``"sqlite"`` (an indexed ``<grid>.sqlite``
+    cache; see :mod:`repro.store.cells`).
 
     ``trial_timeout`` (seconds) and ``retries`` make the runner
     fault-tolerant: cells that hang, raise, or kill their worker are
@@ -238,42 +225,45 @@ class GridRunner:
     manifest_path: Optional[str] = None
     checkpoint_every: int = 8
     shutdown: Optional[Any] = None
+    backend: str = "jsonl"
     last_summary: Optional[Dict[str, Any]] = field(
         default=None, init=False, repr=False
     )
     _stores: Dict[str, Dict[str, Dict[str, Any]]] = field(
         default_factory=dict
     )
+    _logs: Dict[str, Any] = field(default_factory=dict, repr=False)
 
     def _store_path(self, name: str) -> Optional[str]:
         if self.out_dir is None:
             return None
         os.makedirs(self.out_dir, exist_ok=True)
-        return os.path.join(self.out_dir, f"{name}.jsonl")
+        suffix = "sqlite" if self.backend == "sqlite" else "jsonl"
+        return os.path.join(self.out_dir, f"{name}.{suffix}")
+
+    def _cell_log(self, name: str) -> Optional[Any]:
+        if name not in self._logs:
+            path = self._store_path(name)
+            self._logs[name] = (
+                open_cell_log(path, backend=self.backend)
+                if path else None
+            )
+        return self._logs[name]
 
     def _load(self, name: str) -> Dict[str, Dict[str, Any]]:
         if name in self._stores:
             return self._stores[name]
-        store: Dict[str, Dict[str, Any]] = {}
-        path = self._store_path(name)
-        if path and os.path.exists(path):
-            with open(path, encoding="utf-8") as handle:
-                for line in handle:
-                    if line.strip():
-                        entry = json.loads(line)
-                        store[cell_key(entry["params"])] = entry["record"]
+        log = self._cell_log(name)
+        store = log.load() if log is not None else {}
         self._stores[name] = store
         return store
 
     def _append(self, name: str, params: Dict[str, Any],
                 record: Dict[str, Any]) -> None:
         self._stores[name][cell_key(params)] = record
-        path = self._store_path(name)
-        if path:
-            with open(path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(
-                    {"params": params, "record": record}, default=str
-                ) + "\n")
+        log = self._cell_log(name)
+        if log is not None:
+            log.append(params, record)
 
     def run(self, spec: GridSpec) -> List[Dict[str, Any]]:
         """Execute every missing cell; return all rows (params ∪ record).

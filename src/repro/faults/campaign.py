@@ -166,12 +166,15 @@ def _execute_store_cell(fault, trials_dir: str, trial: int, seed: int,
                         records: int = 4) -> Tuple[Optional[str], str, bool]:
     """Run one store-fault cell; returns (detected, message, fired).
 
-    Detection requires *both* halves of the durability contract: the
+    Detection requires *all three* legs of the durability contract: the
     read-only :meth:`~repro.store.RunStore.verify` scan must flag
-    exactly the injected lines, and a recovery load must salvage every
-    surviving record while quarantining the corrupt ones.
+    exactly the injected lines, a recovery load must salvage every
+    surviving record while quarantining the corrupt ones, and replaying
+    the corrupted WAL into an index
+    (:meth:`~repro.store.SqliteStore.ingest`) must quarantine exactly
+    the injected lines while ingesting exactly the survivors.
     """
-    from ..store import RunStore
+    from ..store import RunStore, SqliteStore
 
     path = os.path.join(trials_dir, f"{fault.name}-{trial}.jsonl")
     _make_scratch_store(path, records, seed)
@@ -194,10 +197,21 @@ def _execute_store_cell(fault, trials_dir: str, trial: int, seed: int,
         ), True
     if len(recovered.quarantined_entries()) != info["corrupted_lines"]:
         return None, "corrupt line was not quarantined", True
+    with SqliteStore(path + ".sqlite") as index:
+        ingest = index.ingest(path)
+        if (ingest["ingested"] != info["surviving_records"]
+                or ingest["quarantined"] != info["corrupted_lines"]):
+            return None, (
+                f"sqlite ingest took {ingest['ingested']} record(s) and "
+                f"quarantined {ingest['quarantined']}, expected "
+                f"{info['surviving_records']}/{info['corrupted_lines']}"
+            ), True
+        if not index.verify()["ok"]:
+            return None, "sqlite index failed verify after ingest", True
     return "store-corruption", (
         f"verify flagged line {info.get('line')} "
         f"({report['corrupt'][0]['reason']}); "
-        f"{salvaged} record(s) salvaged"
+        f"{salvaged} record(s) salvaged and indexed"
     ), True
 
 

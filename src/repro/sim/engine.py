@@ -37,15 +37,31 @@ from .process import Algorithm, Context, ProcessHandle
 from .rng import derive_rng
 from .trace import EventTrace
 
-__all__ = ["ENGINES", "RunResult", "SimSnapshot", "Simulation"]
+__all__ = [
+    "AUTO_PROBE_WINDOW",
+    "ENGINES",
+    "RunResult",
+    "SimSnapshot",
+    "Simulation",
+]
 
-#: Recognized execution strategies. ``"auto"`` (the default) uses the
-#: event-driven time-leap fast path, which transparently degrades to
-#: stepwise execution whenever the adversary cannot predict its next
-#: event, so it is always bit-identical to ``"stepwise"``. ``"leap"``
-#: requests the same fast path explicitly; ``"stepwise"`` forces the
-#: classical one-step-at-a-time loop (the reference semantics).
+#: Recognized execution strategies. ``"auto"`` (the default) probes the
+#: event-driven time-leap fast path and falls back to the stepwise loop
+#: on dense schedules where the adversary offers no skippable gap — so
+#: it is never slower than either explicit choice by more than the probe
+#: window, and always bit-identical to ``"stepwise"``. ``"leap"``
+#: requests the fast path unconditionally (it still degrades per-step
+#: when the adversary cannot predict its next event); ``"stepwise"``
+#: forces the classical one-step-at-a-time loop (the reference
+#: semantics).
 ENGINES = ("auto", "stepwise", "leap")
+
+#: How many consecutive steps the ``"auto"`` engine probes for a
+#: skippable gap before concluding the schedule is dense and dropping
+#: the per-step ``next_event_at`` query. A crash re-arms the probe: the
+#: post-crash schedule often turns sparse (the Theorem 4 starvation
+#: regime), which is exactly when leaping starts to pay.
+AUTO_PROBE_WINDOW = 64
 
 
 class SimSnapshot:
@@ -290,22 +306,32 @@ class Simulation(EngineCore):
         of returning a ``completed=False`` result.
 
         The ``engine=`` knob selects the execution strategy: ``"stepwise"``
-        grinds through every time step; ``"auto"``/``"leap"`` use the
-        event-driven time-leap fast path, which asks the adversary for its
-        next event and jumps over provably inert gaps. Both strategies are
-        seed-for-seed bit-identical (same RunResult, same metrics, same
-        RNG consumption); the leap path only skips steps in which no
-        process is scheduled and no crash fires.
+        grinds through every time step; ``"leap"`` uses the event-driven
+        time-leap fast path, which asks the adversary for its next event
+        and jumps over provably inert gaps; ``"auto"`` probes the leap
+        path and drops its per-step ``next_event_at`` query on dense
+        schedules that never offer a gap. All strategies are seed-for-seed
+        bit-identical (same RunResult, same metrics, same RNG
+        consumption); the leap path only skips steps in which no process
+        is scheduled and no crash fires.
         """
         if self.engine == "stepwise":
             return self._run_stepwise(max_steps, strict)
-        return self._run_leap(max_steps, strict)
+        if self.engine == "leap":
+            return self._run_leap(max_steps, strict)
+        return self._run_auto(max_steps, strict)
 
-    def _run_stepwise(self, max_steps: int, strict: bool) -> RunResult:
-        """The reference loop: one :meth:`step` per time step."""
+    def _run_stepwise(self, max_steps: int, strict: bool,
+                      known_false_at: Optional[int] = None) -> RunResult:
+        """The reference loop: one :meth:`step` per time step.
+
+        ``known_false_at`` carries an in-progress monitor watermark when
+        the auto engine hands over mid-run; a fresh run starts with none.
+        """
         # Step index of the last monitor check that returned False; the
         # completion cannot pre-date it.
-        known_false_at = self._now - 1
+        if known_false_at is None:
+            known_false_at = self._now - 1
         while self._now < max_steps:
             self.step()
             if self.monitor is not None and (
@@ -345,6 +371,58 @@ class Simulation(EngineCore):
                 outcome, known_false_at = self._leap_gap(
                     min(nxt, max_steps), known_false_at, strict
                 )
+                if outcome is not None:
+                    return outcome
+                if self._now >= max_steps:
+                    break
+            self.step()
+            if self.monitor is not None and (
+                self._now % self.check_interval == 0
+            ):
+                if self.monitor.check(self):
+                    return self._complete(known_false_at)
+                known_false_at = self._now
+            if self._stalled() and not self.adversary.has_pending_events(
+                self._now
+            ):
+                return self._stall_stop(known_false_at, strict)
+        if (self.monitor is not None and known_false_at != self._now
+                and self.monitor.check(self)):
+            return self._complete(known_false_at)
+        return self._finish(False, "step-limit", strict)
+
+    def _run_auto(self, max_steps: int, strict: bool) -> RunResult:
+        """The default strategy: leap, but stop probing dense schedules.
+
+        Identical in observables to both other loops. The one cost the
+        leap path adds over stepwise is an adversary ``next_event_at``
+        query per executed step; on a dense schedule (something happens
+        every step) that query never pays for itself. So the auto loop
+        runs the leap protocol while counting skipped steps, and once a
+        full :data:`AUTO_PROBE_WINDOW` of executed steps yields zero
+        skips it hands the rest of the run to :meth:`_run_stepwise`
+        (passing the monitor watermark through so completion back-dating
+        is unchanged). A crash re-arms the probe first — post-crash
+        schedules are where sparsity typically appears.
+        """
+        known_false_at = self._now - 1
+        probe_start = self._now
+        skipped = 0
+        crashes_seen = self.metrics.crashes
+        while self._now < max_steps:
+            if self.metrics.crashes != crashes_seen:
+                crashes_seen = self.metrics.crashes
+                probe_start = self._now
+                skipped = 0
+            if skipped == 0 and self._now - probe_start >= AUTO_PROBE_WINDOW:
+                return self._run_stepwise(max_steps, strict, known_false_at)
+            nxt = self.adversary.next_event_at(self._now)
+            if nxt is not None and nxt > self._now:
+                before = self._now
+                outcome, known_false_at = self._leap_gap(
+                    min(nxt, max_steps), known_false_at, strict
+                )
+                skipped += self._now - before
                 if outcome is not None:
                     return outcome
                 if self._now >= max_steps:

@@ -1,0 +1,421 @@
+"""Record format, durability helpers, and the :class:`Store` protocol.
+
+Every backend stores the same *record*: one provenance-stamped JSON
+object per executed spec — the canonical spec hash, the serialized spec
+itself, the record schema version, the package version that produced it,
+the realized metrics, and (schema 2) a CRC-32 over the canonical body.
+This module owns that format (:func:`make_record`, :func:`record_crc`,
+:func:`metrics_of`) plus the write-discipline helpers shared by the
+backends and the checkpoint manifests (:func:`atomic_replace_json`,
+:func:`advisory_lock`).
+
+:class:`Store` is the backend protocol extracted from the original
+monolithic ``RunStore`` surface: ``get``/``put``/``records``/``verify``/
+``compact``/``sync``/``quarantined_entries``, plus the raw-record write
+primitive ``put_record`` (what :mod:`repro.store.merge` and
+``SqliteStore.ingest`` build on) and the query entry point
+:meth:`Store.select`.  Concrete backends:
+
+* :class:`repro.store.jsonl.JsonlStore` — the durable append-only JSONL
+  write-ahead log (CRC stamps, fsync policy, flock, torn-line
+  quarantine);
+* :class:`repro.store.sqlite.SqliteStore` — the indexed query backend
+  (spec-hash primary key, indexed spec/metric columns, WAL-mode).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..sim.errors import ConfigurationError
+from ..spec.results import GossipRun
+from ..spec.runspec import RunSpec
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "STORE_SCHEMA_VERSION",
+    "Store",
+    "UnknownSchemaError",
+    "advisory_lock",
+    "atomic_replace_json",
+    "make_record",
+    "metrics_of",
+    "record_crc",
+]
+
+#: Version of the record layout.  Bump when a stamped field changes
+#: meaning; loaders refuse versions they do not know.  Version 2 adds
+#: the per-record ``crc`` stamp; version-1 records load without one.
+STORE_SCHEMA_VERSION = 2
+
+#: ``fsync`` policies for store writes. ``"always"`` makes every write
+#: durable before the cache sees it (crash-safe to the last record, the
+#: right setting for checkpointed campaigns); ``"never"`` leaves
+#: flushing to the OS (fastest; a crash can lose recently buffered
+#: records, which the recovery machinery then handles).
+FSYNC_POLICIES = ("always", "never")
+
+
+class UnknownSchemaError(ConfigurationError):
+    """A store record carries a schema version this build cannot read."""
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+def metrics_of(outcome: Any) -> Dict[str, Any]:
+    """Flatten a run result into the JSON-native realized metrics."""
+    if isinstance(outcome, GossipRun):
+        return {
+            "completed": outcome.completed,
+            "reason": outcome.reason,
+            "time": outcome.completion_time,
+            "gathering_time": outcome.gathering_time,
+            "messages": outcome.messages,
+            "bits": outcome.bits,
+            "realized_d": outcome.realized_d,
+            "realized_delta": outcome.realized_delta,
+            "crashes": outcome.crashes,
+        }
+    # ConsensusRun (duck-typed: consensus imports stay lazy)
+    return {
+        "completed": outcome.completed,
+        "reason": outcome.reason,
+        "time": outcome.decision_time,
+        "messages": outcome.messages,
+        "rounds": outcome.rounds_used,
+        "agreement": outcome.agreement,
+        "validity": outcome.validity,
+        "decisions": sorted(set(outcome.decisions.values())),
+        "realized_d": outcome.realized_d,
+        "realized_delta": outcome.realized_delta,
+        "crashes": outcome.crashes,
+    }
+
+
+def canonical_body(record: Dict[str, Any]) -> str:
+    """The serialization the CRC covers: every field except ``crc``
+    itself, canonically ordered.  ``default=str`` matches the line
+    serialization, so a record checksummed in memory verifies after its
+    JSON round-trip.  This is also the merge layer's record identity:
+    two records with equal canonical bodies are the same result."""
+    body = {key: value for key, value in record.items() if key != "crc"}
+    return json.dumps(
+        body, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def record_crc(record: Dict[str, Any]) -> str:
+    """8-hex-digit CRC-32 of a record's canonical body."""
+    digest = zlib.crc32(canonical_body(record).encode("utf-8"))
+    return format(digest & 0xFFFFFFFF, "08x")
+
+
+def make_record(spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """One provenance-stamped, checksummed record for an executed spec."""
+    record = {
+        "schema": STORE_SCHEMA_VERSION,
+        "spec_hash": spec.spec_hash,
+        "spec": spec.to_dict(),
+        "package": _package_version(),
+        "metrics": metrics,
+    }
+    record["crc"] = record_crc(record)
+    return record
+
+
+def check_schema(record: Dict[str, Any], context: str) -> None:
+    """Raise :class:`UnknownSchemaError` for unreadable schema stamps."""
+    schema = record.get("schema")
+    if (not isinstance(schema, int)
+            or not 1 <= schema <= STORE_SCHEMA_VERSION):
+        raise UnknownSchemaError(
+            f"{context} holds a record with schema version {schema!r}; "
+            f"this build reads versions 1..{STORE_SCHEMA_VERSION}"
+        )
+
+
+@contextmanager
+def advisory_lock(lock_path: str):
+    """Advisory exclusive lock on ``lock_path`` (no-op without fcntl).
+
+    Serializes concurrent writers (appends, compaction) on platforms
+    that support ``flock``; single-writer workflows pay one open/close.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        yield
+        return
+    handle = open(lock_path, "a+")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
+
+def fsync_directory(path: str) -> None:
+    """Best-effort fsync of ``path``'s directory (persists a rename)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_replace_json(path: str, payload: Any) -> None:
+    """Write ``payload`` as JSON to ``path`` atomically (tmp + rename).
+
+    The temporary file is fsynced before the rename and the directory
+    after it, so a crash leaves either the old file or the new one —
+    never a torn mixture.  This is the write discipline behind both
+    checkpoint manifests and store compaction.
+    """
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True, default=str)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    fsync_directory(path)
+
+
+def _validate_fsync(fsync: str) -> str:
+    if fsync not in FSYNC_POLICIES:
+        raise ConfigurationError(
+            f"unknown fsync policy {fsync!r}; "
+            f"choose from {list(FSYNC_POLICIES)}"
+        )
+    return fsync
+
+
+class Store:
+    """The backend protocol: what every artifact store must provide.
+
+    Shared across backends:
+
+    * records are keyed by spec hash — ``put`` of an already-stored hash
+      supersedes (last write wins), ``get``/``in`` are how
+      ``execute_cached`` decides a cache hit;
+    * ``verify()`` inspects integrity without mutating; ``compact()``
+      rewrites the store clean (one record per hash, re-stamped at the
+      current schema) and refuses to drop unknown-schema records;
+    * ``sync()`` is the drain/flush path for graceful shutdown;
+    * ``quarantined_entries()`` lists corrupt inputs the backend set
+      aside instead of refusing to load;
+    * ``select()`` answers filtered queries (see :meth:`select`).
+
+    Subclasses implement the primitives; the query default here is a
+    full scan over :meth:`records` — indexed backends override it.
+    """
+
+    path: str
+    fsync: str
+
+    # -- primitives (backend-specific) ------------------------------------#
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def put_record(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Write one pre-stamped record verbatim (provenance preserved).
+
+        The raw-write primitive behind :meth:`put`, shard merge, and
+        WAL ingestion: the record's ``schema``/``package``/``crc`` stamps
+        are stored as given, never re-stamped, so a record copied from
+        another shard keeps the provenance of the host that produced it.
+        """
+        raise NotImplementedError
+
+    def records(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    def verify(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def compact(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        raise NotImplementedError
+
+    def quarantined_entries(self) -> List[Dict[str, Any]]:
+        raise NotImplementedError
+
+    # -- shared surface ----------------------------------------------------#
+
+    def put(self, spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
+        """Stamp and durably store one executed spec's realized metrics."""
+        return self.put_record(make_record(spec, metrics))
+
+    def __contains__(self, spec_hash: str) -> bool:
+        return self.get(spec_hash) is not None
+
+    def __len__(self) -> int:
+        return len(self.records())
+
+    def merge_from(self, source: "Store", policy: str = "error"
+                   ) -> Dict[str, Any]:
+        """Merge every record of ``source`` into this store.
+
+        Thin wrapper over :func:`repro.store.merge.merge_stores`; see
+        there for the conflict policies.
+        """
+        from .merge import merge_stores
+
+        return merge_stores(self, [source], policy=policy)
+
+    def select(
+        self,
+        where: Optional[Union[str, Callable[[Dict[str, Any]], bool]]] = None,
+        limit: Optional[int] = None,
+        **filters: Any,
+    ) -> List[Dict[str, Any]]:
+        """Filtered records, ordered by spec hash (deterministically).
+
+        Keyword filters match spec fields first (``algorithm=``, ``n=``,
+        ``seed=`` …), then metric fields (``completed=``, ``reason=`` …);
+        a list/tuple/set value matches any member (SQL ``IN``).
+        ``where`` is an extra predicate — a callable on the full record,
+        or a string expression like ``"metrics.time < 100"`` (see
+        :func:`repro.store.query.parse_where`).  The JSONL backend scans;
+        :class:`~repro.store.sqlite.SqliteStore` pushes the indexed
+        filters into SQL.
+        """
+        from .query import compile_where, record_matches
+
+        predicate = compile_where(where)
+        out = []
+        for record in sorted(self.records(),
+                             key=lambda r: r.get("spec_hash", "")):
+            if not record_matches(record, filters):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+
+#: Filename suffixes routed to the SQLite backend by :func:`open_store`.
+SQLITE_SUFFIXES = (".sqlite", ".sqlite3", ".db")
+
+BACKENDS = ("auto", "jsonl", "sqlite")
+
+
+def backend_for_path(path: str) -> str:
+    """The backend name ``path``'s extension selects (default jsonl)."""
+    suffix = os.path.splitext(str(path))[1].lower()
+    return "sqlite" if suffix in SQLITE_SUFFIXES else "jsonl"
+
+
+def open_store(path: str, backend: Optional[str] = None,
+               fsync: str = "never") -> Store:
+    """Open an artifact store, choosing the backend by extension.
+
+    ``backend`` forces the choice (``"jsonl"`` or ``"sqlite"``;
+    ``None``/``"auto"`` routes ``.sqlite``/``.sqlite3``/``.db`` paths to
+    :class:`~repro.store.sqlite.SqliteStore` and everything else to the
+    JSONL write-ahead log).
+    """
+    if backend in (None, "auto"):
+        backend = backend_for_path(path)
+    if backend == "jsonl":
+        from .jsonl import JsonlStore
+
+        return JsonlStore(path, fsync=fsync)
+    if backend == "sqlite":
+        from .sqlite import SqliteStore
+
+        return SqliteStore(path, fsync=fsync)
+    raise ConfigurationError(
+        f"unknown store backend {backend!r}; choose from {list(BACKENDS)}"
+    )
+
+
+def classify_line(raw: str):
+    """Classify one JSONL log line → ``(record-or-None, problem-or-None)``.
+
+    Problems are *corruption* (unparseable line, checksum mismatch,
+    non-object line) — recoverable by quarantine.  Unknown schema
+    versions are not corruption and are left to the caller: the record
+    is returned with problem ``"unknown-schema"`` so ``verify`` can
+    report it while loaders refuse it.  Blank lines classify as
+    ``(None, None)`` — skippable, neither record nor corruption.
+    """
+    if not raw.strip():
+        return None, None
+    try:
+        entry = json.loads(raw)
+    except json.JSONDecodeError:
+        return None, "torn-or-unparseable"
+    if not isinstance(entry, dict):
+        return None, "not-a-record"
+    schema = entry.get("schema")
+    if (not isinstance(schema, int)
+            or not 1 <= schema <= STORE_SCHEMA_VERSION):
+        return entry, "unknown-schema"
+    if schema >= 2:
+        if entry.get("crc") != record_crc(entry):
+            return entry, "checksum-mismatch"
+    return entry, None
+
+
+def scan_jsonl_lines(path: str, start: int = 0, first_lineno: int = 1):
+    """Scan a JSONL record log; yield ``(lineno, raw, record, problem)``.
+
+    The shared recovery scan behind :class:`JsonlStore` loading,
+    ``verify``/``compact``, and ``SqliteStore.ingest``; line
+    classification is :func:`classify_line` (blank lines are skipped).
+
+    ``start``/``first_lineno`` support incremental tail scans: reading
+    resumes at byte offset ``start``, numbering lines from
+    ``first_lineno``.  Lines are decoded with ``errors="replace"`` so a
+    corrupt byte sequence becomes an unparseable (quarantinable) line
+    rather than an exception.
+    """
+    if not os.path.exists(path):
+        return
+    with open(path, "rb") as handle:
+        if start:
+            handle.seek(start)
+        lineno = first_lineno - 1
+        for line in handle:
+            lineno += 1
+            raw = line.decode("utf-8", errors="replace").rstrip("\n")
+            entry, problem = classify_line(raw)
+            if entry is None and problem is None:
+                continue
+            yield lineno, raw, entry, problem
+
+
+def iter_records(source: Union[Store, str, Iterable[Dict[str, Any]]]
+                 ) -> Iterable[Dict[str, Any]]:
+    """Records of a store instance, a store path, or a record iterable."""
+    if isinstance(source, Store):
+        return source.records()
+    if isinstance(source, (str, os.PathLike)):
+        return open_store(str(source)).records()
+    return source

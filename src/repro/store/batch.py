@@ -1,0 +1,159 @@
+"""Cached and batched spec execution against an artifact store.
+
+The execution layer of the store package: every entry point takes any
+:class:`~repro.store.base.Store` backend and treats a stored spec hash
+as a cache hit that runs no simulation.  Moved verbatim from the
+pre-package ``repro.store`` module; tests monkeypatch
+``repro.store.batch.execute`` / ``repro.store.batch._spec_job`` to
+assert cache-hit behavior.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..spec.builder import execute
+from ..spec.runspec import RunSpec
+from .base import Store, make_record, metrics_of
+
+__all__ = [
+    "execute_batch",
+    "execute_cached",
+    "failed_record",
+]
+
+
+def execute_cached(
+    spec: RunSpec, store: Store
+) -> Tuple[Dict[str, Any], bool]:
+    """Run ``spec`` unless ``store`` already holds its hash.
+
+    Returns ``(record, cache_hit)``; on a cache hit no simulation runs.
+    Overrides are deliberately not accepted here: cached records must be
+    pure functions of the spec, or the hash would lie about provenance.
+    """
+    record = store.get(spec.spec_hash)
+    if record is not None:
+        return record, True
+    outcome = execute(spec)
+    return store.put(spec, metrics_of(outcome)), False
+
+
+def _spec_job(spec_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one serialized spec in a (possibly worker) process."""
+    return metrics_of(execute(RunSpec.from_dict(spec_dict)))
+
+
+def failed_record(spec: RunSpec, outcome: Any) -> Dict[str, Any]:
+    """A record-shaped stand-in for a spec whose execution failed.
+
+    Same layout as :func:`~repro.store.base.make_record` plus
+    ``"failed": True`` and a ``metrics`` block that downstream readers
+    treat as a not-completed run (``completed``/``reason``/``error``/
+    ``attempts``). Never written to a store, so a resumed batch retries
+    exactly these specs.
+    """
+    from ..experiments.pool import TIMED_OUT
+
+    reason = (
+        "trial-timeout" if outcome.status == TIMED_OUT else "trial-failed"
+    )
+    record = make_record(spec, {
+        "completed": False,
+        "reason": reason,
+        "error": outcome.error,
+        "attempts": outcome.attempts,
+    })
+    record["failed"] = True
+    return record
+
+
+def execute_batch(
+    specs: Iterable[RunSpec],
+    store: Optional[Store] = None,
+    processes: int = 1,
+    trial_timeout: Optional[float] = None,
+    retries: int = 0,
+    manifest: Any = None,
+    checkpoint_every: int = 8,
+    shutdown: Any = None,
+) -> List[Dict[str, Any]]:
+    """Execute a batch of specs, skipping every already-stored hash.
+
+    Specs travel to workers as their serialized dicts, so parallel
+    batches need no pickling support beyond plain data.  Records come
+    back in spec order; with a store, previously stored specs are cache
+    hits and duplicate hashes within the batch execute once.
+
+    ``trial_timeout`` (seconds per spec) and ``retries`` switch the
+    batch to partial-result mode: a spec whose execution hangs, raises,
+    or kills its worker yields a :func:`failed_record` (marked
+    ``"failed": True``) instead of aborting the batch, and is **not**
+    stored — re-running the same batch against the same store retries
+    only the failed specs.
+
+    ``manifest`` (a :class:`~repro.experiments.campaign.CampaignManifest`
+    or a path) switches the batch to **checkpointed** execution: specs
+    run in chunks, and after each chunk the manifest — which records
+    every submitted spec (dict and hash), the completed/failed hashes,
+    and the batch's RNG provenance — is atomically rewritten, at least
+    every ``checkpoint_every`` completions.  A batch killed mid-run can
+    then be resumed from the manifest alone and re-runs exactly the
+    missing specs, seed for seed.  ``shutdown`` (a
+    :class:`~repro.experiments.campaign.GracefulShutdown` or any
+    0-argument callable) is polled between submissions: when it turns
+    truthy the batch stops submitting, drains in-flight trials, flushes
+    the store, writes the manifest, and raises
+    :class:`~repro.experiments.campaign.CampaignDrained`.
+    """
+    from ..experiments.pool import TrialPool
+
+    specs = list(specs)
+    if manifest is not None or shutdown is not None:
+        from ..experiments.campaign import run_manifest_batch
+
+        return run_manifest_batch(
+            specs, store=store, processes=processes,
+            trial_timeout=trial_timeout, retries=retries,
+            manifest=manifest, checkpoint_every=checkpoint_every,
+            shutdown=shutdown,
+        )
+
+    fault_tolerant = trial_timeout is not None or retries > 0
+
+    def _run_jobs(pool, job_specs):
+        """Execute specs; returns (metrics-or-None list, outcome list)."""
+        jobs = [spec.to_dict() for spec in job_specs]
+        if not fault_tolerant:
+            return pool.map(_spec_job, jobs), None
+        outcomes = pool.map_outcomes(
+            _spec_job, jobs, timeout=trial_timeout, retries=retries,
+        )
+        return [o.value if o.ok else None for o in outcomes], outcomes
+
+    if store is None:
+        with TrialPool(processes) as pool:
+            metrics, outcomes = _run_jobs(pool, specs)
+        return [
+            make_record(spec, m) if m is not None
+            else failed_record(spec, outcomes[i])
+            for i, (spec, m) in enumerate(zip(specs, metrics))
+        ]
+    pending: Dict[str, RunSpec] = {}
+    for spec in specs:
+        if spec.spec_hash not in store:
+            pending.setdefault(spec.spec_hash, spec)
+    failures: Dict[str, Dict[str, Any]] = {}
+    if pending:
+        pending_specs = list(pending.values())
+        with TrialPool(processes) as pool:
+            results, outcomes = _run_jobs(pool, pending_specs)
+        for i, (spec, metrics) in enumerate(zip(pending_specs, results)):
+            if metrics is not None:
+                store.put(spec, metrics)
+            else:
+                failures[spec.spec_hash] = failed_record(spec, outcomes[i])
+    return [
+        store.get(spec.spec_hash) or failures[spec.spec_hash]
+        for spec in specs
+    ]

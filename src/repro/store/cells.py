@@ -1,0 +1,138 @@
+"""Grid cell caches: the per-grid result logs behind ``GridRunner``.
+
+A *cell log* stores one flat record per grid cell, keyed by the cell's
+canonical parameters (:func:`cell_key`).  It is a simpler cousin of the
+spec-record store — cells are arbitrary recorder outputs, not
+provenance-stamped spec executions — but it gets the same backend
+split: :class:`JsonlCellLog` is the append-only format GridRunner has
+always written (``{"params": ..., "record": ...}`` lines, preserved
+bit-for-bit so existing grid caches keep hitting), and
+:class:`SqliteCellLog` keeps the cells in an indexed WAL-mode table for
+grids whose cell count outgrows a line scan.
+
+:func:`open_cell_log` picks the backend by path extension, same
+convention as :func:`repro.store.base.open_store`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Dict, Optional
+
+from ..sim.errors import ConfigurationError
+
+__all__ = [
+    "JsonlCellLog",
+    "SqliteCellLog",
+    "canonicalize_params",
+    "cell_key",
+    "open_cell_log",
+]
+
+
+def canonicalize_params(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Round-trip ``params`` through JSON, as the JSONL store does.
+
+    Tuples become lists, non-string dict keys become strings, and
+    non-JSON-native values collapse to their ``str()`` form — exactly the
+    shape ``json.loads`` hands back when a store is reloaded. Keying on
+    the canonical form guarantees a cell written in one process run is a
+    cache hit in the next, whatever Python types the live spec used.
+    """
+    return json.loads(json.dumps(params, sort_keys=True, default=str))
+
+
+def cell_key(params: Dict[str, Any]) -> str:
+    """Canonical JSON key for a cell (order- and type-representation-
+    independent: live params and their JSONL round-trip key identically)."""
+    return json.dumps(canonicalize_params(params), sort_keys=True)
+
+
+class JsonlCellLog:
+    """The original GridRunner cache: ``{"params", "record"}`` JSONL."""
+
+    backend = "jsonl"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """All cells as ``cell_key → record``."""
+        cells: Dict[str, Dict[str, Any]] = {}
+        if os.path.exists(self.path):
+            with open(self.path, encoding="utf-8") as handle:
+                for line in handle:
+                    if line.strip():
+                        entry = json.loads(line)
+                        cells[cell_key(entry["params"])] = entry["record"]
+        return cells
+
+    def append(self, params: Dict[str, Any],
+               record: Dict[str, Any]) -> None:
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"params": params, "record": record}, default=str
+            ) + "\n")
+
+
+class SqliteCellLog:
+    """Indexed cell cache: one WAL-mode table keyed by cell key."""
+
+    backend = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self._conn: Optional[sqlite3.Connection] = None
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is None:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            conn = sqlite3.connect(self.path, isolation_level=None)
+            conn.execute("PRAGMA busy_timeout = 30000")
+            conn.execute("PRAGMA journal_mode = WAL")
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS cells ("
+                "key TEXT PRIMARY KEY, params TEXT NOT NULL, "
+                "record TEXT NOT NULL)"
+            )
+            self._conn = conn
+        return self._conn
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        return {
+            key: json.loads(record)
+            for key, record in self._connect().execute(
+                "SELECT key, record FROM cells")
+        }
+
+    def append(self, params: Dict[str, Any],
+               record: Dict[str, Any]) -> None:
+        self._connect().execute(
+            "INSERT OR REPLACE INTO cells (key, params, record) "
+            "VALUES (?, ?, ?)",
+            (cell_key(params),
+             json.dumps(canonicalize_params(params), sort_keys=True),
+             json.dumps(record, sort_keys=True, default=str)))
+
+
+def open_cell_log(path: str, backend: Optional[str] = None):
+    """Open a grid cell log, choosing the backend by path extension."""
+    from .base import BACKENDS, backend_for_path
+
+    if backend in (None, "auto"):
+        backend = backend_for_path(path)
+    if backend == "jsonl":
+        return JsonlCellLog(path)
+    if backend == "sqlite":
+        return SqliteCellLog(path)
+    raise ConfigurationError(
+        f"unknown cell log backend {backend!r}; "
+        f"choose from {list(BACKENDS)}"
+    )

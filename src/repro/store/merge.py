@@ -1,0 +1,238 @@
+"""Shard merge for stores and campaign manifests.
+
+A large campaign can be split across hosts by spec hash
+(:func:`shard_of` / :func:`shard_specs`): each host runs its slice
+against its own store and manifest, and the shards are merged back into
+one artifact set afterwards.  Merging is **deterministic**: the result
+is independent of the order the shards are merged in.
+
+Record identity is the canonical body (every stamped field except the
+CRC): two shards holding byte-identical results for the same spec hash
+merge silently.  A *conflict* — the same spec hash with different
+bodies, which for hash-pinned seeds should only happen across package
+versions — resolves by policy:
+
+* ``"error"`` (default): raise :class:`MergeConflict`.  The safe choice
+  when shards are expected to be disjoint.
+* ``"provenance"``: the record with the greater provenance wins —
+  ordered by (record schema version, parsed package version, canonical
+  body digest as the deterministic tie-break).  Newest build wins; the
+  digest makes the winner order-independent even between records with
+  identical stamps.
+
+:func:`merge_manifests` applies the same discipline to
+:class:`~repro.experiments.campaign.CampaignManifest` checkpoints:
+submitted sets union, a completion in any shard completes the job
+(completion beats a stale failure from another shard), and divergent
+completion payloads resolve by the same policy.  Merging the stores and
+the manifests of two disjoint shards therefore yields a campaign from
+which ``--resume`` finds zero missing cells.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..sim.errors import ConfigurationError
+from .base import Store, canonical_body, iter_records
+
+__all__ = [
+    "MERGE_POLICIES",
+    "MergeConflict",
+    "merge_manifests",
+    "merge_stores",
+    "shard_of",
+    "shard_specs",
+]
+
+MERGE_POLICIES = ("error", "provenance")
+
+
+class MergeConflict(ConfigurationError):
+    """Two shards hold different records for the same spec hash."""
+
+
+def _version_tuple(version: Any) -> Tuple[int, ...]:
+    if not isinstance(version, str):
+        return ()
+    return tuple(int(part) for part in re.findall(r"\d+", version))
+
+
+def _body_digest(body: str) -> str:
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def provenance_key(record: Dict[str, Any],
+                   body: Optional[str] = None) -> Tuple[Any, ...]:
+    """The total order ``policy="provenance"`` resolves conflicts by."""
+    if body is None:
+        body = canonical_body(record)
+    schema = record.get("schema")
+    return (
+        schema if isinstance(schema, int) else 0,
+        _version_tuple(record.get("package")),
+        _body_digest(body),
+    )
+
+
+def _resolve(spec_hash: str, ours: Dict[str, Any], theirs: Dict[str, Any],
+             policy: str) -> Tuple[Optional[Dict[str, Any]], bool]:
+    """Returns ``(winner-or-None, divergent)``.
+
+    ``winner`` is ``theirs`` only when it must replace ``ours``
+    (identical bodies, and divergences ``ours`` wins, return ``None``);
+    ``divergent`` is True whenever the bodies differ.
+    """
+    our_body = canonical_body(ours)
+    their_body = canonical_body(theirs)
+    if our_body == their_body:
+        return None, False
+    if policy == "error":
+        raise MergeConflict(
+            f"spec hash {spec_hash} has divergent records "
+            f"(packages {ours.get('package')!r} vs "
+            f"{theirs.get('package')!r}); re-merge with "
+            f"policy='provenance' to keep the newest provenance"
+        )
+    if provenance_key(theirs, their_body) > provenance_key(
+            ours, our_body):
+        return theirs, True
+    return None, True
+
+
+def merge_stores(
+    dest: Store,
+    sources: Iterable[Any],
+    policy: str = "error",
+) -> Dict[str, Any]:
+    """Merge every record of ``sources`` into ``dest``.
+
+    ``sources`` may be :class:`Store` instances, store paths (backend
+    chosen by extension), or plain record iterables.  Records land via
+    ``put_record`` — provenance stamps travel verbatim, nothing is
+    re-stamped.  Returns ``{"added", "identical", "replaced",
+    "conflicts"}`` counts (``conflicts`` counts divergences seen, won or
+    lost — zero for genuinely disjoint shards).
+    """
+    if policy not in MERGE_POLICIES:
+        raise ConfigurationError(
+            f"unknown merge policy {policy!r}; "
+            f"choose from {list(MERGE_POLICIES)}"
+        )
+    added = identical = replaced = conflicts = 0
+    for source in sources:
+        for record in iter_records(source):
+            spec_hash = record.get("spec_hash")
+            existing = dest.get(spec_hash) if spec_hash else None
+            if existing is None:
+                dest.put_record(record)
+                added += 1
+                continue
+            winner, divergent = _resolve(spec_hash, existing, record,
+                                         policy)
+            if divergent:
+                conflicts += 1
+            else:
+                identical += 1
+            if winner is not None:
+                dest.put_record(winner)
+                replaced += 1
+    return {
+        "added": added,
+        "identical": identical,
+        "replaced": replaced,
+        "conflicts": conflicts,
+    }
+
+
+def merge_manifests(
+    dest: Any,
+    sources: Iterable[Any],
+    policy: str = "error",
+) -> Any:
+    """Merge campaign manifest shards into ``dest`` and save it.
+
+    ``dest``/``sources`` are :class:`~repro.experiments.campaign.
+    CampaignManifest` instances or paths (paths load if they exist; a
+    fresh ``dest`` path starts empty).  Submitted jobs union (first
+    payload wins — payloads are the job key's own JSON, identical by
+    construction); a completion anywhere completes the job and clears
+    any failure recorded by another shard; failures union for jobs no
+    shard completed.  Divergent completion *payloads* (store-less
+    campaigns carry results in the manifest) resolve by ``policy``:
+    ``"error"`` raises :class:`MergeConflict`, ``"provenance"`` keeps
+    the payload with the greater canonical-JSON digest (deterministic,
+    order-independent).  The merged manifest is saved atomically and
+    returned.
+    """
+    from ..experiments.campaign import CampaignManifest
+
+    if policy not in MERGE_POLICIES:
+        raise ConfigurationError(
+            f"unknown merge policy {policy!r}; "
+            f"choose from {list(MERGE_POLICIES)}"
+        )
+    manifest = CampaignManifest.ensure(dest)
+    for source in sources:
+        if not isinstance(source, CampaignManifest):
+            source = CampaignManifest.load(str(source))
+        if not manifest.meta:
+            manifest.meta = dict(source.meta)
+        for key, payload in source.submitted.items():
+            manifest.submit(key, payload)
+        for key, result in source.completed.items():
+            if key not in manifest.completed:
+                manifest.complete(key, result)
+                continue
+            ours = manifest.completed[key]
+            if ours == result:
+                continue
+            our_json = json.dumps(ours, sort_keys=True, default=str)
+            their_json = json.dumps(result, sort_keys=True, default=str)
+            if our_json == their_json:
+                continue
+            if policy == "error":
+                raise MergeConflict(
+                    f"job {key!r} completed with divergent results in "
+                    f"two shards; re-merge with policy='provenance'"
+                )
+            if _body_digest(their_json) > _body_digest(our_json):
+                manifest.complete(key, result)
+        for key, error in source.failed.items():
+            if key not in manifest.completed \
+                    and key not in manifest.failed:
+                manifest.fail(key, error)
+    # A completion in any shard beats a failure from another.
+    for key in list(manifest.failed):
+        if key in manifest.completed:
+            manifest.failed.pop(key)
+    manifest.drained = False
+    manifest.save()
+    return manifest
+
+
+def shard_of(spec_hash: str, shards: int) -> int:
+    """Deterministic shard index of a spec hash (range partitioning on
+    the hash's leading bytes, uniform for the canonical hex digests)."""
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    return int(str(spec_hash)[:8], 16) % shards
+
+
+def shard_specs(specs: Sequence[Any], index: int,
+                count: int) -> List[Any]:
+    """The slice of ``specs`` belonging to shard ``index`` of ``count``.
+
+    Partitions by :func:`shard_of` on each spec's ``spec_hash``; every
+    spec lands in exactly one shard, so running all ``count`` shards and
+    merging their stores covers the campaign exactly once.
+    """
+    if not 0 <= index < count:
+        raise ConfigurationError(
+            f"shard index {index} out of range for {count} shard(s)"
+        )
+    return [spec for spec in specs
+            if shard_of(spec.spec_hash, count) == index]

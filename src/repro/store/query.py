@@ -1,0 +1,188 @@
+"""Filter predicates and output shaping for store queries.
+
+This is the engine behind :meth:`repro.store.base.Store.select` and the
+``repro-gossip store query`` CLI.  Filters come in two forms:
+
+* keyword filters (``algorithm="ears"``, ``n=[64, 128]``) — matched by
+  :func:`record_matches` against spec fields first, then metric fields,
+  then top-level record stamps; list-like values mean membership;
+* ``where`` expressions — either a Python callable on the full record,
+  or a small string language parsed by :func:`parse_where`::
+
+      "metrics.time < 100"
+      "n >= 64 and completed == true"
+      "spec.algorithm != 'flood'"
+
+  Dotted paths address into the record (``spec.``/``metrics.`` or any
+  top-level field); bare names resolve spec → metrics → top level.
+  Comparators: ``== != < <= > >=``; literals are JSON scalars (single
+  quotes accepted); clauses join with ``and``.  Nothing is ever
+  ``eval``-ed.
+
+:func:`flatten_record` projects a record onto one flat row (spec fields
+and headline metrics as columns) for the CSV emitter.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+
+from ..sim.errors import ConfigurationError
+
+__all__ = [
+    "compile_where",
+    "flatten_record",
+    "parse_where",
+    "record_matches",
+    "rows_to_csv",
+]
+
+_MISSING = object()
+
+
+def field_of(record: Dict[str, Any], path: str) -> Any:
+    """Resolve a (possibly dotted) field path in a record.
+
+    ``spec.n`` / ``metrics.time`` address explicitly; a bare name tries
+    the spec, then the metrics, then the record's own stamps.  Missing
+    fields resolve to the ``_MISSING`` sentinel (which no comparison or
+    equality test matches).
+    """
+    if "." in path:
+        value: Any = record
+        for part in path.split("."):
+            if not isinstance(value, dict) or part not in value:
+                return _MISSING
+            value = value[part]
+        return value
+    for scope in (record.get("spec"), record.get("metrics"), record):
+        if isinstance(scope, dict) and path in scope:
+            return scope[path]
+    return _MISSING
+
+
+def record_matches(record: Dict[str, Any],
+                   filters: Dict[str, Any]) -> bool:
+    """True iff every keyword filter matches (lists mean membership)."""
+    for key, wanted in filters.items():
+        value = field_of(record, key)
+        if value is _MISSING:
+            return False
+        if isinstance(wanted, (list, tuple, set, frozenset)):
+            if value not in wanted:
+                return False
+        elif value != wanted:
+            return False
+    return True
+
+
+_CLAUSE = re.compile(
+    r"^\s*(?P<path>[A-Za-z_][\w.]*)\s*"
+    r"(?P<op>==|!=|<=|>=|<|>)\s*"
+    r"(?P<literal>.+?)\s*$"
+)
+
+_OPS: Dict[str, Callable[[Any, Any], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def _parse_literal(text: str) -> Any:
+    if len(text) >= 2 and text[0] == "'" and text[-1] == "'":
+        text = '"' + text[1:-1] + '"'
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        raise ConfigurationError(
+            f"unparseable literal {text!r} in where expression; use JSON "
+            f"scalars (numbers, true/false/null, quoted strings)"
+        )
+
+
+def parse_where(expression: str
+                ) -> Callable[[Dict[str, Any]], bool]:
+    """Compile a where expression string to a record predicate."""
+    clauses = []
+    for part in re.split(r"\s+and\s+", expression.strip()):
+        match = _CLAUSE.match(part)
+        if match is None:
+            raise ConfigurationError(
+                f"unparseable where clause {part!r}; expected "
+                f"'<field> <op> <literal>' with op in {list(_OPS)}"
+            )
+        path = match.group("path")
+        op = _OPS[match.group("op")]
+        literal = _parse_literal(match.group("literal"))
+        clauses.append((path, op, literal))
+
+    def predicate(record: Dict[str, Any]) -> bool:
+        for path, op, literal in clauses:
+            value = field_of(record, path)
+            if value is _MISSING:
+                return False
+            try:
+                if not op(value, literal):
+                    return False
+            except TypeError:  # incomparable types never match
+                return False
+        return True
+
+    return predicate
+
+
+def compile_where(
+    where: Optional[Union[str, Callable[[Dict[str, Any]], bool]]],
+) -> Optional[Callable[[Dict[str, Any]], bool]]:
+    """Normalize a ``where`` argument to a predicate (or ``None``)."""
+    if where is None:
+        return None
+    if callable(where):
+        return where
+    return parse_where(str(where))
+
+
+def flatten_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Project one record onto a flat row of scalar columns.
+
+    Spec fields come first (nested values JSON-encoded), then metric
+    fields (prefixed ``metrics_`` on a name collision), then the
+    provenance stamps.  The row is what the CSV emitter writes.
+    """
+    row: Dict[str, Any] = {"spec_hash": record.get("spec_hash")}
+    for key, value in (record.get("spec") or {}).items():
+        if isinstance(value, (dict, list)):
+            value = json.dumps(value, sort_keys=True, default=str)
+        row[key] = value
+    for key, value in (record.get("metrics") or {}).items():
+        if isinstance(value, (dict, list)):
+            value = json.dumps(value, sort_keys=True, default=str)
+        row[key if key not in row else f"metrics_{key}"] = value
+    row["schema"] = record.get("schema")
+    row["package"] = record.get("package")
+    return row
+
+
+def rows_to_csv(records: Iterable[Dict[str, Any]]) -> str:
+    """Render records as CSV text (union of flattened columns)."""
+    import csv
+    import io
+
+    rows: List[Dict[str, Any]] = [flatten_record(r) for r in records]
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=columns, restval="")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()

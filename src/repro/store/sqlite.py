@@ -1,0 +1,438 @@
+"""Indexed SQLite backend for the artifact store.
+
+Where :class:`~repro.store.jsonl.JsonlStore` is the durable append-only
+write-ahead format, :class:`SqliteStore` is the *query* form: every
+record is stored verbatim (same provenance stamps, same CRC) in a table
+keyed by spec hash, with the hot spec fields (``kind``/``algorithm``/
+``n``/``f``/``seed``) and headline metrics (``completed``/``time``/
+``messages``) extracted into indexed columns.  Point lookups and
+filtered selects hit the index instead of scanning and re-parsing a
+JSONL log — the difference between O(log N) and O(N) once campaigns
+reach 10^5+ records (see ``benchmarks/bench_store_query.py``).
+
+The two forms round-trip: :meth:`SqliteStore.ingest` replays a JSONL
+log into the index — quarantining torn/corrupt lines exactly as the
+JSONL recovery scan would, so the fault injectors in
+:mod:`repro.faults.store_faults` are detected on ingest too — and
+:meth:`SqliteStore.export` writes the records back out as JSONL,
+provenance preserved byte for byte.
+
+Durability maps onto SQLite's own machinery: the database runs in WAL
+journal mode (readers never block the writer; a SIGKILL mid-commit is
+rolled back or recovered natively on the next open), and the ``fsync``
+policy selects ``synchronous=FULL`` (``"always"``) or
+``synchronous=OFF`` (``"never"``).  The connection runs in autocommit
+so every ``put`` is immediately visible to other processes; crossing
+writers are serialized by SQLite's own locking (``busy_timeout``), not
+the JSONL flock.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from typing import Any, Dict, List, Optional
+
+from ..sim.errors import ConfigurationError
+from .base import (
+    FSYNC_POLICIES,
+    STORE_SCHEMA_VERSION,
+    Store,
+    UnknownSchemaError,
+    record_crc,
+    scan_jsonl_lines,
+)
+
+__all__ = ["SqliteStore"]
+
+#: Spec fields extracted into indexed columns.
+_SPEC_COLUMNS = ("kind", "algorithm", "n", "f", "seed")
+#: Metric fields extracted into indexed columns.
+_METRIC_COLUMNS = ("completed", "time", "messages")
+
+_LAYOUT_VERSION = 1
+
+_DDL = """\
+CREATE TABLE IF NOT EXISTS records (
+    spec_hash TEXT PRIMARY KEY,
+    kind TEXT, algorithm TEXT, n INTEGER, f INTEGER, seed INTEGER,
+    completed INTEGER, time REAL, messages INTEGER,
+    schema INTEGER NOT NULL, package TEXT,
+    record TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS records_algorithm_n ON records (algorithm, n);
+CREATE INDEX IF NOT EXISTS records_n ON records (n);
+CREATE INDEX IF NOT EXISTS records_seed ON records (seed);
+CREATE TABLE IF NOT EXISTS quarantine (
+    rowid INTEGER PRIMARY KEY,
+    source TEXT, line INTEGER, reason TEXT NOT NULL, raw TEXT
+);
+CREATE TABLE IF NOT EXISTS meta (key TEXT PRIMARY KEY, value TEXT);
+"""
+
+
+class SqliteStore(Store):
+    """Spec-hash-indexed store of execution records in one SQLite file.
+
+    Same record semantics as the JSONL log — keyed by spec hash, last
+    write wins, provenance stamps stored verbatim — plus indexed
+    :meth:`select` and native crash recovery.  ``fsync`` maps to
+    ``PRAGMA synchronous`` (see :data:`~repro.store.base.FSYNC_POLICIES`).
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path: str, fsync: str = "never") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ConfigurationError(
+                f"unknown fsync policy {fsync!r}; "
+                f"choose from {list(FSYNC_POLICIES)}"
+            )
+        self.path = str(path)
+        self.fsync = fsync
+        self._conn: Optional[sqlite3.Connection] = None
+        #: Shape parity with the JSONL recovery report; SQLite recovers
+        #: through its own WAL, so quarantining happens on :meth:`ingest`.
+        self.last_recovery: Optional[Dict[str, Any]] = None
+
+    # -- connection -------------------------------------------------------#
+
+    def _connect(self) -> sqlite3.Connection:
+        if self._conn is not None:
+            return self._conn
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        conn = sqlite3.connect(self.path, isolation_level=None)
+        conn.execute("PRAGMA busy_timeout = 30000")
+        conn.execute("PRAGMA journal_mode = WAL")
+        conn.execute("PRAGMA synchronous = {}".format(
+            "FULL" if self.fsync == "always" else "OFF"))
+        conn.executescript(_DDL)
+        row = conn.execute(
+            "SELECT value FROM meta WHERE key = 'layout'").fetchone()
+        if row is None:
+            conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("layout", str(_LAYOUT_VERSION)))
+        elif int(row[0]) > _LAYOUT_VERSION:
+            conn.close()
+            raise UnknownSchemaError(
+                f"store {self.path!r} uses sqlite layout {row[0]}; "
+                f"this build writes layout {_LAYOUT_VERSION}"
+            )
+        self._conn = conn
+        return conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- record (de)serialization -----------------------------------------#
+
+    @staticmethod
+    def _row_of(record: Dict[str, Any]) -> Dict[str, Any]:
+        spec = record.get("spec") or {}
+        metrics = record.get("metrics") or {}
+        row = {"spec_hash": record["spec_hash"]}
+        for column in _SPEC_COLUMNS:
+            row[column] = spec.get(column)
+        for column in _METRIC_COLUMNS:
+            value = metrics.get(column)
+            if isinstance(value, bool):
+                value = int(value)
+            elif not isinstance(value, (int, float, str, type(None))):
+                value = None
+            row[column] = value
+        row["schema"] = record.get("schema")
+        row["package"] = record.get("package")
+        row["record"] = json.dumps(record, sort_keys=True, default=str)
+        return row
+
+    def _decode(self, blob: str, schema: int) -> Dict[str, Any]:
+        if not 1 <= schema <= STORE_SCHEMA_VERSION:
+            raise UnknownSchemaError(
+                f"store {self.path!r} holds a record with schema "
+                f"version {schema!r}; this build reads versions "
+                f"1..{STORE_SCHEMA_VERSION}"
+            )
+        return json.loads(blob)
+
+    # -- queries ----------------------------------------------------------#
+
+    def get(self, spec_hash: str) -> Optional[Dict[str, Any]]:
+        row = self._connect().execute(
+            "SELECT record, schema FROM records WHERE spec_hash = ?",
+            (spec_hash,)).fetchone()
+        if row is None:
+            return None
+        return self._decode(row[0], row[1])
+
+    def __len__(self) -> int:
+        return self._connect().execute(
+            "SELECT COUNT(*) FROM records").fetchone()[0]
+
+    def records(self) -> List[Dict[str, Any]]:
+        rows = self._connect().execute(
+            "SELECT record, schema FROM records ORDER BY spec_hash"
+        ).fetchall()
+        return [self._decode(blob, schema) for blob, schema in rows]
+
+    def select(self, where=None, limit=None, **filters):
+        """Indexed select: known spec/metric filters become SQL ``WHERE``
+        clauses against the extracted columns; everything else (unknown
+        keys, ``where`` predicates) post-filters the decoded records.
+        See :meth:`repro.store.base.Store.select` for the interface.
+        """
+        from .query import compile_where, record_matches
+
+        indexed = {}
+        residual = {}
+        for key, value in filters.items():
+            if key in _SPEC_COLUMNS or key in _METRIC_COLUMNS:
+                indexed[key] = value
+            else:
+                residual[key] = value
+        clauses, params = [], []
+        for key, value in indexed.items():
+            if isinstance(value, (list, tuple, set, frozenset)):
+                options = sorted(value, key=repr)
+                marks = ", ".join("?" for _ in options)
+                clauses.append(f"{key} IN ({marks})")
+                params.extend(int(v) if isinstance(v, bool) else v
+                              for v in options)
+            else:
+                clauses.append(f"{key} = ?")
+                params.append(int(value) if isinstance(value, bool)
+                              else value)
+        sql = "SELECT record, schema FROM records"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY spec_hash"
+        predicate = compile_where(where)
+        out = []
+        for blob, schema in self._connect().execute(sql, params):
+            record = self._decode(blob, schema)
+            if residual and not record_matches(record, residual):
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def quarantined_entries(self) -> List[Dict[str, Any]]:
+        rows = self._connect().execute(
+            "SELECT line, reason, raw FROM quarantine ORDER BY rowid"
+        ).fetchall()
+        return [
+            {"line": line, "reason": reason, "raw": raw}
+            for line, reason, raw in rows
+        ]
+
+    # -- writes -----------------------------------------------------------#
+
+    def put_record(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        row = self._row_of(record)
+        columns = list(row)
+        self._connect().execute(
+            "INSERT OR REPLACE INTO records ({}) VALUES ({})".format(
+                ", ".join(f'"{c}"' for c in columns),
+                ", ".join("?" for _ in columns)),
+            [row[c] for c in columns])
+        return record
+
+    def sync(self) -> None:
+        """Checkpoint the WAL into the main database file."""
+        if self._conn is None:
+            return
+        self._conn.execute("PRAGMA wal_checkpoint(FULL)")
+
+    # -- integrity --------------------------------------------------------#
+
+    def verify(self) -> Dict[str, Any]:
+        """Integrity scan without mutation, same report shape as JSONL.
+
+        Checks SQLite's own file integrity (``PRAGMA integrity_check``),
+        then re-verifies every stored record's CRC stamp against its
+        canonical body — a bit flip inside a stored blob is caught even
+        though the database file itself is well-formed.  ``line`` in the
+        corrupt list is the table rowid.
+        """
+        conn = self._connect()
+        corrupt: List[Dict[str, Any]] = []
+        integrity = conn.execute("PRAGMA integrity_check").fetchone()[0]
+        if integrity != "ok":  # pragma: no cover - needs a mangled db
+            corrupt.append({"line": 0, "reason": "sqlite-integrity"})
+        lines = 0
+        valid = 0
+        for rowid, blob, schema in conn.execute(
+                "SELECT rowid, record, schema FROM records"):
+            lines += 1
+            if not isinstance(schema, int) \
+                    or not 1 <= schema <= STORE_SCHEMA_VERSION:
+                corrupt.append({"line": rowid, "reason": "unknown-schema"})
+                continue
+            try:
+                entry = json.loads(blob)
+            except json.JSONDecodeError:  # pragma: no cover
+                corrupt.append(
+                    {"line": rowid, "reason": "torn-or-unparseable"})
+                continue
+            if entry.get("schema", schema) >= 2 \
+                    and entry.get("crc") != record_crc(entry):
+                corrupt.append(
+                    {"line": rowid, "reason": "checksum-mismatch"})
+                continue
+            valid += 1
+        return {
+            "path": self.path,
+            "lines": lines,
+            "records": valid,
+            "unique": valid,
+            "superseded": 0,
+            "corrupt": corrupt,
+            "ok": not corrupt,
+        }
+
+    def compact(self) -> Dict[str, Any]:
+        """Re-stamp every record at the current schema and VACUUM.
+
+        The primary key already enforces one record per hash, so there
+        are never superseded rows to drop; compaction upgrades v1
+        records (fresh CRC at the current schema), deletes rows whose
+        stored blob fails its checksum, clears the quarantine table, and
+        reclaims space.  Unknown-schema rows abort the compaction
+        (:class:`UnknownSchemaError`) exactly like the JSONL backend —
+        they may be valid records from a newer build.
+        """
+        conn = self._connect()
+        kept = 0
+        dropped = 0
+        conn.execute("BEGIN")
+        try:
+            for rowid, blob, schema in conn.execute(
+                    "SELECT rowid, record, schema FROM records").fetchall():
+                if not isinstance(schema, int) \
+                        or not 1 <= schema <= STORE_SCHEMA_VERSION:
+                    raise UnknownSchemaError(
+                        f"store {self.path!r} row {rowid} has schema "
+                        f"version {schema!r}; this build reads versions "
+                        f"1..{STORE_SCHEMA_VERSION} and will not compact "
+                        f"away records it cannot interpret"
+                    )
+                try:
+                    entry = json.loads(blob)
+                except json.JSONDecodeError:  # pragma: no cover
+                    entry = None
+                if entry is not None and entry.get("schema", schema) >= 2 \
+                        and entry.get("crc") != record_crc(entry):
+                    entry = None
+                if entry is None:
+                    conn.execute("DELETE FROM records WHERE rowid = ?",
+                                 (rowid,))
+                    dropped += 1
+                    continue
+                kept += 1
+                if entry.get("schema") == STORE_SCHEMA_VERSION:
+                    continue
+                entry = dict(entry)
+                entry["schema"] = STORE_SCHEMA_VERSION
+                entry["crc"] = record_crc(entry)
+                row = self._row_of(entry)
+                conn.execute(
+                    "UPDATE records SET schema = ?, record = ? "
+                    "WHERE rowid = ?",
+                    (row["schema"], row["record"], rowid))
+            conn.execute("DELETE FROM quarantine")
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        conn.execute("VACUUM")
+        return {
+            "kept": kept,
+            "dropped_superseded": 0,
+            "dropped_corrupt": dropped,
+        }
+
+    # -- WAL round-trip ---------------------------------------------------#
+
+    def ingest(self, jsonl_path: str,
+               source: Optional[str] = None) -> Dict[str, Any]:
+        """Replay a JSONL write-ahead log into the index.
+
+        Runs the same recovery scan the JSONL backend loads with: valid
+        records are stored verbatim (last line per hash wins, provenance
+        stamps untouched), torn/corrupt lines — including anything the
+        fault injectors in :mod:`repro.faults.store_faults` plant — land
+        in the quarantine table with their line number and reason, and a
+        record from a future schema aborts the ingest
+        (:class:`UnknownSchemaError`).
+
+        Returns ``{"ingested", "quarantined", "source"}`` and records
+        the same shape in :attr:`last_recovery`.
+        """
+        source = source or str(jsonl_path)
+        conn = self._connect()
+        ingested = 0
+        quarantined: List[Dict[str, Any]] = []
+        conn.execute("BEGIN")
+        try:
+            for lineno, raw, entry, problem in scan_jsonl_lines(
+                    str(jsonl_path)):
+                if problem == "unknown-schema":
+                    schema = (entry or {}).get("schema")
+                    raise UnknownSchemaError(
+                        f"log {source!r} line {lineno} has schema "
+                        f"version {schema!r}; this build reads versions "
+                        f"1..{STORE_SCHEMA_VERSION}"
+                    )
+                if problem is not None:
+                    quarantined.append(
+                        {"line": lineno, "reason": problem, "raw": raw})
+                    conn.execute(
+                        "INSERT INTO quarantine (source, line, reason, raw)"
+                        " VALUES (?, ?, ?, ?)",
+                        (source, lineno, problem, raw))
+                    continue
+                self.put_record(entry)
+                ingested += 1
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+        self.last_recovery = {
+            "records": len(self),
+            "quarantined": quarantined,
+        }
+        return {
+            "ingested": ingested,
+            "quarantined": len(quarantined),
+            "source": source,
+        }
+
+    def export(self, jsonl_path: str) -> int:
+        """Write every record back out as a JSONL log, ordered by spec
+        hash (deterministic round-trip); returns the record count."""
+        parent = os.path.dirname(str(jsonl_path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        count = 0
+        with open(jsonl_path, "w", encoding="utf-8") as handle:
+            for record in self.records():
+                handle.write(json.dumps(record, default=str) + "\n")
+                count += 1
+            handle.flush()
+            if self.fsync == "always":
+                os.fsync(handle.fileno())
+        return count

@@ -18,7 +18,7 @@ from repro.adversary.adaptive import (
 from repro.adversary.crash_plans import crash_at, wave_crashes
 from repro.adversary.delay_plans import HashDelay
 from repro.adversary.oblivious import ObliviousAdversary
-from repro.sim.engine import ENGINES, Simulation
+from repro.sim.engine import AUTO_PROBE_WINDOW, ENGINES, Simulation
 from repro.sim.errors import ConfigurationError
 from repro.sim.events import Observer
 from repro.sim.scheduler import (
@@ -298,6 +298,97 @@ class TestForkRestore:
         a, b = sims["stepwise"], sims["leap"]
         assert a.now == b.now == 123
         assert a.metrics.snapshot() == b.metrics.snapshot()
+
+
+class CountingAdversary:
+    """Forwards to a real adversary while counting next_event_at calls."""
+
+    def __init__(self, inner):
+        self._inner = inner
+        self.next_event_calls = 0
+
+    def next_event_at(self, now):
+        self.next_event_calls += 1
+        return self._inner.next_event_at(now)
+
+    def clone_into(self, target):
+        clone = CountingAdversary(self._inner.clone_into(target))
+        clone.next_event_calls = self.next_event_calls
+        return clone
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+def _run_counted(engine, *, n=12, delta=None, crashes=None, seed=3):
+    """Execute a spec under ``engine`` with a counting adversary wrapped
+    around whatever adversary the spec builds; returns (run, counter)."""
+    from repro.spec.builder import build
+
+    spec = RunSpec(
+        kind="gossip", algorithm="ears", n=n, d=2,
+        delta=(delta if delta is not None else n),
+        f=(len(crashes) if crashes else 0), seed=seed, engine=engine,
+    )
+    built = build(spec)
+    counter = CountingAdversary(built.sim.adversary)
+    if crashes:
+        counter._inner.crashes = wave_crashes(crashes, at=1)
+    built.sim.adversary = counter
+    run = built.sim.run(max_steps=built.max_steps)
+    return run, counter
+
+
+class TestAutoEngineProbe:
+    """The auto engine stops querying next_event_at on dense schedules."""
+
+    def test_dense_run_stops_probing_after_window(self):
+        # delta == n with f=0 occupies every residue: nothing to skip.
+        run, counter = _run_counted("auto", n=12, delta=12)
+        assert run.completed
+        assert counter.next_event_calls <= AUTO_PROBE_WINDOW + 1
+
+    def test_leap_engine_keeps_probing_dense_runs(self):
+        run, counter = _run_counted("leap", n=12, delta=12)
+        assert run.completed
+        assert counter.next_event_calls > AUTO_PROBE_WINDOW + 1
+
+    def test_sparse_run_keeps_leaping(self):
+        # delta >> n: most steps are empty, so the probe finds skips
+        # immediately and auto never abandons the fast path — it executes
+        # far fewer next_event_at calls than there are time steps.
+        run, counter = _run_counted("auto", n=8, delta=96)
+        assert run.completed
+        assert counter.next_event_calls < run.steps / 2
+
+    def test_crash_rearms_probe(self):
+        # Dense until the wave at t=1 leaves 2 survivors in an n-sized
+        # window: the crash must re-arm the probe so auto discovers the
+        # now-sparse schedule and leaps (calls ≪ steps).
+        run, counter = _run_counted(
+            "auto", n=16, delta=16, crashes=range(2, 16)
+        )
+        assert counter.next_event_calls < run.steps / 2
+
+    @pytest.mark.parametrize("cell", SPEC_CELLS)
+    def test_auto_bit_identical_to_stepwise(self, cell):
+        spec = RunSpec(kind="gossip", algorithm="ears", n=12, seed=5, **cell)
+        runs = {}
+        for engine in ("stepwise", "auto"):
+            runs[engine] = execute(spec.replace(engine=engine))
+        assert_equivalent(runs["stepwise"], runs["auto"])
+
+    def test_auto_bit_identical_on_dense_long_run(self):
+        # Longer than the probe window, so the mid-run handover to the
+        # stepwise loop actually happens and must preserve observables.
+        spec = RunSpec(
+            kind="gossip", algorithm="ears", n=12, d=2, delta=12, seed=5,
+            check_interval=7,
+        )
+        runs = {}
+        for engine in ("stepwise", "auto"):
+            runs[engine] = execute(spec.replace(engine=engine))
+        assert_equivalent(runs["stepwise"], runs["auto"])
 
 
 class TestEngineKnob:

@@ -18,7 +18,7 @@ import pytest
 
 from repro.experiments import CampaignManifest
 from repro.spec import RunSpec
-from repro.store import RunStore, execute_batch
+from repro.store import RunStore, execute_batch, open_store
 
 N_SPECS = 30
 
@@ -26,7 +26,7 @@ CHILD_SCRIPT = """\
 import sys
 
 from repro.spec import RunSpec
-from repro.store import RunStore, execute_batch
+from repro.store import execute_batch, open_store
 
 specs = [
     RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed)
@@ -34,7 +34,7 @@ specs = [
 ]
 execute_batch(
     specs,
-    store=RunStore(sys.argv[1], fsync="always"),
+    store=open_store(sys.argv[1], fsync="always"),
     manifest=sys.argv[2],
     checkpoint_every=1,
 )
@@ -56,14 +56,28 @@ def _child_env():
     return env
 
 
+def _stored_count(store_path):
+    """Record count as a second process sees it, backend by extension."""
+    if not os.path.exists(store_path):
+        return 0
+    if not store_path.endswith(".sqlite"):
+        with open(store_path, encoding="utf-8") as handle:
+            return handle.read().count("\n")
+    import sqlite3
+
+    try:
+        with sqlite3.connect(store_path, timeout=1.0) as conn:
+            return conn.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+    except sqlite3.Error:
+        return 0  # mid-initialization or briefly locked: try again
+
+
 def _wait_for_records(store_path, minimum, proc, timeout=60.0):
-    """Poll until the store holds ``minimum`` complete lines."""
+    """Poll until the store holds ``minimum`` complete records."""
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        if os.path.exists(store_path):
-            with open(store_path, encoding="utf-8") as handle:
-                if handle.read().count("\n") >= minimum:
-                    return
+        if _stored_count(store_path) >= minimum:
+            return
         if proc.poll() is not None:
             pytest.fail(
                 f"campaign child exited early (rc={proc.returncode}) "
@@ -77,8 +91,10 @@ def _metrics_by_hash(records):
     return {record["spec_hash"]: record["metrics"] for record in records}
 
 
-def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(tmp_path):
-    store_path = str(tmp_path / "runs.jsonl")
+@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(
+        tmp_path, backend):
+    store_path = str(tmp_path / f"runs.{backend}")
     manifest_path = str(tmp_path / "campaign.json")
     script = tmp_path / "campaign_child.py"
     script.write_text(CHILD_SCRIPT.format(n_specs=N_SPECS))
@@ -96,14 +112,15 @@ def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(tmp_path):
         proc.wait(timeout=30)
 
     # The store survives the kill: whatever tail damage the kill left is
-    # salvaged, and the valid records load.
-    interrupted = RunStore(store_path)
+    # salvaged (JSONL quarantines the torn line; SQLite recovers through
+    # its own WAL), and the valid records load.
+    interrupted = open_store(store_path)
     survived = len(interrupted)
     assert 0 < survived < N_SPECS, "kill landed mid-campaign"
 
     # Resume from the manifest: exactly the missing specs re-run.
     records = execute_batch(
-        _specs(), store=RunStore(store_path, fsync="always"),
+        _specs(), store=open_store(store_path, fsync="always"),
         manifest=manifest_path, checkpoint_every=1,
     )
     assert len(records) == N_SPECS
@@ -117,7 +134,7 @@ def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(tmp_path):
     assert _metrics_by_hash(records) == _metrics_by_hash(uninterrupted)
 
     # And the repaired store itself verifies clean after a compact.
-    final = RunStore(store_path)
+    final = open_store(store_path)
     final.compact()
     assert final.verify()["ok"]
 

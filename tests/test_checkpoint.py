@@ -214,21 +214,20 @@ class TestCheckpointedBatch:
         execute_batch(specs[:1], store=RunStore(store_path))
 
         executed = []
-        import repro.store as store_module
+        import repro.store.batch as batch_module
 
-        real_job = store_module._spec_job
+        real_job = batch_module._spec_job
 
         def spy(spec_dict):
             executed.append(spec_dict["seed"])
             return real_job(spec_dict)
 
-        store_module_job = store_module._spec_job
         try:
-            store_module._spec_job = spy
+            batch_module._spec_job = spy
             execute_batch(specs, store=RunStore(store_path),
                           manifest=manifest_path)
         finally:
-            store_module._spec_job = store_module_job
+            batch_module._spec_job = real_job
         assert executed == [1]
         manifest = CampaignManifest.load(manifest_path)
         assert manifest.missing_keys() == []
@@ -241,14 +240,14 @@ class TestCheckpointedBatch:
         def boom(spec_dict):
             raise AssertionError("resume must not re-execute")
 
-        import repro.store as store_module
+        import repro.store.batch as batch_module
 
-        real = store_module._spec_job
+        real = batch_module._spec_job
         try:
-            store_module._spec_job = boom
+            batch_module._spec_job = boom
             resumed = execute_batch(specs, manifest=manifest_path)
         finally:
-            store_module._spec_job = real
+            batch_module._spec_job = real
         assert [r["metrics"] for r in resumed] == [
             r["metrics"] for r in records
         ]

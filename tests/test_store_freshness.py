@@ -1,0 +1,135 @@
+"""Cross-process freshness of the JSONL store cache.
+
+Regression suite for the pre-refactor staleness bug: a loaded
+``JsonlStore`` handle cached the whole log forever, so records appended
+by another worker (or another process) were invisible for the lifetime
+of the handle.  The fixed contract: every read revalidates against
+``(size, mtime)``, appended tails are picked up with an *incremental*
+read from the last scanned byte offset, and rewrites (compaction by
+another process) trigger a full reload.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.spec import RunSpec
+from repro.store import JsonlStore
+
+SPEC = RunSpec(algorithm="ears", n=16, f=4, d=1, delta=1, seed=0)
+
+CHILD_APPEND = """\
+import sys
+
+from repro.spec import RunSpec
+from repro.store import open_store
+
+store = open_store(sys.argv[1], fsync="always")
+store.put(
+    RunSpec(algorithm="ears", n=16, f=4, d=1, delta=1,
+            seed=int(sys.argv[2])),
+    {"completed": True, "time": int(sys.argv[2])},
+)
+"""
+
+
+def _child_env():
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+def test_second_process_appends_become_visible(tmp_path):
+    """The literal two-process regression: a long-lived handle must see
+    records a separate process appended after the handle's first load."""
+    path = str(tmp_path / "runs.jsonl")
+    handle = JsonlStore(path)
+    handle.put(SPEC, {"completed": True, "time": 0})
+    assert len(handle) == 1  # cache is warm
+
+    script = tmp_path / "append_child.py"
+    script.write_text(CHILD_APPEND)
+    subprocess.run(
+        [sys.executable, str(script), path, "7"],
+        env=_child_env(), check=True, timeout=60,
+    )
+
+    assert len(handle) == 2
+    assert handle.get(SPEC.replace(seed=7).spec_hash)["metrics"]["time"] == 7
+
+
+def test_foreign_append_is_read_incrementally_not_rescanned(tmp_path):
+    """The tail pickup must start at the last scanned offset: mangling
+    the already-consumed prefix on disk changes nothing for the handle
+    (a full rescan would quarantine it and drop cached records)."""
+    path = str(tmp_path / "runs.jsonl")
+    handle = JsonlStore(path)
+    handle.put(SPEC, {"completed": True, "time": 0})
+    offset = handle._scan_offset
+    assert offset == os.path.getsize(path)
+
+    # Overwrite the consumed prefix with same-length garbage, then append
+    # a valid record the way a second worker would.
+    with open(path, "r+b") as raw:
+        raw.write(b"#" * (offset - 1))
+    other = JsonlStore(path)
+    other._scan_offset = offset  # skip the mangled prefix on load
+    other._records = {}
+    record = other.put(SPEC.replace(seed=1), {"completed": True, "time": 1})
+
+    assert handle.get(record["spec_hash"]) == record
+    assert handle.get(SPEC.spec_hash)["metrics"]["time"] == 0  # from cache
+    assert handle._scan_offset == os.path.getsize(path)
+
+
+def test_interleaved_writers_never_go_stale(tmp_path):
+    """Two handles alternating puts on one log each see everything."""
+    path = str(tmp_path / "runs.jsonl")
+    a, b = JsonlStore(path), JsonlStore(path)
+    for seed in range(6):
+        writer = a if seed % 2 == 0 else b
+        writer.put(SPEC.replace(seed=seed), {"completed": True,
+                                             "time": seed})
+    assert len(a) == len(b) == 6
+    for seed in range(6):
+        spec_hash = SPEC.replace(seed=seed).spec_hash
+        assert a.get(spec_hash)["metrics"]["time"] == seed
+        assert b.get(spec_hash)["metrics"]["time"] == seed
+
+
+def test_compaction_by_another_handle_forces_full_reload(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    handle = JsonlStore(path)
+    handle.put(SPEC, {"completed": True, "time": 1})
+    handle.put(SPEC, {"completed": True, "time": 2})  # superseded line
+    assert len(handle) == 1
+
+    other = JsonlStore(path)
+    other.compact()
+    other.put(SPEC.replace(seed=5), {"completed": True, "time": 5})
+
+    # The log shrank and was rewritten: the stale offset is meaningless,
+    # and the handle must reload rather than serve its old cache.
+    assert len(handle) == 2
+    assert handle.get(SPEC.spec_hash)["metrics"]["time"] == 2
+
+
+def test_torn_tail_healed_by_foreign_writer_stays_consistent(tmp_path):
+    path = str(tmp_path / "runs.jsonl")
+    handle = JsonlStore(path)
+    handle.put(SPEC, {"completed": True})
+    # A crash tears the tail after our scan...
+    with open(path, "a", encoding="utf-8") as raw:
+        raw.write('{"schema": 2, "spec_hash": "dead')
+    # ...and a different worker appends over it (healing newline first).
+    other = JsonlStore(path)
+    record = other.put(SPEC.replace(seed=3), {"completed": True})
+    assert other.last_recovery["quarantined"]
+
+    # Our handle tail-reads from its old offset: the torn fragment is
+    # quarantined, the foreign record arrives, nothing cached is lost.
+    assert handle.get(record["spec_hash"]) == record
+    assert SPEC.spec_hash in handle
+    assert len(handle.quarantined_entries()) == 1

@@ -1,0 +1,220 @@
+"""Shard merge: stores, manifests, and the zero-missing resume contract.
+
+A campaign split by spec hash (``shard_specs``) runs each slice against
+its own store and manifest; merging the shards back must be
+deterministic, order-independent, and leave ``--resume`` with zero
+missing cells — the acceptance bar for sharded campaigns.
+"""
+
+import pytest
+
+import repro.store.batch as batch_module
+from repro import __version__
+from repro.experiments import CampaignManifest
+from repro.spec import RunSpec
+from repro.store import (
+    MergeConflict,
+    execute_batch,
+    make_record,
+    merge_manifests,
+    merge_stores,
+    open_store,
+    shard_of,
+    shard_specs,
+)
+
+SPEC = RunSpec(algorithm="ears", n=16, f=4, d=1, delta=1, seed=0)
+BACKENDS = ("jsonl", "sqlite")
+
+
+def _specs(count=8):
+    return [SPEC.replace(seed=seed) for seed in range(count)]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    return request.param
+
+
+def _store(tmp_path, backend, name):
+    suffix = "jsonl" if backend == "jsonl" else "sqlite"
+    return open_store(str(tmp_path / f"{name}.{suffix}"))
+
+
+class TestShardPartition:
+    def test_shards_partition_specs_exactly(self):
+        specs = _specs(32)
+        shards = [shard_specs(specs, index, 4) for index in range(4)]
+        flat = [spec for shard in shards for spec in shard]
+        assert sorted(s.spec_hash for s in flat) == \
+            sorted(s.spec_hash for s in specs)
+        for index, shard in enumerate(shards):
+            for spec in shard:
+                assert shard_of(spec.spec_hash, 4) == index
+
+    def test_shard_of_is_deterministic_and_bounded(self):
+        for spec in _specs(16):
+            index = shard_of(spec.spec_hash, 3)
+            assert 0 <= index < 3
+            assert shard_of(spec.spec_hash, 3) == index
+
+    def test_bad_shard_arguments_refused(self):
+        from repro.sim.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="out of range"):
+            shard_specs(_specs(), 2, 2)
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            shard_of(SPEC.spec_hash, 0)
+
+
+class TestMergeStores:
+    def test_disjoint_shards_union_cleanly(self, tmp_path, backend):
+        specs = _specs(8)
+        parts = [shard_specs(specs, index, 2) for index in range(2)]
+        shards = []
+        for index, part in enumerate(parts):
+            store = _store(tmp_path, backend, f"shard{index}")
+            execute_batch(part, store=store)
+            shards.append(store)
+
+        dest = _store(tmp_path, backend, "merged")
+        report = merge_stores(dest, shards)
+        assert report == {"added": 8, "identical": 0, "replaced": 0,
+                          "conflicts": 0}
+        reference = _store(tmp_path, backend, "reference")
+        execute_batch(specs, store=reference)
+        by_hash = {r["spec_hash"]: r for r in reference.records()}
+        assert {r["spec_hash"]: r for r in dest.records()} == by_hash
+
+    def test_duplicate_identical_records_merge_silently(self, tmp_path,
+                                                        backend):
+        source = _store(tmp_path, backend, "shard")
+        execute_batch(_specs(3), store=source)
+        dest = _store(tmp_path, backend, "merged")
+        merge_stores(dest, [source])
+        report = merge_stores(dest, [source])
+        assert report == {"added": 0, "identical": 3, "replaced": 0,
+                          "conflicts": 0}
+        assert len(dest) == 3
+
+    def test_sources_may_be_paths_or_iterables(self, tmp_path, backend):
+        source = _store(tmp_path, backend, "shard")
+        execute_batch(_specs(2), store=source)
+        extra = make_record(SPEC.replace(seed=9), {"completed": True})
+        dest = _store(tmp_path, backend, "merged")
+        report = merge_stores(dest, [source.path, [extra]])
+        assert report["added"] == 3
+        assert dest.get(extra["spec_hash"]) == extra
+
+    def _divergent_pair(self):
+        """Same spec hash, different provenance: an old-build record and
+        the current build's record for the same cell."""
+        new = make_record(SPEC, {"completed": True, "time": 42})
+        old = make_record(SPEC, {"completed": True, "time": 41})
+        old["package"] = "0.9.0"
+        from repro.store import record_crc
+
+        old["crc"] = record_crc(old)
+        return old, new
+
+    def test_divergent_records_error_by_default(self, tmp_path, backend):
+        old, new = self._divergent_pair()
+        dest = _store(tmp_path, backend, "merged")
+        dest.put_record(old)
+        with pytest.raises(MergeConflict, match="divergent"):
+            merge_stores(dest, [[new]])
+
+    def test_provenance_policy_keeps_newest_build(self, tmp_path, backend):
+        old, new = self._divergent_pair()
+        dest = _store(tmp_path, backend, "merged")
+        dest.put_record(old)
+        report = merge_stores(dest, [[new]], policy="provenance")
+        assert report["conflicts"] == 1 and report["replaced"] == 1
+        assert dest.get(SPEC.spec_hash)["package"] == __version__
+
+        # Order independence: merging the other way keeps the same winner.
+        other = _store(tmp_path, backend, "reversed")
+        other.put_record(new)
+        report = merge_stores(other, [[old]], policy="provenance")
+        assert report["conflicts"] == 1 and report["replaced"] == 0
+        assert other.get(SPEC.spec_hash) == dest.get(SPEC.spec_hash)
+
+
+class TestMergeManifests:
+    def test_union_and_completion_beats_failure(self, tmp_path):
+        a = CampaignManifest(str(tmp_path / "a.json"))
+        a.submit("x", {"n": 1})
+        a.submit("y", {"n": 2})
+        a.complete("x", 10)
+        a.fail("y", "boom")
+        a.save()
+        b = CampaignManifest(str(tmp_path / "b.json"))
+        b.submit("y", {"n": 2})
+        b.submit("z", {"n": 3})
+        b.complete("y", 20)
+        b.complete("z", 30)
+        b.save()
+
+        merged = merge_manifests(str(tmp_path / "merged.json"),
+                                 [a.path, b.path])
+        assert merged.completed == {"x": 10, "y": 20, "z": 30}
+        assert merged.failed == {}
+        assert merged.missing_keys() == []
+        # Saved atomically and reloadable.
+        reloaded = CampaignManifest.load(str(tmp_path / "merged.json"))
+        assert reloaded.completed == merged.completed
+
+    def test_divergent_payloads_follow_policy(self, tmp_path):
+        a = CampaignManifest(str(tmp_path / "a.json"))
+        a.submit("x", {})
+        a.complete("x", {"value": 1})
+        b = CampaignManifest(str(tmp_path / "b.json"))
+        b.submit("x", {})
+        b.complete("x", {"value": 2})
+
+        with pytest.raises(MergeConflict, match="divergent"):
+            merge_manifests(str(tmp_path / "err.json"), [a, b])
+        left = merge_manifests(str(tmp_path / "lr.json"), [a, b],
+                               policy="provenance")
+        right = merge_manifests(str(tmp_path / "rl.json"), [b, a],
+                                policy="provenance")
+        assert left.completed == right.completed  # order-independent
+
+
+class TestShardedCampaignResume:
+    def test_merged_shards_resume_with_zero_missing(self, tmp_path,
+                                                    backend, monkeypatch):
+        """The acceptance contract: run a campaign as two spec-hash
+        shards, merge the stores and the manifests, and a ``--resume``
+        of the full campaign finds nothing left to execute."""
+        specs = _specs(10)
+        shard_stores, shard_manifests = [], []
+        for index in range(2):
+            part = shard_specs(specs, index, 2)
+            assert part, "shard unexpectedly empty"
+            store = _store(tmp_path, backend, f"shard{index}")
+            manifest_path = str(tmp_path / f"shard{index}.json")
+            execute_batch(part, store=store, manifest=manifest_path)
+            shard_stores.append(store)
+            shard_manifests.append(manifest_path)
+
+        merged_store = _store(tmp_path, backend, "merged")
+        report = merge_stores(merged_store, shard_stores)
+        assert report["added"] == len(specs)
+        merged_manifest = str(tmp_path / "merged.json")
+        manifest = merge_manifests(merged_manifest, shard_manifests)
+        assert sorted(manifest.submitted) == \
+            sorted(spec.spec_hash for spec in specs)
+        assert manifest.missing_keys() == []
+
+        def boom(spec_dict):
+            raise AssertionError(
+                "resume of merged shards must not re-execute anything"
+            )
+
+        monkeypatch.setattr(batch_module, "_spec_job", boom)
+        records = execute_batch(specs, store=merged_store,
+                                manifest=merged_manifest)
+        assert [r["spec_hash"] for r in records] == \
+            [spec.spec_hash for spec in specs]
+        assert all(r["metrics"]["completed"] for r in records)
