@@ -134,11 +134,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--crashes", type=int, default=None,
                         help="random crash count (default: none)")
     parser.add_argument("--engine", default="auto",
-                        choices=["auto", "stepwise", "leap"],
+                        choices=["auto", "stepwise", "leap", "batch"],
                         help="execution strategy: 'auto' (time-leap fast "
                              "path with stepwise fallback), 'stepwise' "
-                             "(reference loop) or 'leap'; all strategies "
-                             "are seed-for-seed bit-identical")
+                             "(reference loop), 'leap', or 'batch' (the "
+                             "vectorized batched-trial engine). auto/"
+                             "stepwise/leap are seed-for-seed "
+                             "bit-identical; batch is seed-deterministic "
+                             "with its own RNG streams, matching the "
+                             "scalar engines in distribution, and falls "
+                             "back to scalar for ineligible cells")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -229,6 +234,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="crash the full failure budget")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
+    p.add_argument("--engine", default="auto",
+                   choices=["auto", "stepwise", "leap", "batch"],
+                   help="execution strategy per run; 'batch' groups each "
+                        "cell's seeds through the vectorized engine "
+                        "(plain sweeps only — profiled, fault-tolerant "
+                        "and checkpointed sweeps stay per-trial)")
     _add_fault_tolerance(p)
     _add_checkpointing(p)
     p.add_argument("--profile", action="store_true",
@@ -257,6 +268,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "shard stores afterwards with 'store merge'")
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
+    p.add_argument("--batch-size", type=int, default=64,
+                   help="seeds per vectorized engine tick for specs "
+                        "with engine='batch' (default: 64; capped so "
+                        "one group chunk stays in memory budget)")
     _add_fault_tolerance(p)
     _add_checkpointing(p)
     p.add_argument("--json", action="store_true", dest="as_json",
@@ -590,6 +605,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             processes=1 if args.profile else args.processes,
             profile=profiler,
             trial_timeout=args.trial_timeout, retries=args.retries,
+            engine=args.engine,
         )
         ns = geometric_ns(args.min_n, args.max_n, args.factor)
         if args.resume:
@@ -649,6 +665,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_kwargs = dict(
             store=store, processes=args.processes,
             trial_timeout=args.trial_timeout, retries=args.retries,
+            batch_size=args.batch_size,
         )
         if args.resume:
             with GracefulShutdown() as shutdown:

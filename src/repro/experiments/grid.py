@@ -65,7 +65,12 @@ def gossip_recorder(**params: Any) -> Dict[str, Any]:
     """One gossip cell: returns the complexity measures as a flat record.
 
     Cell params are :class:`~repro.spec.runspec.RunSpec` fields; the
-    record is stamped with the cell's canonical spec hash.
+    record is stamped with the cell's canonical spec hash. A grid axis
+    ``"engine": ["batch"]`` routes eligible cells through the vectorized
+    batch engine (as a batch of one — ``execute`` is the engine choke
+    point); ineligible cells fall back to the scalar engines unchanged,
+    and ``engine`` never enters the spec hash, so cached cells satisfy
+    any engine choice.
     """
     from ..spec.builder import execute
     from ..spec.runspec import RunSpec

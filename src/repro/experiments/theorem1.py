@@ -10,6 +10,12 @@ and the measured cost against the analytical bound:
   silent pair is isolated for Ω(f(d+δ)) time;
 * strategies that stay chatty forever (uniform epidemic) or whose quiescence
   itself takes Ω(f) time (ears at these scales) pay in time directly.
+
+The lower-bound adversary is *adaptive* — it reads the live simulation to
+decide withholding — so these runs are permanently ineligible for the
+vectorized batch engine and always execute per-trial on the scalar
+engines (see :func:`repro.sim.batch.batch_ineligibility`); an ``engine``
+knob here would be a no-op by design.
 """
 
 from __future__ import annotations

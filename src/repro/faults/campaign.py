@@ -142,6 +142,37 @@ def _execute_cell(spec: RunSpec, fault, rng) -> Tuple[Optional[str], str]:
     return None, "run completed with no detector firing"
 
 
+_SCRATCH_SPECS: Dict[Tuple[int, int], List[RunSpec]] = {}
+
+
+def _scratch_specs(records: int, seed: int) -> List[RunSpec]:
+    """The spec list every scratch store of one (records, seed) matrix
+    cell shares, built once and round-tripped through the same
+    :meth:`RunSpec.load_many` path ``repro batch`` uses (so the scratch
+    records exercise exactly the serialized-spec provenance format).
+    """
+    key = (records, seed)
+    specs = _SCRATCH_SPECS.get(key)
+    if specs is None:
+        import json
+
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False, encoding="utf-8"
+        ) as handle:
+            json.dump([
+                RunSpec(kind="gossip", algorithm="ears", n=16, f=4,
+                        seed=seed * 1000 + index).to_dict()
+                for index in range(records)
+            ], handle)
+            spec_path = handle.name
+        try:
+            specs = RunSpec.load_many(spec_path)
+        finally:
+            os.unlink(spec_path)
+        _SCRATCH_SPECS[key] = specs
+    return specs
+
+
 def _make_scratch_store(path: str, records: int, seed: int):
     """A small real store: genuine specs, fabricated (cheap) metrics.
 
@@ -152,9 +183,7 @@ def _make_scratch_store(path: str, records: int, seed: int):
     from ..store import RunStore
 
     store = RunStore(path)
-    for index in range(records):
-        spec = RunSpec(kind="gossip", algorithm="ears", n=16, f=4,
-                       seed=seed * 1000 + index)
+    for index, spec in enumerate(_scratch_specs(records, seed)):
         store.put(spec, {
             "completed": True, "reason": "completed",
             "time": 10 + index, "messages": 100 + index,

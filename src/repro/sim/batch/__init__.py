@@ -1,0 +1,40 @@
+"""Vectorized batched-trial engine (struct-of-arrays sim core).
+
+One engine tick advances B seeds of the same spec cell as numpy array
+ops; see :mod:`repro.sim.batch.engine` for the semantics contract with
+the scalar engines. Importable without numpy — only the eligibility
+gate loads eagerly, and it reports ``"numpy is not available"`` so every
+caller transparently falls back to the scalar per-trial path.
+"""
+
+from .eligibility import (
+    BATCH_ALGORITHMS,
+    BATCH_MEMORY_BUDGET,
+    HAVE_NUMPY,
+    MAX_BATCH_N,
+    batch_eligible,
+    batch_ineligibility,
+    max_batch_trials,
+)
+
+__all__ = [
+    "BATCH_ALGORITHMS",
+    "BATCH_MEMORY_BUDGET",
+    "HAVE_NUMPY",
+    "MAX_BATCH_N",
+    "batch_eligible",
+    "batch_ineligibility",
+    "max_batch_trials",
+    "BatchSimulation",
+    "BatchTrialResult",
+]
+
+
+def __getattr__(name):
+    # BatchSimulation/BatchTrialResult pull in numpy; load them lazily so
+    # `import repro.sim.batch` works on numpy-free installs.
+    if name in ("BatchSimulation", "BatchTrialResult"):
+        from . import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

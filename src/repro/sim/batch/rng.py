@@ -1,0 +1,132 @@
+"""Counter-based vectorized RNG streams for the batch engine.
+
+The scalar engine gives every process its own ``random.Random`` seeded by
+``derive_seed(seed, "proc", pid)``. The batch engine needs the analogue as
+an *array* operation: draw the next ``k`` fanout targets for hundreds of
+``(trial, pid)`` lanes in one numpy call, without any lane's stream
+depending on which other trials happen to share its batch.
+
+The construction is a keyed counter generator in the Philox/splitmix64
+family: each lane owns a 64-bit key derived from *its own trial seed only*
+(through the repo-wide :func:`repro.sim.rng.derive_seed` discipline, so
+trial streams inherit the documented independence of the scalar seeding),
+and the ``i``-th output of a lane is ``mix64(key + (counter_i + 1) * PHI)``
+where ``counter_i`` is a per-lane draw counter. Because outputs are a pure
+function of ``(trial seed, pid, counter)``, a trial's execution is
+identical whether it runs alone (B=1) or packed into a batch of 64 — the
+*batch-composition invariance* the conformance suite pins down.
+
+The streams intentionally do **not** reproduce the scalar engine's
+Mersenne-Twister draws bit-for-bit; seed-for-seed equivalence between
+scalar and batch is gated statistically (KS tests), while batch runs are
+gated bit-exactly against themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..rng import derive_seed
+
+#: splitmix64 constants (Steele, Lea & Flood; public domain reference).
+PHI = np.uint64(0x9E3779B97F4A7C15)
+_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_M2 = np.uint64(0x94D049BB133111EB)
+
+_U64 = np.uint64
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(x: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, elementwise on uint64 arrays.
+
+    A bijective avalanche on 64 bits: every output bit depends on every
+    input bit, which is what lets ``key + counter * PHI`` sequences pass
+    as independent uniform streams. Wrapping arithmetic is the point —
+    numpy uint64 overflow is silent and correct here.
+    """
+    z = np.asarray(x, dtype=_U64).copy()
+    z ^= z >> _U64(30)
+    z *= _M1
+    z ^= z >> _U64(27)
+    z *= _M2
+    z ^= z >> _U64(31)
+    return z
+
+
+class PhiloxCounter:
+    """Keyed counter streams with one independent substream per lane.
+
+    ``keys`` is any-shaped uint64; ``draw(idx, k)`` advances the counters
+    of the selected lanes by ``k`` and returns the ``k`` raw 64-bit
+    outputs per selected lane. Counters are part of the simulation state:
+    forked/restored engines must carry them to stay deterministic.
+    """
+
+    def __init__(self, keys: np.ndarray) -> None:
+        self.keys = np.asarray(keys, dtype=_U64)
+        self.counters = np.zeros(self.keys.shape, dtype=_U64)
+
+    @classmethod
+    def for_trials(
+        cls, seeds: Sequence[int], n: int, label: str = "batch-proc"
+    ) -> "PhiloxCounter":
+        """One lane per ``(trial, pid)``: shape ``(B, n)``.
+
+        The per-trial root key goes through :func:`derive_seed` (sha256)
+        so nearby integer seeds land on unrelated streams, exactly like
+        the scalar engine's per-process seeding; per-pid keys then fan
+        out from the root with one ``mix64`` round.
+        """
+        roots = np.array(
+            [derive_seed(seed, label) & _MASK64 for seed in seeds],
+            dtype=_U64,
+        ).reshape(-1, 1)
+        pids = np.arange(1, n + 1, dtype=_U64).reshape(1, -1)
+        return cls(mix64(roots + pids * PHI))
+
+    def draw(self, idx, k: int) -> np.ndarray:
+        """``k`` outputs for each lane selected by fancy index ``idx``.
+
+        Returns a uint64 array of shape ``(len(idx), k)``. Lanes may not
+        repeat within one call (fancy-index increment would collapse the
+        duplicates); callers select each ``(trial, pid)`` at most once
+        per step, which the engine guarantees by construction.
+        """
+        base = self.counters[idx]
+        self.counters[idx] = base + _U64(k)
+        steps = np.arange(1, k + 1, dtype=_U64)
+        return mix64(
+            self.keys[idx][..., None]
+            + (base[..., None] + steps) * PHI
+        )
+
+
+def hash_delays(
+    delay_keys: np.ndarray, src: np.ndarray, dst: np.ndarray, t: int,
+    n: int, d: int,
+) -> np.ndarray:
+    """Vectorized analogue of ``HashDelay``: per-message delay in [1, d].
+
+    A pure function of ``(trial seed, src, dst, sent_at)`` — the same
+    contract as the scalar sha256 plan (same message, same delay, no
+    matter the batch) — but through ``mix64`` instead of sha256, so the
+    distribution is gated statistically rather than bit-exactly.
+    """
+    if d <= 1:
+        return np.ones(src.shape, dtype=np.int64)
+    event = (
+        (_U64(t) * _U64(n) + src.astype(_U64)) * _U64(n) + dst.astype(_U64)
+    )
+    word = mix64(delay_keys + (event + _U64(1)) * PHI)
+    return (word % _U64(d)).astype(np.int64) + 1
+
+
+def delay_keys_for_trials(seeds: Sequence[int]) -> np.ndarray:
+    """Per-trial root keys for :func:`hash_delays`, shape ``(B,)``."""
+    return np.array(
+        [derive_seed(seed, "batch-delay") & _MASK64 for seed in seeds],
+        dtype=_U64,
+    )

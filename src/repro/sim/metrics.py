@@ -13,6 +13,34 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+#: Sentinel for "never scheduled" in :func:`trailing_gap`. The batch
+#: engine's columnar ``last_scheduled`` arrays use it directly; the scalar
+#: :class:`Metrics` maps its ``dict.get(pid) is None`` case onto it.
+NEVER_SCHEDULED = -1
+
+
+def trailing_gap(end, last_scheduled):
+    """The tail-end scheduling gap of one process (or an array of them).
+
+    ``record_scheduled`` can only observe a gap when the *next* scheduled
+    step arrives, so a process starved from its last scheduled step until
+    the end of the execution would under-report the very δ that starvation
+    schedules are built to inflate (the PR 5 regression). The trailing gap
+    is ``end - last_scheduled``, or ``end + 1`` when the process was never
+    scheduled at all (``last_scheduled == NEVER_SCHEDULED``), matching the
+    from-time-0 convention of the first-schedule gap.
+
+    Works elementwise on numpy integer arrays as well as plain ints —
+    the scalar :meth:`Metrics.finalize` and the batch engine's columnar
+    finalize share this single implementation.
+    """
+    never = last_scheduled == NEVER_SCHEDULED
+    if never is True or never is False:  # plain-int path
+        return end + 1 if never else end - last_scheduled
+    import numpy  # array path; numpy is present whenever arrays are
+
+    return numpy.where(never, end + 1, end - last_scheduled)
+
 
 @dataclass
 class Metrics:
@@ -87,15 +115,10 @@ class Metrics:
         """Fold each live process's trailing scheduling gap into
         ``realized_delta``.
 
-        ``record_scheduled`` can only observe a gap when the *next*
-        scheduled step arrives, so a process starved from its last
-        scheduled step until the end of the execution (``end``:
-        ``completion_time`` when the run completed, the current step
-        otherwise) would under-report the very δ that starvation
-        schedules are built to inflate. The trailing gap is
-        ``end - last_scheduled[pid]``, or ``end + 1`` for a live process
-        never scheduled at all (matching the from-time-0 convention in
-        :meth:`record_scheduled`).
+        The gap itself comes from :func:`trailing_gap`, shared with the
+        batch engine's columnar finalize so both paths cannot drift
+        (``end``: ``completion_time`` when the run completed, the current
+        step otherwise).
 
         Idempotent and monotone: gaps are max-folded and
         ``_last_scheduled`` is left untouched, so calling this at the end
@@ -103,8 +126,8 @@ class Metrics:
         double-counts.
         """
         for pid in alive:
-            last = self._last_scheduled.get(pid)
-            gap = end - last if last is not None else end + 1
+            last = self._last_scheduled.get(pid, NEVER_SCHEDULED)
+            gap = trailing_gap(end, last)
             if gap > self.realized_delta:
                 self.realized_delta = gap
 

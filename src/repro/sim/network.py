@@ -12,17 +12,10 @@ known bound.
 from __future__ import annotations
 
 import heapq
-import warnings
 from typing import Dict, List, Optional
 
 from .errors import InvalidDelayError
 from .message import Message
-
-#: The magic value :meth:`Network.earliest_deliverable` historically
-#: returned for an empty queue. Kept only for the deprecation shim;
-#: callers comparing it to step counts silently treated "empty queue"
-#: as "event at t=4.6e18".
-LEGACY_EMPTY_SENTINEL = 2 ** 62
 
 
 class Network:
@@ -110,9 +103,7 @@ class Network:
     def earliest_deliverable(self, pid: int) -> Optional[int]:
         """Earliest ``deliverable_at`` among messages queued for ``pid``.
 
-        Returns ``None`` when the queue is empty (historically a
-        ``2 ** 62`` sentinel; see :meth:`earliest_deliverable_or_sentinel`
-        for the deprecated old contract).
+        Returns ``None`` when the queue is empty.
         """
         heap = self._pending[pid]
         if not heap:
@@ -135,15 +126,3 @@ class Network:
             if heap and (earliest is None or heap[0][0] < earliest):
                 earliest = heap[0][0]
         return earliest
-
-    def earliest_deliverable_or_sentinel(self, pid: int) -> int:
-        """Deprecated: :meth:`earliest_deliverable` under the old contract
-        (``2 ** 62`` means "empty queue")."""
-        warnings.warn(
-            "earliest_deliverable_or_sentinel() is deprecated; use "
-            "earliest_deliverable(), which returns None for an empty queue",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        value = self.earliest_deliverable(pid)
-        return LEGACY_EMPTY_SENTINEL if value is None else value

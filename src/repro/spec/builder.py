@@ -219,11 +219,35 @@ def execute(
     adversary: Any = None,
 ):
     """Build and run ``spec``; returns a :class:`GossipRun` or
-    :class:`~repro.consensus.values.ConsensusRun` by kind."""
+    :class:`~repro.consensus.values.ConsensusRun` by kind.
+
+    ``engine="batch"`` routes eligible specs (EARS/SEARS under the
+    oblivious uniform adversary, no runtime overrides) through the
+    vectorized batch engine as a batch of one; everything else falls
+    back to the scalar engines with results identical to
+    ``engine="auto"``. This is the single choke point, so every layer
+    above — store batch execution, campaign manifests, grids, sweeps,
+    the CLI — inherits the routing for free.
+    """
+    if spec.engine == "batch" and not (
+        observers or payloads is not None or params is not None
+        or values is not None or adversary is not None
+    ):
+        from .vectorized import execute_batch_spec
+
+        run = execute_batch_spec(spec)
+        if run is not None:
+            return run
     return build(
         spec, observers=observers, payloads=payloads, params=params,
         values=values, adversary=adversary,
     ).run()
+
+
+def _scalar_engine(engine: str) -> str:
+    """The scalar strategy realizing a spec's engine choice: ``"batch"``
+    falls back to ``"auto"`` when a cell cannot be vectorized."""
+    return "auto" if engine == "batch" else engine
 
 
 def _with_invariants(spec: RunSpec, observers: Sequence[Observer]
@@ -288,7 +312,7 @@ def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
         check_interval=spec.check_interval,
         bit_meter=bit_meter,
         observers=observers,
-        engine=spec.engine,
+        engine=_scalar_engine(spec.engine),
     )
     limit = (
         spec.max_steps if spec.max_steps is not None
@@ -387,7 +411,7 @@ def _build_consensus(spec, observers, params, values, adversary) -> BuiltRun:
     sim = Simulation(
         n=n, f=f, algorithms=algorithms, adversary=adversary,
         monitor=monitor, seed=seed, check_interval=spec.check_interval,
-        observers=observers, engine=spec.engine,
+        observers=observers, engine=_scalar_engine(spec.engine),
     )
     limit = (
         spec.max_steps if spec.max_steps is not None

@@ -76,9 +76,12 @@ class RunSpec:
             a paper property is broken.  Defaults off (the observer-free
             fast path); hash-stable because defaulted fields are omitted
             from the serialization.
-        engine: execution strategy (``"auto"``/``"stepwise"``/``"leap"``);
-            round-trips through serialization but never enters the spec
-            hash, since all engines produce bit-identical results.
+        engine: execution strategy (``"auto"``/``"stepwise"``/``"leap"``/
+            ``"batch"``); round-trips through serialization but never
+            enters the spec hash.  The scalar engines are bit-identical
+            to each other; ``"batch"`` (the vectorized batched-trial
+            engine) is seed-deterministic and distribution-equivalent,
+            falling back to scalar execution for ineligible cells.
     """
 
     kind: str = "gossip"
@@ -100,10 +103,15 @@ class RunSpec:
     max_steps: Optional[int] = None
     check_invariants: bool = False
     #: Execution strategy: ``"auto"`` (time-leap fast path with stepwise
-    #: fallback), ``"stepwise"`` (reference loop) or ``"leap"``. Bit-
-    #: identical by construction, so this is *not* part of the spec's
-    #: identity: it is excluded from :meth:`canonical_json` /
-    #: :attr:`spec_hash` and artifact stores dedupe across engines.
+    #: fallback), ``"stepwise"`` (reference loop), ``"leap"``, or
+    #: ``"batch"`` (the vectorized batched-trial engine, scalar fallback
+    #: for ineligible cells). Not part of the spec's identity: it is
+    #: excluded from :meth:`canonical_json` / :attr:`spec_hash` and
+    #: artifact stores dedupe across engines — the scalar engines are
+    #: bit-identical, and a batch run answers the same statistical
+    #: question as the scalar run of the same seed (the conformance
+    #: suite KS-gates the equivalence), so a cached record under either
+    #: engine satisfies the spec.
     engine: str = "auto"
 
     def __post_init__(self) -> None:
@@ -117,10 +125,10 @@ class RunSpec:
             raise ConfigurationError(
                 "a spec sets either 'scenario' or 'adversary', not both"
             )
-        if self.engine not in ("auto", "stepwise", "leap"):
+        if self.engine not in ("auto", "stepwise", "leap", "batch"):
             raise ConfigurationError(
                 f"unknown engine {self.engine!r}; choose from "
-                "['auto', 'stepwise', 'leap']"
+                "['auto', 'stepwise', 'leap', 'batch']"
             )
         for name in ("params", "adversary"):
             value = getattr(self, name)

@@ -18,9 +18,13 @@ from .base import Store, make_record, metrics_of
 
 __all__ = [
     "execute_batch",
+    "execute_batch_vectorized",
     "execute_cached",
     "failed_record",
 ]
+
+#: Default number of seeds one vectorized engine tick advances together.
+DEFAULT_BATCH_SIZE = 64
 
 
 def execute_cached(
@@ -68,6 +72,99 @@ def failed_record(spec: RunSpec, outcome: Any) -> Dict[str, Any]:
     return record
 
 
+def _batch_job(spec_dicts: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Execute one group chunk (same cell, different seeds) vectorized."""
+    from ..spec.vectorized import run_batch_specs
+
+    specs = [RunSpec.from_dict(d) for d in spec_dicts]
+    return [metrics_of(run) for run in run_batch_specs(specs)]
+
+
+def execute_batch_vectorized(
+    specs: Iterable[RunSpec],
+    store: Optional[Store] = None,
+    processes: int = 1,
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> List[Dict[str, Any]]:
+    """Execute specs with eligible cells batched through the vectorized
+    engine, behind the same store dedupe/cache machinery as
+    :func:`execute_batch`.
+
+    Specs are partitioned by their seed-free canonical identity
+    (:func:`~repro.spec.vectorized.batch_group_key`): groups of eligible
+    specs ride one :class:`~repro.sim.batch.engine.BatchSimulation` in
+    chunks of ``batch_size`` seeds, ineligible specs (adaptive
+    adversaries, consensus, instrumented runs, ...) delegate to the
+    per-trial path unchanged. Records come back in spec order; stored
+    hashes are cache hits and duplicate hashes execute once, exactly as
+    in the per-trial batch.
+    """
+    from ..experiments.pool import TrialPool
+    from ..spec.vectorized import batch_eligible, batch_group_key
+
+    specs = list(specs)
+    pending: Dict[str, RunSpec] = {}
+    for spec in specs:
+        if store is None or spec.spec_hash not in store:
+            pending.setdefault(spec.spec_hash, spec)
+
+    groups: Dict[str, List[RunSpec]] = {}
+    scalar: List[RunSpec] = []
+    for spec in pending.values():
+        # Only specs *asking* for the batch engine vectorize: anything
+        # else keeps its scalar engine's bit-exact per-trial execution.
+        if spec.engine == "batch" and batch_eligible(spec):
+            groups.setdefault(batch_group_key(spec), []).append(spec)
+        else:
+            scalar.append(spec)
+
+    from ..sim.batch import max_batch_trials
+
+    chunks: List[List[RunSpec]] = []
+    for group in groups.values():
+        # Cap chunks so one group's packed state fits the memory budget
+        # (the I-payload arrays grow with n²).
+        size = max(1, min(int(batch_size), max_batch_trials(group[0].n)))
+        for i in range(0, len(group), size):
+            chunks.append(group[i : i + size])
+
+    fresh: Dict[str, Dict[str, Any]] = {}
+    if chunks:
+        jobs = [[spec.to_dict() for spec in chunk] for chunk in chunks]
+        if processes > 1 and len(chunks) > 1:
+            with TrialPool(processes) as pool:
+                chunk_metrics = pool.map(_batch_job, jobs)
+        else:
+            chunk_metrics = [_batch_job(job) for job in jobs]
+        for chunk, metrics_list in zip(chunks, chunk_metrics):
+            for spec, metrics in zip(chunk, metrics_list):
+                if store is not None:
+                    store.put(spec, metrics)
+                else:
+                    fresh[spec.spec_hash] = make_record(spec, metrics)
+    if scalar:
+        # Per-trial fallback, inline (delegating to execute_batch would
+        # bounce straight back here for engine="batch" specs). execute()
+        # still batch-routes any eligible spec as a batch of one.
+        jobs = [spec.to_dict() for spec in scalar]
+        if processes > 1 and len(scalar) > 1:
+            with TrialPool(processes) as pool:
+                results = pool.map(_spec_job, jobs)
+        else:
+            results = [_spec_job(job) for job in jobs]
+        for spec, metrics in zip(scalar, results):
+            if store is not None:
+                store.put(spec, metrics)
+            else:
+                fresh[spec.spec_hash] = make_record(spec, metrics)
+    if store is None:
+        return [fresh[spec.spec_hash] for spec in specs]
+    return [
+        store.get(spec.spec_hash) or fresh[spec.spec_hash]
+        for spec in specs
+    ]
+
+
 def execute_batch(
     specs: Iterable[RunSpec],
     store: Optional[Store] = None,
@@ -77,6 +174,7 @@ def execute_batch(
     manifest: Any = None,
     checkpoint_every: int = 8,
     shutdown: Any = None,
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> List[Dict[str, Any]]:
     """Execute a batch of specs, skipping every already-stored hash.
 
@@ -84,6 +182,12 @@ def execute_batch(
     batches need no pickling support beyond plain data.  Records come
     back in spec order; with a store, previously stored specs are cache
     hits and duplicate hashes within the batch execute once.
+
+    Specs requesting ``engine="batch"`` route through
+    :func:`execute_batch_vectorized` (eligible cells grouped and run
+    ``batch_size`` seeds per engine tick) unless the batch is
+    fault-tolerant or checkpointed, where execution stays per-trial —
+    ``execute()`` still vectorizes each eligible spec as a batch of one.
 
     ``trial_timeout`` (seconds per spec) and ``retries`` switch the
     batch to partial-result mode: a spec whose execution hangs, raises,
@@ -120,6 +224,15 @@ def execute_batch(
         )
 
     fault_tolerant = trial_timeout is not None or retries > 0
+
+    if not fault_tolerant and any(spec.engine == "batch" for spec in specs):
+        # Vectorized grouping handles dedupe/caching itself; per-spec
+        # timeouts/retries keep the per-trial path (a whole group is not
+        # a unit the fault machinery can retry seed-by-seed) — there,
+        # execute() still routes each eligible spec as a batch of one.
+        return execute_batch_vectorized(
+            specs, store=store, processes=processes, batch_size=batch_size,
+        )
 
     def _run_jobs(pool, job_specs):
         """Execute specs; returns (metrics-or-None list, outcome list)."""

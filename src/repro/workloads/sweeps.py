@@ -43,12 +43,18 @@ def _job_spec(args):
 
     Serializable knobs live in the spec; an algorithm parameter *object*
     (e.g. :class:`SearsParams`) cannot, so it rides as an override.
+    The optional trailing ``engine`` field keeps job tuples from
+    manifests written before the batch engine decodable (9 fields =
+    ``engine="auto"``).
     """
-    algorithm, n, f, d, delta, seed, crashes, params, max_steps = args
+    algorithm, n, f, d, delta, seed, crashes, params, max_steps, *rest = (
+        args
+    )
+    engine = rest[0] if rest else "auto"
     spec = RunSpec(
         kind="gossip", algorithm=algorithm, n=n, f=f, d=d, delta=delta,
         seed=seed, params=params if isinstance(params, dict) else None,
-        crashes=crashes, max_steps=max_steps,
+        crashes=crashes, max_steps=max_steps, engine=engine,
     )
     return spec, None if isinstance(params, dict) else params
 
@@ -91,6 +97,7 @@ def sweep_gossip(
     manifest: Optional[Any] = None,
     checkpoint_every: int = 8,
     shutdown: Optional[Callable[[], bool]] = None,
+    engine: str = "auto",
 ) -> List[SweepPoint]:
     """Run ``algorithm`` across a population sweep; aggregate per n.
 
@@ -106,6 +113,15 @@ def sweep_gossip(
     :meth:`~repro.experiments.pool.TrialPool.map_outcomes`: a run that
     hangs, raises, or kills its worker counts as a not-completed trial
     in its cell's ``completion_rate`` instead of aborting the sweep.
+
+    ``engine`` selects the execution strategy for every run.
+    ``"batch"`` additionally groups a plain sweep's eligible (cell,
+    seed) runs through the vectorized batched-trial engine
+    (:func:`repro.store.batch.execute_batch`), advancing many seeds of
+    one cell per engine tick; profiled, fault-tolerant, and
+    checkpointed sweeps keep per-trial execution, where ``execute``
+    still routes each eligible spec through the batch engine as a
+    batch of one.
 
     ``manifest`` (path or
     :class:`~repro.experiments.campaign.CampaignManifest`) checkpoints
@@ -127,7 +143,7 @@ def sweep_gossip(
         params = params_of_n(n) if params_of_n else None
         for seed in seeds:
             jobs.append((algorithm, n, f, d, delta, seed,
-                         f if crash else None, params, max_steps))
+                         f if crash else None, params, max_steps, engine))
 
     if profile is not None:
         outcomes = [
@@ -169,6 +185,24 @@ def sweep_gossip(
         outcomes = [
             outcome.value if outcome.ok else (False, None, None)
             for outcome in trial_outcomes
+        ]
+    elif engine == "batch" and all(
+        job[7] is None or isinstance(job[7], dict) for job in jobs
+    ):
+        # Vectorized grouping: same-cell seeds ride one batched engine
+        # tick; ineligible cells fall back per-trial inside the batch.
+        # (Params *objects* cannot ride a spec, so such sweeps keep the
+        # per-trial pool below.)
+        from ..store.batch import execute_batch
+
+        records = execute_batch(
+            [_job_spec(job)[0] for job in jobs],
+            store=None, processes=processes,
+        )
+        outcomes = [
+            (record["metrics"]["completed"], record["metrics"]["time"],
+             record["metrics"]["messages"])
+            for record in records
         ]
     else:
         with TrialPool(processes) as pool:

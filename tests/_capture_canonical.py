@@ -61,6 +61,25 @@ def adaptive_cell(algorithm, seed, kind):
     }
 
 
+def batch_cell(algorithm, seed):
+    """Vectorized-engine pin: same cell as :func:`oblivious_cell`, run on
+    the batch engine's counter-based RNG substreams (numpy required)."""
+    from repro.spec import RunSpec, execute
+
+    run = execute(RunSpec(
+        kind="gossip", algorithm=algorithm, n=32, f=8, d=2, delta=2,
+        seed=seed, crashes=4, engine="batch",
+    ))
+    return {
+        "completed": run.completed,
+        "completion_time": run.completion_time,
+        "messages": run.messages,
+        "realized_d": run.realized_d,
+        "realized_delta": run.realized_delta,
+        "crashes": run.crashes,
+    }
+
+
 def lower_bound_cell(algorithm, seed):
     report = run_lower_bound(PORTFOLIO[algorithm], n=64, f=16, seed=seed,
                              samples=3, phase1_cap=1200)
@@ -86,6 +105,10 @@ def main():
                     algorithm, seed, kind)
     for algorithm in ("trivial", "ears", "sears", "tears", "sparse"):
         out["lower_bound"][f"{algorithm}/0"] = lower_bound_cell(algorithm, 0)
+    out["batch"] = {}
+    for algorithm in ("ears", "sears"):
+        for seed in (0, 1):
+            out["batch"][f"{algorithm}/{seed}"] = batch_cell(algorithm, seed)
     json.dump(out, sys.stdout, indent=1, sort_keys=True)
 
 

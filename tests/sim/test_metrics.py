@@ -1,8 +1,10 @@
 """Tests for execution accounting."""
 
+import pytest
+
 from repro.adversary.oblivious import ObliviousAdversary
 from repro.sim.engine import Simulation
-from repro.sim.metrics import Metrics
+from repro.sim.metrics import NEVER_SCHEDULED, Metrics, trailing_gap
 from repro.sim.scheduler import ExplicitSchedule
 
 from .algos import RingSender
@@ -109,6 +111,40 @@ class TestTailGapRegression:
         # the t=0 lead-ins); the 50-step tail starvation was invisible.
         assert not result.completed
         assert result.metrics["realized_delta"] == 50
+
+    def test_trailing_gap_scalar_and_array_agree(self):
+        # One fold, two callers: Metrics.finalize feeds plain ints, the
+        # batch engine's columnar finalize feeds numpy arrays. The two
+        # paths must compute the same numbers.
+        assert trailing_gap(50, 0) == 50
+        assert trailing_gap(50, NEVER_SCHEDULED) == 51
+        np = pytest.importorskip("numpy")
+        ends = np.array([50, 50, 7])
+        lasts = np.array([0, NEVER_SCHEDULED, 7])
+        folded = trailing_gap(ends, lasts)
+        assert folded.tolist() == [
+            trailing_gap(int(e), int(l)) for e, l in zip(ends, lasts)
+        ]
+
+    def test_batch_finalize_folds_tail_starvation(self):
+        # The batch-engine twin of the regression above: stop the run
+        # before the round-robin window wraps, so high-residue processes
+        # were never scheduled at all. The columnar finalize must fold
+        # their from-time-0 starvation (end + 1) into realized δ, exactly
+        # as the scalar Metrics.finalize does via the shared trailing_gap.
+        pytest.importorskip("numpy")
+        from repro.spec.builder import execute
+        from repro.spec.runspec import RunSpec
+
+        spec = RunSpec(
+            kind="gossip", algorithm="ears", n=16, d=2, delta=8,
+            seed=0, max_steps=3,
+        )
+        batch = execute(spec.replace(engine="batch"))
+        scalar = execute(spec.replace(engine="stepwise"))
+        assert not batch.completed and not scalar.completed
+        # end == 3, never-scheduled residues fold as end + 1 == 4.
+        assert batch.realized_delta == scalar.realized_delta == 4
 
 
 class TestRealizedD:

@@ -107,12 +107,3 @@ class TestAccounting:
         assert net.earliest_deliverable_any() == 4
         net.collect(1, 5)
         assert net.earliest_deliverable_any() is None
-
-    def test_earliest_deliverable_sentinel_shim(self):
-        net = Network(4)
-        with pytest.deprecated_call():
-            value = net.earliest_deliverable_or_sentinel(1)
-        assert value == 2 ** 62
-        net.enqueue(msg(0, 1, 0, 2))
-        with pytest.deprecated_call():
-            assert net.earliest_deliverable_or_sentinel(1) == 2

@@ -29,7 +29,8 @@ from repro.spec import RunSpec
 from repro.store import execute_batch, open_store
 
 specs = [
-    RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed)
+    RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed,
+            engine="{engine}")
     for seed in range({n_specs})
 ]
 execute_batch(
@@ -41,9 +42,10 @@ execute_batch(
 """
 
 
-def _specs():
+def _specs(engine="auto"):
     return [
-        RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed)
+        RunSpec(kind="gossip", algorithm="ears", n=96, f=24, seed=seed,
+                engine=engine)
         for seed in range(N_SPECS)
     ]
 
@@ -91,13 +93,21 @@ def _metrics_by_hash(records):
     return {record["spec_hash"]: record["metrics"] for record in records}
 
 
-@pytest.mark.parametrize("backend", ["jsonl", "sqlite"])
+# engine="batch" exercises the vectorized engine under the same kill:
+# checkpointed campaigns stay per-trial (a chunk is not a retryable unit)
+# but every eligible spec still routes through the batch engine as a
+# batch of one, so resume must land the *batch* RNG discipline's records
+# and the uninterrupted comparison run must reproduce them.
+@pytest.mark.parametrize(
+    "backend, engine",
+    [("jsonl", "auto"), ("sqlite", "auto"), ("jsonl", "batch")],
+)
 def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(
-        tmp_path, backend):
+        tmp_path, backend, engine):
     store_path = str(tmp_path / f"runs.{backend}")
     manifest_path = str(tmp_path / "campaign.json")
     script = tmp_path / "campaign_child.py"
-    script.write_text(CHILD_SCRIPT.format(n_specs=N_SPECS))
+    script.write_text(CHILD_SCRIPT.format(n_specs=N_SPECS, engine=engine))
 
     proc = subprocess.Popen(
         [sys.executable, str(script), store_path, manifest_path],
@@ -120,7 +130,7 @@ def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(
 
     # Resume from the manifest: exactly the missing specs re-run.
     records = execute_batch(
-        _specs(), store=open_store(store_path, fsync="always"),
+        _specs(engine), store=open_store(store_path, fsync="always"),
         manifest=manifest_path, checkpoint_every=1,
     )
     assert len(records) == N_SPECS
@@ -129,7 +139,7 @@ def test_sigkill_mid_campaign_then_resume_matches_uninterrupted(
 
     # Byte-for-byte the same science as a never-interrupted campaign.
     uninterrupted = execute_batch(
-        _specs(), store=RunStore(str(tmp_path / "clean.jsonl")),
+        _specs(engine), store=RunStore(str(tmp_path / "clean.jsonl")),
     )
     assert _metrics_by_hash(records) == _metrics_by_hash(uninterrupted)
 

@@ -17,11 +17,46 @@ import pytest
 
 from tests._capture_canonical import (
     adaptive_cell,
+    batch_cell,
     lower_bound_cell,
     oblivious_cell,
 )
 
 CANONICAL = {
+    "batch": {
+        "ears/0": {
+            "completed": True,
+            "completion_time": 66,
+            "crashes": 4,
+            "messages": 777,
+            "realized_d": 2,
+            "realized_delta": 2
+        },
+        "ears/1": {
+            "completed": True,
+            "completion_time": 71,
+            "crashes": 4,
+            "messages": 856,
+            "realized_d": 2,
+            "realized_delta": 2
+        },
+        "sears/0": {
+            "completed": True,
+            "completion_time": 12,
+            "crashes": 1,
+            "messages": 2028,
+            "realized_d": 2,
+            "realized_delta": 2
+        },
+        "sears/1": {
+            "completed": True,
+            "completion_time": 12,
+            "crashes": 2,
+            "messages": 1990,
+            "realized_d": 2,
+            "realized_delta": 2
+        }
+    },
     "adaptive": {
         "ears/crash-eager/0": {
             "completed": True,
@@ -254,6 +289,17 @@ def test_adaptive_pins(key):
         adaptive_cell(algorithm, int(seed), kind)
         == CANONICAL["adaptive"][key]
     )
+
+
+# The batch engine's counter-based substreams are a *separate* sealed RNG
+# discipline: these pins differ from the oblivious pins for the same cell
+# by design (distributional equivalence is tested in
+# tests/sim/test_batch_engine.py), but must be just as immovable.
+@pytest.mark.parametrize("key", sorted(CANONICAL["batch"]))
+def test_batch_engine_pins(key):
+    pytest.importorskip("numpy")
+    algorithm, seed = key.rsplit("/", 1)
+    assert batch_cell(algorithm, int(seed)) == CANONICAL["batch"][key]
 
 
 @pytest.mark.parametrize("key", sorted(CANONICAL["lower_bound"]))
