@@ -1,0 +1,152 @@
+"""Benchmark FLEET: orchestration overhead and multi-worker drain.
+
+Measures what the fault-tolerance machinery of :mod:`repro.fleet`
+costs when nothing goes wrong — the honest price of leases, heartbeats,
+attempt accounting, and insert-if-absent dedupe:
+
+* **single-worker overhead** — one in-process :class:`FleetWorker`
+  draining a campaign vs. the same specs executed directly
+  (``execute`` + ``put_record``).  The gate caps the per-job
+  orchestration overhead: claiming, refreshing, and releasing a lease
+  is a handful of tiny file operations and must stay a small constant
+  cost, not scale with the simulation.
+* **two-worker drain** — two real ``repro fleet join`` subprocesses
+  draining a sharded campaign.  The gate asserts completeness (store
+  verify clean, zero missing, zero superseded) — the speedup itself is
+  machine-dependent and only reported.
+
+Usage (standalone, not pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py --out BENCH_fleet.json
+    PYTHONPATH=src python benchmarks/bench_fleet.py --quick
+
+``--quick`` shrinks the campaign for CI and keeps only the sanity
+gates; the full run uses more cells for a steadier overhead estimate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+if "src" not in sys.path:  # allow running without PYTHONPATH=src
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "src")
+    )
+
+from repro.fleet import (  # noqa: E402
+    FleetCampaign,
+    FleetConfig,
+    FleetWorker,
+    run_fleet,
+)
+from repro.spec.builder import execute  # noqa: E402
+from repro.spec.runspec import RunSpec  # noqa: E402
+from repro.store import open_store  # noqa: E402
+from repro.store.base import metrics_of  # noqa: E402
+
+FULL_SPECS = 48
+QUICK_SPECS = 12
+
+#: Per-job orchestration overhead ceiling, seconds.  Lease claim +
+#: refresh + release + attempts bookkeeping is ~10 small file ops;
+#: 150 ms/job is an order of magnitude above anything healthy.
+OVERHEAD_CEILING_S = 0.15
+
+
+def _specs(count):
+    return [RunSpec(kind="gossip", algorithm="ears", n=96, f=24,
+                    seed=seed) for seed in range(count)]
+
+
+def bench_direct(specs, root):
+    store = open_store(os.path.join(root, "direct.jsonl"))
+    start = time.perf_counter()
+    for spec in specs:
+        store.put_new(spec, metrics_of(execute(spec)))
+    return time.perf_counter() - start
+
+
+def bench_single_worker(specs, root):
+    campaign = FleetCampaign.create(
+        os.path.join(root, "solo"), specs,
+        config=FleetConfig(poll_interval=0.01))
+    start = time.perf_counter()
+    summary = FleetWorker(campaign, "bench").run()
+    elapsed = time.perf_counter() - start
+    assert summary["completed"] == len(specs), summary
+    assert campaign.status()["complete"]
+    return elapsed
+
+
+def bench_two_workers(specs, root):
+    start = time.perf_counter()
+    status = run_fleet(os.path.join(root, "duo"), specs=specs,
+                       workers=2, timeout=600.0,
+                       config=FleetConfig(poll_interval=0.01))
+    elapsed = time.perf_counter() - start
+    assert status["complete"], status
+    assert status["verify_ok"], status
+    assert status["missing"] == 0 and status["failed"] == 0
+    assert status["verify"]["superseded"] == 0
+    return elapsed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--out", default=None)
+    args = parser.parse_args(argv)
+
+    count = QUICK_SPECS if args.quick else FULL_SPECS
+    specs = _specs(count)
+    root = tempfile.mkdtemp(prefix="bench-fleet-")
+    try:
+        direct_s = bench_direct(specs, root)
+        solo_s = bench_single_worker(specs, root)
+        duo_s = bench_two_workers(specs, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    overhead_per_job = max(0.0, solo_s - direct_s) / count
+    report = {
+        "bench": "fleet",
+        "quick": args.quick,
+        "specs": count,
+        "python": platform.python_version(),
+        "direct_s": round(direct_s, 4),
+        "single_worker_s": round(solo_s, 4),
+        "two_worker_s": round(duo_s, 4),
+        "overhead_per_job_s": round(overhead_per_job, 5),
+        "overhead_ceiling_s": OVERHEAD_CEILING_S,
+    }
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+
+    if overhead_per_job > OVERHEAD_CEILING_S:
+        print(
+            f"GATE FAIL: fleet orchestration costs "
+            f"{overhead_per_job * 1000:.1f} ms/job "
+            f"(ceiling {OVERHEAD_CEILING_S * 1000:.0f} ms)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"GATE OK: orchestration overhead "
+        f"{overhead_per_job * 1000:.1f} ms/job; two-worker drain "
+        f"complete and verify-clean in {duo_s:.2f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

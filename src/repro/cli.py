@@ -28,7 +28,9 @@ command resumes exactly the missing cells, seed for seed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from .api import GOSSIP_ALGORITHMS, run_gossip
@@ -387,6 +389,76 @@ def build_parser() -> argparse.ArgumentParser:
                    help="gossip population for campaign cells")
     p.add_argument("--consensus-n", type=int, default=9,
                    help="consensus population for campaign cells")
+    p.add_argument("--matrix", default="model",
+                   choices=["model", "fleet", "all"],
+                   help="which campaign to run: 'model' (simulation + "
+                        "store faults, the default), 'fleet' "
+                        "(orchestrator-level faults: worker kills, "
+                        "heartbeat stalls, lease tampering, duplicate-"
+                        "claim races against real worker processes), or "
+                        "'all'")
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker processes per fleet-matrix cell "
+                        "(default: 2)")
+
+    p = sub.add_parser(
+        "fleet",
+        help="fault-tolerant multi-worker campaign orchestration: "
+             "lease-based claims, heartbeats, straggler re-issue, and "
+             "work stealing over a shared campaign directory",
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    action = fleet_sub.add_parser(
+        "run",
+        help="create (or reopen) a campaign from a specs JSONL file and "
+             "drain it with N local worker processes",
+    )
+    action.add_argument("--specs", default=None,
+                        help="RunSpec JSONL/JSON file (required on first "
+                             "run; an existing campaign reopens without)")
+    action.add_argument("--dir", required=True, dest="fleet_dir",
+                        help="campaign directory (created if missing)")
+    action.add_argument("--workers", type=int, default=2)
+    _add_backend(action)
+    action.add_argument("--timeout", type=float, default=600.0,
+                        help="wall-clock budget for the whole drain "
+                             "(default: 600s)")
+    action.add_argument("--lease-ttl", type=float, default=10.0,
+                        help="seconds a lease survives without refresh "
+                             "before peers re-issue the job")
+    action.add_argument("--max-attempts", type=int, default=5,
+                        help="per-key re-issue budget before a terminal "
+                             "failure is recorded (default: 5)")
+    action.add_argument("--no-shard", action="store_true",
+                        help="skip shard partitioning; all workers pull "
+                             "from the full missing set")
+    action.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the final status as JSON")
+
+    action = fleet_sub.add_parser(
+        "join",
+        help="join an existing campaign as one worker (run from any "
+             "host sharing the campaign directory)",
+    )
+    action.add_argument("--dir", required=True, dest="fleet_dir")
+    action.add_argument("--shard", default=None,
+                        help="INDEX/COUNT primary slice; drained shards "
+                             "steal from the global missing set")
+    action.add_argument("--worker-id", default=None,
+                        help="stable worker name (default: host-pid)")
+    action.add_argument("--max-jobs", type=int, default=None,
+                        help="exit after this many jobs (testing aid)")
+
+    action = fleet_sub.add_parser(
+        "status", help="one-shot campaign progress summary")
+    action.add_argument("--dir", required=True, dest="fleet_dir")
+    action.add_argument("--json", action="store_true", dest="as_json")
+
+    action = fleet_sub.add_parser(
+        "workers", help="list per-worker heartbeats and counters")
+    action.add_argument("--dir", required=True, dest="fleet_dir")
+    action.add_argument("--json", action="store_true", dest="as_json")
 
     p = sub.add_parser(
         "run",
@@ -441,6 +513,17 @@ def _drained_exit(exc) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if getattr(args, "checkpoint_every", None) is not None:
+        from .experiments.campaign import validate_checkpoint_every
+        from .sim.errors import ConfigurationError
+
+        try:
+            args.checkpoint_every = validate_checkpoint_every(
+                args.checkpoint_every)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "gossip":
         f = args.f if args.f is not None else args.n // 4
@@ -851,32 +934,142 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "chaos":
         from .faults import (
             FAULTS,
+            FLEET_FAULTS,
             STORE_FAULTS,
             format_campaign,
             run_campaign,
+            run_fleet_campaign,
         )
 
-        faults = store_faults = None
+        faults = store_faults = fleet_faults = None
         if args.faults:
             names = [name.strip() for name in args.faults.split(",")
                      if name.strip()]
             unknown = [name for name in names
-                       if name not in FAULTS and name not in STORE_FAULTS]
+                       if name not in FAULTS and name not in STORE_FAULTS
+                       and name not in FLEET_FAULTS]
             if unknown:
                 print(f"unknown fault(s): {', '.join(unknown)}; "
                       f"registered: {sorted(FAULTS)} + "
-                      f"{sorted(STORE_FAULTS)}",
+                      f"{sorted(STORE_FAULTS)} + {sorted(FLEET_FAULTS)}",
                       file=sys.stderr)
                 return 2
             faults = [name for name in names if name in FAULTS]
             store_faults = [name for name in names if name in STORE_FAULTS]
-        report = run_campaign(
-            seed=args.seed, trials=args.trials, faults=faults,
-            n=args.n, consensus_n=args.consensus_n,
-            store_faults=store_faults,
+            fleet_faults = [name for name in names if name in FLEET_FAULTS]
+        ok = True
+        if args.matrix in ("model", "all"):
+            report = run_campaign(
+                seed=args.seed, trials=args.trials, faults=faults,
+                n=args.n, consensus_n=args.consensus_n,
+                store_faults=store_faults,
+            )
+            print(format_campaign(report))
+            ok = ok and report.ok
+        if args.matrix in ("fleet", "all"):
+            report = run_fleet_campaign(
+                seed=args.seed, trials=args.trials, faults=fleet_faults,
+                workers=args.workers,
+            )
+            print(format_campaign(report))
+            ok = ok and report.ok
+        return 0 if ok else 1
+
+    if args.command == "fleet":
+        import json as _json
+        import socket
+
+        from .fleet import (
+            FleetCampaign,
+            FleetConfig,
+            FleetTimeout,
+            FleetWorker,
+            parse_shard,
+            read_workers,
+            run_fleet,
         )
-        print(format_campaign(report))
-        return 0 if report.ok else 1
+        from .spec import RunSpec
+
+        if args.fleet_command == "run":
+            specs = (RunSpec.load_many(args.specs)
+                     if args.specs else None)
+            config = FleetConfig(
+                # name the store so extension-routed tools (store
+                # verify/query/merge) pick the same backend the fleet
+                # wrote with
+                store=("store.sqlite" if args.backend == "sqlite"
+                       else "store.jsonl"),
+                backend=args.backend,
+                lease_ttl=args.lease_ttl,
+                heartbeat_interval=min(2.0, args.lease_ttl / 4.0),
+                max_attempts=args.max_attempts,
+            )
+            try:
+                status = run_fleet(
+                    args.fleet_dir, specs=specs, workers=args.workers,
+                    config=config, shard=not args.no_shard,
+                    timeout=args.timeout,
+                )
+            except FleetTimeout as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if args.as_json:
+                print(_json.dumps(status, indent=2, sort_keys=True))
+            else:
+                print(
+                    f"fleet drained {status['stored']}/{status['specs']} "
+                    f"cell(s) with {args.workers} worker(s): "
+                    f"{status['failed']} terminal failure(s), "
+                    f"{status['missing']} missing, store verify "
+                    f"{'ok' if status['verify_ok'] else 'CORRUPT'}"
+                )
+            return 0 if (status["complete"]
+                         and status["verify_ok"]) else 1
+
+        if args.fleet_command == "join":
+            campaign = FleetCampaign.open(args.fleet_dir)
+            worker_id = args.worker_id or (
+                f"{socket.gethostname()}-{os.getpid()}")
+            shard = parse_shard(args.shard) if args.shard else None
+            summary = FleetWorker(
+                campaign, worker_id, shard=shard,
+                max_jobs=args.max_jobs).run()
+            print(_json.dumps(summary, sort_keys=True))
+            return 0
+
+        campaign = FleetCampaign.open(args.fleet_dir)
+        if args.fleet_command == "status":
+            status = campaign.status()
+            if args.as_json:
+                print(_json.dumps(status, indent=2, sort_keys=True))
+            else:
+                for key in ("specs", "stored", "failed", "missing",
+                            "leased", "stale_leases", "workers",
+                            "live_workers"):
+                    print(f"{key:>14}  {status[key]}")
+                print(f"{'complete':>14}  {status['complete']}")
+            return 0 if status["complete"] else 1
+
+        if args.fleet_command == "workers":
+            workers = read_workers(campaign.workers_dir)
+            if args.as_json:
+                print(_json.dumps(workers, indent=2, sort_keys=True))
+            else:
+                now = time.time()
+                for worker in workers:
+                    age = now - float(worker.get("updated_at", now))
+                    counters = worker.get("counters", {})
+                    print(f"{worker.get('worker', '?'):>10}  "
+                          f"pid={worker.get('pid', '?'):<8} "
+                          f"state={worker.get('state', '?'):<16} "
+                          f"beat={age:5.1f}s ago  "
+                          f"done={counters.get('completed', 0)} "
+                          f"stolen={counters.get('stolen', 0)} "
+                          f"spec={counters.get('speculative', 0)} "
+                          f"failed={counters.get('failed', 0)}")
+                if not workers:
+                    print("no worker heartbeats yet")
+            return 0
 
     if args.command == "run":
         import json as _json

@@ -53,9 +53,12 @@ __all__ = [
     "DRAIN_EXIT_CODE",
     "GracefulShutdown",
     "MANIFEST_SCHEMA_VERSION",
+    "MAX_FAILURE_CHARS",
     "job_key",
     "run_checkpointed_jobs",
     "run_manifest_batch",
+    "truncate_error",
+    "validate_checkpoint_every",
 ]
 
 #: Version of the manifest layout; loaders refuse versions they do not
@@ -65,6 +68,46 @@ MANIFEST_SCHEMA_VERSION = 1
 #: Process exit code for a campaign that drained cleanly after a
 #: shutdown signal (EX_TEMPFAIL: re-run with ``--resume`` to finish).
 DRAIN_EXIT_CODE = 75
+
+#: Stored failure strings are capped at this many characters: a job that
+#: fails with a multi-kilobyte traceback on every retry must not grow
+#: the checkpoint without bound (the manifest is rewritten whole on
+#: every save).
+MAX_FAILURE_CHARS = 2000
+
+
+def truncate_error(error: Any, limit: int = MAX_FAILURE_CHARS) -> str:
+    """Cap an error string at ``limit`` characters, marking the cut."""
+    text = str(error)
+    if len(text) <= limit:
+        return text
+    marker = f" ... [truncated {len(text) - limit} chars]"
+    return text[:limit] + marker
+
+
+def validate_checkpoint_every(value: Any) -> int:
+    """``checkpoint_every`` as a positive int, or a clear error.
+
+    A zero or negative cadence used to be silently clamped; since a
+    caller passing one almost certainly expected "never checkpoint" or
+    made a sign mistake, it is now rejected outright.
+    """
+    from ..sim.errors import ConfigurationError
+
+    try:
+        cadence = int(value)
+        if cadence != float(value):  # reject silent 2.5 -> 2 truncation
+            raise ValueError
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"checkpoint_every must be a positive integer, got {value!r}"
+        ) from None
+    if cadence < 1:
+        raise ConfigurationError(
+            f"checkpoint_every must be >= 1, got {cadence}: a "
+            f"non-positive cadence would never write the checkpoint"
+        )
+    return cadence
 
 
 def job_key(payload: Any) -> str:
@@ -111,22 +154,30 @@ class CampaignManifest:
       list from the manifest alone);
     * ``completed`` — key → result payload (``None`` when an artifact
       store holds the record; the JSON-encoded result otherwise);
-    * ``failed`` — key → terminal error string.  Failed jobs stay
-      *missing*: a resume retries exactly them.
+    * ``failed`` — key → terminal error string, capped at
+      :data:`MAX_FAILURE_CHARS` so retry loops cannot grow the
+      checkpoint without bound.  Failed jobs stay *missing*: a resume
+      retries exactly them.
+    * ``attempts`` — key → how many times the job has been tried and
+      failed.  Survives resume, so re-issue budgets (the fleet layer's
+      poison-job cap) count attempts across process lifetimes, not per
+      run.  A completion keeps the count as provenance.
 
     ``checkpoint_every`` sets the save cadence: :meth:`maybe_save`
     persists once at least that many completions accumulated since the
-    last write (and :meth:`save` always persists).
+    last write (and :meth:`save` always persists).  Zero or negative
+    cadences are rejected (:func:`validate_checkpoint_every`).
     """
 
     def __init__(self, path: str, meta: Optional[Dict[str, Any]] = None,
                  checkpoint_every: int = 1) -> None:
         self.path = str(path)
         self.meta: Dict[str, Any] = dict(meta or {})
-        self.checkpoint_every = max(1, int(checkpoint_every))
+        self.checkpoint_every = validate_checkpoint_every(checkpoint_every)
         self.submitted: Dict[str, Any] = {}
         self.completed: Dict[str, Any] = {}
         self.failed: Dict[str, str] = {}
+        self.attempts: Dict[str, int] = {}
         self.drained = False
         self._unsaved = 0
 
@@ -148,6 +199,10 @@ class CampaignManifest:
         manifest.submitted = dict(payload.get("submitted") or {})
         manifest.completed = dict(payload.get("completed") or {})
         manifest.failed = dict(payload.get("failed") or {})
+        manifest.attempts = {
+            key: int(count)
+            for key, count in (payload.get("attempts") or {}).items()
+        }
         manifest.drained = bool(payload.get("drained", False))
         return manifest
 
@@ -163,12 +218,14 @@ class CampaignManifest:
         original provenance.
         """
         if isinstance(manifest, CampaignManifest):
-            manifest.checkpoint_every = max(1, int(checkpoint_every))
+            manifest.checkpoint_every = validate_checkpoint_every(
+                checkpoint_every)
             return manifest
         path = str(manifest)
         if os.path.exists(path):
             loaded = cls.load(path)
-            loaded.checkpoint_every = max(1, int(checkpoint_every))
+            loaded.checkpoint_every = validate_checkpoint_every(
+                checkpoint_every)
             return loaded
         return cls(path, meta=meta, checkpoint_every=checkpoint_every)
 
@@ -182,6 +239,7 @@ class CampaignManifest:
             "submitted": self.submitted,
             "completed": self.completed,
             "failed": self.failed,
+            "attempts": self.attempts,
             "drained": self.drained,
         })
         self._unsaved = 0
@@ -202,8 +260,20 @@ class CampaignManifest:
         self.failed.pop(key, None)
         self._unsaved += 1
 
-    def fail(self, key: str, error: str) -> None:
-        self.failed[key] = error
+    def fail(self, key: str, error: str,
+             attempts: Optional[int] = None) -> None:
+        """Record a failed try: capped error text, attempt count bumped.
+
+        ``attempts`` overrides the count (for callers that track it
+        themselves, like the fleet's on-disk attempt files); by default
+        each ``fail`` is one more attempt, so budgets survive resume.
+        """
+        self.failed[key] = truncate_error(error)
+        if attempts is None:
+            self.attempts[key] = self.attempts.get(key, 0) + 1
+        else:
+            self.attempts[key] = max(
+                self.attempts.get(key, 0), int(attempts))
         self._unsaved += 1
 
     def missing_keys(self) -> List[str]:
@@ -217,6 +287,7 @@ class CampaignManifest:
             "completed": len(self.completed),
             "failed": len(self.failed),
             "missing": len(self.missing_keys()),
+            "attempts": sum(self.attempts.values()),
             "drained": self.drained,
         }
 

@@ -36,6 +36,17 @@ from .injectors import (
     make_fault,
     register_fault,
 )
+from .fleet_faults import (
+    FLEET_FAULTS,
+    DuplicateClaimFault,
+    FleetFault,
+    HeartbeatStallFault,
+    LeaseTamperFault,
+    WorkerKillFault,
+    make_fleet_fault,
+    register_fleet_fault,
+    run_fleet_campaign,
+)
 from .store_faults import (
     STORE_FAULTS,
     ChecksumFlipFault,
@@ -51,10 +62,15 @@ __all__ = [
     "ChecksumFlipFault",
     "DecisionFlipFault",
     "DelayBurstFault",
+    "DuplicateClaimFault",
     "FAULTS",
+    "FLEET_FAULTS",
     "FaultInjector",
+    "FleetFault",
     "ForeignRumorFault",
     "ForgedMessageFault",
+    "HeartbeatStallFault",
+    "LeaseTamperFault",
     "MessageDuplicationFault",
     "MessageLossFault",
     "RumorLossFault",
@@ -64,10 +80,14 @@ __all__ = [
     "StepBudgetFault",
     "StoreFault",
     "TornWriteFault",
+    "WorkerKillFault",
     "format_campaign",
     "make_fault",
+    "make_fleet_fault",
     "make_store_fault",
     "register_fault",
+    "register_fleet_fault",
     "register_store_fault",
     "run_campaign",
+    "run_fleet_campaign",
 ]

@@ -1,0 +1,289 @@
+"""The fleet worker: claim, execute, dedupe, repeat.
+
+One :class:`FleetWorker` drains jobs from a
+:class:`~repro.fleet.layout.FleetCampaign` until the campaign is
+complete (every key stored or terminally failed) or its own job/time
+budget runs out.  The main loop, per iteration:
+
+1. **Reap** expired peer leases (any worker may — coordinator death is
+   a non-event) and write a heartbeat.
+2. **Claim** the next eligible key: primary shard first, then *steal*
+   from the globally-missing set once the shard is drained, then
+   *speculate* on a straggler (a leased job older than
+   ``straggler_factor`` x the trailing-median completion time).
+3. **Execute** under a keeper thread that refreshes the lease and
+   heartbeat every ``heartbeat_interval`` seconds.  A keeper that loses
+   the lease (a peer expired it) keeps the job running — the execution
+   merely became speculative.
+4. **Commit** first-completion-wins via ``store.put_new``.  When a peer
+   already committed, the two records must be bit-identical (seeded
+   specs are deterministic); a mismatch raises
+   :class:`FleetIntegrityError` rather than silently shipping divergent
+   science.
+5. On failure, charge the key's re-issue budget
+   (:meth:`~repro.fleet.layout.FleetCampaign.record_job_failure`) —
+   capped exponential backoff while budget remains, a terminal
+   ``failed/`` record once exhausted, so one poison job can never
+   livelock the fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from ..sim.errors import SimulationError
+from ..spec.builder import execute
+from ..spec.runspec import RunSpec
+from ..store.base import canonical_body, make_record, metrics_of
+from ..store.merge import shard_specs
+from . import heartbeat, leases
+from .layout import FleetCampaign
+
+__all__ = ["FleetIntegrityError", "FleetWorker"]
+
+
+class FleetIntegrityError(SimulationError):
+    """Duplicate executions of one spec produced different records."""
+
+
+def _execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one spec to its metrics dict (module-level so tests and chaos
+    injectors can monkeypatch failures in)."""
+    return metrics_of(execute(spec))
+
+
+class _LeaseKeeper:
+    """Daemon thread refreshing one lease + the heartbeat while a job
+    runs.  Stops refreshing (but does not cancel the job) on a lost
+    lease — the execution continues speculatively."""
+
+    def __init__(self, worker: "FleetWorker", lease: leases.Lease):
+        self.worker = worker
+        self.lease = lease
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        interval = self.worker.campaign.config.heartbeat_interval
+        ttl = self.worker.campaign.config.lease_ttl
+        while not self._stop.wait(interval):
+            self.worker.beat("running", self.lease.key)
+            if self.lost:
+                continue
+            renewed = leases.refresh(
+                self.worker.campaign.leases_dir, self.lease, ttl)
+            if renewed is None:
+                self.lost = True
+            else:
+                self.lease = renewed
+
+    def __enter__(self) -> "_LeaseKeeper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+
+
+class FleetWorker:
+    """One worker process (or in-process driver) of a fleet campaign."""
+
+    def __init__(self, campaign: FleetCampaign, worker_id: str,
+                 shard: Optional[Any] = None,
+                 max_jobs: Optional[int] = None,
+                 wall_timeout: Optional[float] = None) -> None:
+        self.campaign = campaign
+        self.worker_id = str(worker_id)
+        self.shard = shard  # (index, count) or None for the full set
+        self.max_jobs = max_jobs
+        self.wall_timeout = wall_timeout
+        self.specs = campaign.load_specs()
+        self.by_key = {spec.spec_hash: spec for spec in self.specs}
+        self.store = campaign.open_store()
+        self.counters: Dict[str, int] = {
+            "completed": 0, "stolen": 0, "speculative": 0, "failed": 0,
+            "superseded": 0, "reaped": 0,
+        }
+
+    # -- helpers -----------------------------------------------------------#
+
+    def beat(self, state: str, current_key: Optional[str] = None) -> None:
+        heartbeat.beat(self.campaign.workers_dir, self.worker_id, state,
+                       current_key=current_key, counters=self.counters)
+
+    def _primary_keys(self) -> List[str]:
+        if self.shard is None:
+            return [spec.spec_hash for spec in self.specs]
+        index, count = self.shard
+        return [spec.spec_hash
+                for spec in shard_specs(self.specs, index, count)]
+
+    def _eligible(self, keys: List[str], missing: set,
+                  now: float) -> List[str]:
+        """Missing keys whose backoff window has passed, claim-ready."""
+        out = []
+        for key in keys:
+            if key not in missing:
+                continue
+            if self.campaign.attempt_state(key)["not_before"] > now:
+                continue
+            out.append(key)
+        return out
+
+    def _claim_next(self, missing: set) -> Optional[leases.Lease]:
+        """Claim a primary-shard key, else steal a global one."""
+        now = time.time()
+        primary = set(self._primary_keys())
+        for stealing, keys in (
+                (False, self._eligible(sorted(primary), missing, now)),
+                (True, self._eligible(sorted(missing - primary),
+                                      missing, now))):
+            for key in keys:
+                if leases.read_lease(self.campaign.leases_dir,
+                                     key) is not None:
+                    continue
+                attempt = self.campaign.attempt_state(key)["attempts"] + 1
+                lease = leases.claim(
+                    self.campaign.leases_dir, key, self.worker_id,
+                    ttl=self.campaign.config.lease_ttl, attempt=attempt)
+                if lease is not None:
+                    if stealing:
+                        self.counters["stolen"] += 1
+                    return lease
+        return None
+
+    def _sweep_settled_leases(self, missing: set) -> None:
+        """Unlink leases on keys that are already done.
+
+        A lease on a stored (or terminally failed) key holds no job —
+        its owner is dead, stalled past its usefulness, or forged; if
+        the owner is in fact still executing, losing the lease merely
+        makes that execution speculative and the commit dedupes.
+        Sweeping keeps a completed campaign's leases/ directory empty.
+        """
+        for lease_dir in (self.campaign.leases_dir,
+                          self.campaign.speculative_dir):
+            for lease in leases.read_all_leases(lease_dir):
+                if lease.key in missing:
+                    continue
+                try:
+                    os.unlink(os.path.join(lease_dir,
+                                           f"{lease.key}.json"))
+                except FileNotFoundError:
+                    pass
+
+    def _claim_straggler(self, missing: set) -> Optional[leases.Lease]:
+        """Speculatively duplicate the oldest straggling leased job."""
+        median = self.campaign.trailing_median_duration()
+        if median is None:
+            return None
+        threshold = max(self.campaign.config.straggler_factor * median,
+                        self.campaign.config.straggler_min_age)
+        candidates = [
+            lease for lease in leases.read_all_leases(
+                self.campaign.leases_dir)
+            if lease.key in missing and lease.worker != self.worker_id
+            and not lease.speculative and lease.age > threshold
+        ]
+        for lease in sorted(candidates, key=lambda l: l.claimed_at):
+            marker = leases.claim(
+                self.campaign.speculative_dir, lease.key, self.worker_id,
+                ttl=self.campaign.config.lease_ttl,
+                attempt=lease.attempt, speculative=True)
+            if marker is not None:
+                self.counters["speculative"] += 1
+                return marker
+        return None
+
+    # -- execution ---------------------------------------------------------#
+
+    def _commit(self, spec: RunSpec, metrics: Dict[str, Any]) -> None:
+        """Insert first-completion-wins; assert bit-identity on loss."""
+        record = make_record(spec, metrics)
+        stored, inserted = self.store.put_record_new(record)
+        if inserted:
+            self.counters["completed"] += 1
+            return
+        self.counters["superseded"] += 1
+        if canonical_body(stored) != canonical_body(record):
+            raise FleetIntegrityError(
+                f"duplicate executions of {spec.spec_hash} diverged: "
+                f"the stored record and this worker's result differ. "
+                f"Spec seeds should pin the trajectory — this store "
+                f"cannot be trusted until 'repro store verify' and the "
+                f"environment are audited."
+            )
+
+    def _run_job(self, lease: leases.Lease) -> None:
+        spec = self.by_key.get(lease.key)
+        lease_dir = (self.campaign.speculative_dir if lease.speculative
+                     else self.campaign.leases_dir)
+        try:
+            if spec is None:
+                raise SimulationError(
+                    f"leased key {lease.key} has no spec in this "
+                    f"campaign's specs.jsonl"
+                )
+            if not lease.speculative:
+                self.campaign.record_attempt(lease.key, self.worker_id)
+            started = time.time()
+            with _LeaseKeeper(self, lease) as keeper:
+                metrics = _execute_spec(spec)
+                self._commit(spec, metrics)
+                lease = keeper.lease
+            self.campaign.record_timing(lease.key, self.worker_id,
+                                        time.time() - started)
+        except FleetIntegrityError:
+            raise
+        except Exception as error:  # noqa: BLE001 — budget the re-issue
+            self.counters["failed"] += 1
+            if not lease.speculative:
+                self.campaign.record_job_failure(
+                    lease.key, self.worker_id, repr(error))
+        finally:
+            leases.release(lease_dir, lease)
+
+    # -- the loop ----------------------------------------------------------#
+
+    def run(self) -> Dict[str, Any]:
+        """Work until the campaign completes; returns the summary."""
+        deadline = (time.time() + self.wall_timeout
+                    if self.wall_timeout else None)
+        jobs = 0
+        self.beat("starting")
+        while True:
+            if deadline is not None and time.time() > deadline:
+                self.beat("timeout")
+                break
+            if self.max_jobs is not None and jobs >= self.max_jobs:
+                self.beat("budget-exhausted")
+                break
+            self.counters["reaped"] += len(
+                leases.reap_expired(self.campaign.leases_dir))
+            leases.reap_expired(self.campaign.speculative_dir)
+            missing = set(self.campaign.missing_keys(
+                store=self.store, specs=self.specs))
+            self._sweep_settled_leases(missing)
+            if not missing:
+                self.beat("done")
+                break
+            lease = self._claim_next(missing)
+            if lease is None:
+                lease = self._claim_straggler(missing)
+            if lease is None:
+                self.beat("idle")
+                time.sleep(self.campaign.config.poll_interval)
+                continue
+            jobs += 1
+            self._run_job(lease)
+            self.beat("between-jobs")
+        return {
+            "worker": self.worker_id,
+            "jobs": jobs,
+            **self.counters,
+        }

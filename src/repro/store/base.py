@@ -29,7 +29,16 @@ import json
 import os
 import zlib
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterable, List, Optional, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..sim.errors import ConfigurationError
 from ..spec.results import GossipRun
@@ -268,6 +277,28 @@ class Store:
     def put(self, spec: RunSpec, metrics: Dict[str, Any]) -> Dict[str, Any]:
         """Stamp and durably store one executed spec's realized metrics."""
         return self.put_record(make_record(spec, metrics))
+
+    def put_record_new(self, record: Dict[str, Any]
+                       ) -> Tuple[Dict[str, Any], bool]:
+        """Insert ``record`` only if its spec hash is absent.
+
+        Returns ``(stored_record, inserted)``: on a hit the record that
+        was already stored comes back with ``inserted=False`` and
+        nothing is written.  This is the first-completion-wins primitive
+        the fleet layer dedupes speculative re-executions through —
+        backends override it with a genuinely atomic check-and-insert
+        (the JSONL log composes both under its advisory lock, SQLite
+        uses ``INSERT OR IGNORE``); this default is check-then-put.
+        """
+        existing = self.get(record["spec_hash"])
+        if existing is not None:
+            return existing, False
+        return self.put_record(record), True
+
+    def put_new(self, spec: RunSpec, metrics: Dict[str, Any]
+                ) -> Tuple[Dict[str, Any], bool]:
+        """First-completion-wins :meth:`put`; see :meth:`put_record_new`."""
+        return self.put_record_new(make_record(spec, metrics))
 
     def __contains__(self, spec_hash: str) -> bool:
         return self.get(spec_hash) is not None

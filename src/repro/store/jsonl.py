@@ -51,6 +51,7 @@ import json
 import os
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+
 from ..sim.errors import ConfigurationError
 from ..spec.runspec import RunSpec
 from .base import (
@@ -348,41 +349,69 @@ class JsonlStore(Store):
         """
         return self.put_record(make_record(spec, metrics))
 
-    def put_record(self, record: Dict[str, Any]) -> Dict[str, Any]:
-        records = self._load()
+    def _append_locked(self, record: Dict[str, Any]) -> None:
+        """Append one record line; the caller holds the advisory lock."""
+        line = (json.dumps(record, default=str) + "\n").encode("utf-8")
+        with open(self.path, "a+b") as handle:
+            handle.seek(0, os.SEEK_END)
+            size = handle.tell()
+            written = len(line)
+            if size > 0:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+                    written += 1
+            handle.write(line)
+            handle.flush()
+            if self.fsync == "always":
+                os.fsync(handle.fileno())
+        if size == self._scan_offset:
+            # No foreign appends since our scan: the freshness state
+            # advances over our own write so the next read need not
+            # rescan it.  (A healing newline terminates the already-
+            # counted torn line, so only our record adds a line.)
+            self._scan_offset = size + written
+            self._scan_lines += 1
+            self._file_stat = self._stat()
+        else:
+            # Another worker appended since our scan; invalidate the
+            # stat so the next read tail-scans their records (ours
+            # included — re-reading it is idempotent).
+            self._file_stat = None
+
+    def _ensure_parent(self) -> None:
         parent = os.path.dirname(self.path)
         if parent:
             os.makedirs(parent, exist_ok=True)
-        line = (json.dumps(record, default=str) + "\n").encode("utf-8")
+
+    def put_record(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        records = self._load()
+        self._ensure_parent()
         with advisory_lock(self.lock_path):
-            with open(self.path, "a+b") as handle:
-                handle.seek(0, os.SEEK_END)
-                size = handle.tell()
-                written = len(line)
-                if size > 0:
-                    handle.seek(-1, os.SEEK_END)
-                    if handle.read(1) != b"\n":
-                        handle.write(b"\n")
-                        written += 1
-                handle.write(line)
-                handle.flush()
-                if self.fsync == "always":
-                    os.fsync(handle.fileno())
-            if size == self._scan_offset:
-                # No foreign appends since our scan: the freshness state
-                # advances over our own write so the next read need not
-                # rescan it.  (A healing newline terminates the already-
-                # counted torn line, so only our record adds a line.)
-                self._scan_offset = size + written
-                self._scan_lines += 1
-                self._file_stat = self._stat()
-            else:
-                # Another worker appended since our scan; invalidate the
-                # stat so the next read tail-scans their records (ours
-                # included — re-reading it is idempotent).
-                self._file_stat = None
+            self._append_locked(record)
         records[record["spec_hash"]] = record
         return record
+
+    def put_record_new(self, record: Dict[str, Any]
+                       ) -> Tuple[Dict[str, Any], bool]:
+        """Atomic insert-if-absent: check and append under one lock.
+
+        The freshness reload happens *inside* the advisory lock, so two
+        workers racing to store the same spec hash serialize — the loser
+        sees the winner's line in its tail scan and backs off without
+        appending a duplicate.  This is what lets a speculatively
+        re-executed fleet job resolve first-completion-wins with zero
+        double-counted records.
+        """
+        self._ensure_parent()
+        with advisory_lock(self.lock_path):
+            records = self._load()
+            existing = records.get(record["spec_hash"])
+            if existing is not None:
+                return existing, False
+            self._append_locked(record)
+        records[record["spec_hash"]] = record
+        return record, True
 
 
 #: Backward-compatible name: the store predating the backend split.

@@ -204,7 +204,13 @@ def merge_manifests(
         for key, error in source.failed.items():
             if key not in manifest.completed \
                     and key not in manifest.failed:
-                manifest.fail(key, error)
+                manifest.fail(key, error,
+                              attempts=source.attempts.get(key, 1))
+        # Attempt counts take the max across shards: each shard counted
+        # its own tries, and a re-issue budget must see the worst case.
+        for key, count in source.attempts.items():
+            manifest.attempts[key] = max(
+                manifest.attempts.get(key, 0), int(count))
     # A completion in any shard beats a failure from another.
     for key in list(manifest.failed):
         if key in manifest.completed:

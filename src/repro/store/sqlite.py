@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..sim.errors import ConfigurationError
 from .base import (
@@ -250,6 +250,26 @@ class SqliteStore(Store):
                 ", ".join("?" for _ in columns)),
             [row[c] for c in columns])
         return record
+
+    def put_record_new(self, record: Dict[str, Any]
+                       ) -> Tuple[Dict[str, Any], bool]:
+        """Atomic insert-if-absent via ``INSERT OR IGNORE``.
+
+        The primary key on ``spec_hash`` makes the race-free check free:
+        a concurrent writer that got there first leaves our insert a
+        no-op, and the record it stored comes back with
+        ``inserted=False`` (first completion wins, never superseded).
+        """
+        row = self._row_of(record)
+        columns = list(row)
+        cursor = self._connect().execute(
+            "INSERT OR IGNORE INTO records ({}) VALUES ({})".format(
+                ", ".join(f'"{c}"' for c in columns),
+                ", ".join("?" for _ in columns)),
+            [row[c] for c in columns])
+        if cursor.rowcount == 1:
+            return record, True
+        return self.get(record["spec_hash"]), False
 
     def sync(self) -> None:
         """Checkpoint the WAL into the main database file."""

@@ -165,6 +165,20 @@ class TestCli:
         assert main(argv) == 2
         assert "cannot be combined" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("bad", ["0", "-3"])
+    @pytest.mark.parametrize("argv", [
+        ["grid", "--algorithms", "trivial", "--ns", "8", "--seeds", "1"],
+        ["sweep", "--algorithm", "trivial", "--min-n", "8",
+         "--max-n", "8", "--seeds", "1"],
+        ["batch", "--specs", "unused.jsonl"],
+    ])
+    def test_checkpoint_every_rejects_non_positive(
+            self, capsys, tmp_path, argv, bad):
+        argv = argv + ["--resume", str(tmp_path / "campaign.json"),
+                       "--checkpoint-every", bad]
+        assert main(argv) == 2
+        assert "checkpoint_every must be" in capsys.readouterr().err
+
     def test_list_command(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out

@@ -77,6 +77,39 @@ class TestManifest:
         manifest.complete("c")
         assert manifest.maybe_save() and path.exists()
 
+    @pytest.mark.parametrize("bad", [0, -1, "three", None, 2.5])
+    def test_checkpoint_every_rejects_non_positive(self, tmp_path, bad):
+        from repro.sim.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            CampaignManifest(str(tmp_path / "c.json"),
+                             checkpoint_every=bad)
+
+    def test_failure_strings_truncated_and_attempts_counted(
+            self, tmp_path):
+        from repro.experiments.campaign import MAX_FAILURE_CHARS
+
+        path = str(tmp_path / "campaign.json")
+        manifest = CampaignManifest(path)
+        manifest.submit("job", {"x": 1})
+        manifest.fail("job", "boom " * 10000)
+        assert len(manifest.failed["job"]) \
+            <= MAX_FAILURE_CHARS + len(" ... [truncated 99999 chars]")
+        assert "truncated" in manifest.failed["job"]
+        manifest.fail("job", "boom again")
+        assert manifest.failed["job"] == "boom again"
+        assert manifest.attempts["job"] == 2
+
+        manifest.save()
+        loaded = CampaignManifest.load(path)
+        assert loaded.attempts == {"job": 2}
+        assert loaded.summary()["attempts"] == 2
+        # explicit attempts (e.g. merged from a shard) take the max
+        loaded.fail("job", "merged", attempts=5)
+        assert loaded.attempts["job"] == 5
+        loaded.fail("job", "stale shard", attempts=3)
+        assert loaded.attempts["job"] == 5
+
 
 class TestGracefulShutdown:
     def test_first_signal_sets_flag_second_hard_stops(self):
@@ -92,6 +125,28 @@ class TestGracefulShutdown:
         before = signal.getsignal(signal.SIGTERM)
         with GracefulShutdown(signals=(signal.SIGTERM,), verbose=False):
             assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_previous_handler_restored_when_body_raises(self):
+        before = signal.getsignal(signal.SIGTERM)
+        with pytest.raises(RuntimeError, match="body exploded"):
+            with GracefulShutdown(signals=(signal.SIGTERM,),
+                                  verbose=False):
+                assert signal.getsignal(signal.SIGTERM) is not before
+                raise RuntimeError("body exploded")
+        assert signal.getsignal(signal.SIGTERM) is before
+
+    def test_second_signal_hard_stops_even_mid_drain(self):
+        # the hard-stop escalation must fire from the handler itself,
+        # not depend on the body ever polling the shutdown flag
+        before = signal.getsignal(signal.SIGTERM)
+        with GracefulShutdown(signals=(signal.SIGTERM,),
+                              verbose=False) as shutdown:
+            signal.raise_signal(signal.SIGTERM)
+            with pytest.raises(KeyboardInterrupt, match="hard stop"):
+                signal.raise_signal(signal.SIGTERM)
+            assert shutdown()  # still draining state after escalation
+        # and the escalated exit still restored the original handler
         assert signal.getsignal(signal.SIGTERM) is before
 
 
