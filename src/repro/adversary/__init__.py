@@ -12,6 +12,8 @@ from .adaptive import (
     TargetedDelayAdversary,
 )
 from .base import Adversary
+from .byzantine import BEHAVIORS as BYZANTINE_BEHAVIORS
+from .byzantine import ByzantineAdversary
 from .crash_plans import (
     CrashPlan,
     crash_at,
@@ -38,6 +40,8 @@ from .oblivious import ObliviousAdversary
 __all__ = [
     "AdaptiveAdversary",
     "Adversary",
+    "BYZANTINE_BEHAVIORS",
+    "ByzantineAdversary",
     "CrashEagerSendersAdversary",
     "CrashPlan",
     "DelayPlan",

@@ -390,13 +390,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--consensus-n", type=int, default=9,
                    help="consensus population for campaign cells")
     p.add_argument("--matrix", default="model",
-                   choices=["model", "fleet", "all"],
                    help="which campaign to run: 'model' (simulation + "
                         "store faults, the default), 'fleet' "
                         "(orchestrator-level faults: worker kills, "
                         "heartbeat stalls, lease tampering, duplicate-"
-                        "claim races against real worker processes), or "
-                        "'all'")
+                        "claim races against real worker processes), "
+                        "'byzantine' (in-band equivocation/tampering/"
+                        "silence/forgery behaviors classified tolerated "
+                        "vs detected, plus the (n, f, b) agreement "
+                        "grid), or 'all' (all three)")
+    p.add_argument("--quick", action="store_true",
+                   help="smoke mode: one trial per cell and no "
+                        "agreement grid (CI)")
     p.add_argument("--workers", type=int, default=2,
                    help="worker processes per fleet-matrix cell "
                         "(default: 2)")
@@ -936,11 +941,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             FAULTS,
             FLEET_FAULTS,
             STORE_FAULTS,
+            byzantine_agreement_grid,
+            format_agreement_grid,
             format_campaign,
+            run_byzantine_campaign,
             run_campaign,
             run_fleet_campaign,
         )
 
+        matrices = ("model", "fleet", "byzantine", "all")
+        if args.matrix not in matrices:
+            import difflib
+
+            close = difflib.get_close_matches(args.matrix, matrices, n=1)
+            hint = f"; did you mean {close[0]!r}?" if close else ""
+            print(f"unknown matrix {args.matrix!r}; choose from "
+                  f"{', '.join(matrices)}{hint}", file=sys.stderr)
+            return 2
+        trials = 1 if args.quick else args.trials
         faults = store_faults = fleet_faults = None
         if args.faults:
             names = [name.strip() for name in args.faults.split(",")
@@ -960,7 +978,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         ok = True
         if args.matrix in ("model", "all"):
             report = run_campaign(
-                seed=args.seed, trials=args.trials, faults=faults,
+                seed=args.seed, trials=trials, faults=faults,
                 n=args.n, consensus_n=args.consensus_n,
                 store_faults=store_faults,
             )
@@ -968,11 +986,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             ok = ok and report.ok
         if args.matrix in ("fleet", "all"):
             report = run_fleet_campaign(
-                seed=args.seed, trials=args.trials, faults=fleet_faults,
+                seed=args.seed, trials=trials, faults=fleet_faults,
                 workers=args.workers,
             )
             print(format_campaign(report))
             ok = ok and report.ok
+        if args.matrix in ("byzantine", "all"):
+            report = run_byzantine_campaign(
+                seed=args.seed, trials=trials,
+                n=args.n, consensus_n=args.consensus_n,
+            )
+            print(format_campaign(report))
+            ok = ok and report.ok
+            if not args.quick:
+                print()
+                print(format_agreement_grid(
+                    byzantine_agreement_grid(seed=args.seed)))
         return 0 if ok else 1
 
     if args.command == "fleet":

@@ -12,8 +12,22 @@ A second, on-disk matrix targets the artifact store: seeded corruption
 injectors (:mod:`repro.faults.store_faults`) tear or bit-flip a scratch
 ``RunStore`` log and the campaign asserts the store's durability layer
 (checksum verify + recovery quarantine) detects every corruption.
+
+A third matrix attacks in-band (:mod:`repro.faults.byzantine_faults`):
+each cell runs a canonical algorithm under the
+:class:`~repro.adversary.byzantine.ByzantineAdversary` with one behavior
+active — equivocation, tampering, silence or identity forgery — and is
+classified *tolerated* (run completes, honest invariants clean) or
+*detected* (a Byzantine-aware invariant names the corruption).
 """
 
+from .byzantine_faults import (
+    AgreementCell,
+    BYZANTINE_MATRIX,
+    byzantine_agreement_grid,
+    format_agreement_grid,
+    run_byzantine_campaign,
+)
 from .campaign import (
     CampaignCell,
     CampaignReport,
@@ -27,6 +41,7 @@ from .injectors import (
     FaultInjector,
     ForeignRumorFault,
     ForgedMessageFault,
+    ForgedMessageLiveFault,
     MessageDuplicationFault,
     MessageLossFault,
     RumorLossFault,
@@ -57,6 +72,8 @@ from .store_faults import (
 )
 
 __all__ = [
+    "AgreementCell",
+    "BYZANTINE_MATRIX",
     "CampaignCell",
     "CampaignReport",
     "ChecksumFlipFault",
@@ -69,6 +86,7 @@ __all__ = [
     "FleetFault",
     "ForeignRumorFault",
     "ForgedMessageFault",
+    "ForgedMessageLiveFault",
     "HeartbeatStallFault",
     "LeaseTamperFault",
     "MessageDuplicationFault",
@@ -81,6 +99,8 @@ __all__ = [
     "StoreFault",
     "TornWriteFault",
     "WorkerKillFault",
+    "byzantine_agreement_grid",
+    "format_agreement_grid",
     "format_campaign",
     "make_fault",
     "make_fleet_fault",
@@ -88,6 +108,7 @@ __all__ = [
     "register_fault",
     "register_fleet_fault",
     "register_store_fault",
+    "run_byzantine_campaign",
     "run_campaign",
     "run_fleet_campaign",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "FaultInjector",
     "ForeignRumorFault",
     "ForgedMessageFault",
+    "ForgedMessageLiveFault",
     "MessageDuplicationFault",
     "MessageLossFault",
     "RumorLossFault",
@@ -190,6 +191,38 @@ class ForgedMessageFault(FaultInjector):
             return
         self.sim.network.enqueue(Message(
             src=self._crashed, dst=dst, payload=None, kind="forged",
+            sent_at=t, delay=1,
+        ))
+        self.fired_at = t
+
+
+class ForgedMessageLiveFault(FaultInjector):
+    """Enqueue a message claiming a *live* sender, bypassing the send path.
+
+    Generalizes :class:`ForgedMessageFault`: the spoofed sender is alive,
+    so the crash-consistency net cannot see anything wrong — the message
+    is caught by the :class:`~repro.sim.invariants.TrafficProvenanceInvariant`
+    deliver-side net instead, whose send-path ledger has no record of the
+    forged ``(src, dst, kind, sent_at)`` signature.
+    """
+
+    name = "forged-message-live"
+    kind = "any"
+    expects = ("traffic-provenance",)
+
+    def on_step_end(self, t: int) -> None:
+        if self.fired or t < self.trigger_step:
+            return
+        src = self._pick_alive()
+        dst = self._pick_alive()
+        if src is None or dst is None:
+            return
+        if src == dst:
+            dst = (dst + 1) % len(self.sim.processes)
+            if dst not in self.sim.alive_pids:
+                return
+        self.sim.network.enqueue(Message(
+            src=src, dst=dst, payload=None, kind="forged",
             sent_at=t, delay=1,
         ))
         self.fired_at = t
@@ -470,6 +503,7 @@ for _cls in (
     RumorLossFault,
     ForeignRumorFault,
     ForgedMessageFault,
+    ForgedMessageLiveFault,
     DecisionFlipFault,
     DelayBurstFault,
     ScheduleStallFault,

@@ -151,6 +151,9 @@ class Simulation(EngineCore):
 
         self.adversary = adversary
         adversary.on_attach(self)
+        # Cached so the per-step hot path pays a single attribute read for
+        # runs whose adversary never rewrites traffic (the usual case).
+        self._corrupts = bool(getattr(adversary, "corrupts_traffic", False))
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -250,6 +253,8 @@ class Simulation(EngineCore):
                     for handler in self._obs_deliver:
                         handler(t, pid, inbox)
             outbox = handle.run_step(inbox)
+            if self._corrupts:
+                outbox = self.adversary.corrupt_outbox(t, pid, outbox)
             for msg in outbox:
                 msg.sent_at = t
                 msg.delay = int(self.adversary.assign_delay(msg))
@@ -657,6 +662,9 @@ class Simulation(EngineCore):
                 target._bit_observer = dup
 
         target.adversary = self.adversary.clone_into(target)
+        target._corrupts = bool(
+            getattr(target.adversary, "corrupts_traffic", False)
+        )
 
     def _result(self, completed: bool, reason: str) -> RunResult:
         # Fold trailing scheduling gaps (starvation from a process's last

@@ -22,7 +22,22 @@ Invariant catalog (see ``docs/robustness.md`` for the full contract):
   design.
 - :class:`ConsensusInvariant` — *agreement*: all decisions are equal;
   *validity*: every decision is some process's initial value;
-  *irrevocability*: a decision, once made, never changes.
+  *irrevocability*: a decision, once made, never changes. Also the
+  consensus wire net: a sender voting two different values for one
+  (phase, round) is *equivocation*; a vote or decision outside the value
+  universe (initial values ∪ {0, 1}) is *tampered state* entering an
+  honest process.
+- :class:`TrafficProvenanceInvariant` — every delivered message was
+  emitted by the process the engine scheduled (``src`` honest) and
+  actually passed through the send path (no out-of-band injection).
+
+Byzantine awareness: when the attached adversary exposes a
+``byzantine_pids`` set (:class:`~repro.adversary.byzantine.ByzantineAdversary`),
+the per-process *state* checks restrict themselves to honest pids — a
+Byzantine process's own state is outside the safety contract — while the
+wire-side nets stay armed for all traffic, so honest-state corruption
+traced to a ``byz:*``-tagged message is still a hard violation (reports
+carry the last Byzantine delivery seen by the corrupted process).
 
 Every check raises :class:`~repro.sim.errors.InvariantViolation` carrying
 the invariant name, step, pid and a :func:`state_digest` of the simulation.
@@ -40,6 +55,7 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from .errors import InvariantViolation
 from .events import Observer
+from .message import base_kind, is_byzantine_kind
 
 __all__ = [
     "BoundConsistencyInvariant",
@@ -47,9 +63,16 @@ __all__ = [
     "CrashConsistencyInvariant",
     "GossipValidityInvariant",
     "Invariant",
+    "TrafficProvenanceInvariant",
+    "byzantine_pids",
     "default_invariants",
     "state_digest",
 ]
+
+
+def byzantine_pids(sim) -> frozenset:
+    """The adversary's corrupt set, or the empty set for honest models."""
+    return frozenset(getattr(sim.adversary, "byzantine_pids", ()) or ())
 
 
 def state_digest(sim) -> Dict[str, Any]:
@@ -123,6 +146,13 @@ class GossipValidityInvariant(Invariant):
       started with → ``gossip-validity``;
     - a bit present before and absent now is a lost rumor →
       ``gossip-integrity`` (collected sets only grow).
+
+    Byzantine-aware: corrupt pids are excluded from the per-process state
+    checks (their rumor sets are the adversary's to ruin), but their
+    *initial* rumors stay in the valid mask — an honest process receiving
+    a Byzantine process's genuine rumor is fine; holding a rumor nobody
+    started with is not, and the report names the last ``byz:*``-tagged
+    delivery the corrupted process received.
     """
 
     name = "gossip-validity"
@@ -132,17 +162,19 @@ class GossipValidityInvariant(Invariant):
         self._valid_mask: Optional[int] = None
         self._last_masks: Dict[int, int] = {}
         self._stepped: List[int] = []
+        self._byz_trace: Dict[int, str] = {}
 
     def _prime(self) -> None:
+        byz = byzantine_pids(self.sim)
         masks: Dict[int, int] = {}
+        self._valid_mask = 0
         for pid, handle in self.sim.processes.items():
             mask = getattr(handle.algorithm, "rumor_mask", None)
             if mask is not None:
-                masks[pid] = mask
+                self._valid_mask |= mask
+                if pid not in byz:
+                    masks[pid] = mask
         self._last_masks = masks
-        self._valid_mask = 0
-        for mask in masks.values():
-            self._valid_mask |= mask
 
     def _check(self, pid: int, t: int) -> None:
         mask = self.sim.processes[pid].algorithm.rumor_mask
@@ -151,17 +183,29 @@ class GossipValidityInvariant(Invariant):
         if foreign:
             self.fail(
                 f"process holds rumor bit(s) {_bits(foreign)} that no "
-                "process started with",
+                "process started with" + self._provenance(pid),
                 name="gossip-validity", t=t, pid=pid,
             )
         lost = last & ~mask
         if lost:
             self.fail(
                 f"rumor set shrank: bit(s) {_bits(lost)} were collected "
-                "and are now gone",
+                "and are now gone" + self._provenance(pid),
                 name="gossip-integrity", t=t, pid=pid,
             )
         self._last_masks[pid] = mask
+
+    def _provenance(self, pid: int) -> str:
+        trace = self._byz_trace.get(pid)
+        return f" ({trace})" if trace else ""
+
+    def on_deliver(self, t: int, pid: int, inbox: Sequence) -> None:
+        for msg in inbox:
+            if is_byzantine_kind(msg.kind):
+                self._byz_trace[pid] = (
+                    f"last Byzantine delivery: {msg.kind!r} from pid "
+                    f"{msg.src} at step {t}"
+                )
 
     def on_step_begin(self, t: int) -> None:
         if self._valid_mask is None:
@@ -185,6 +229,7 @@ class GossipValidityInvariant(Invariant):
         dup = GossipValidityInvariant()
         dup._valid_mask = self._valid_mask
         dup._last_masks = dict(self._last_masks)
+        dup._byz_trace = dict(self._byz_trace)
         return dup
 
 
@@ -245,6 +290,62 @@ class CrashConsistencyInvariant(Invariant):
     def clone(self) -> "CrashConsistencyInvariant":
         dup = CrashConsistencyInvariant()
         dup._crashed_at = dict(self._crashed_at)
+        return dup
+
+
+class TrafficProvenanceInvariant(Invariant):
+    """Every delivered message really left its claimed sender in-band.
+
+    Two nets:
+
+    - *send-side*: a message emitted during pid ``p``'s step must carry
+      ``src == p`` — a mismatch is identity forgery (the Byzantine
+      ``forge`` behavior, or any injector spoofing ``src`` on the send
+      path);
+    - *deliver-side*: every delivered message's ``(src, dst, kind,
+      sent_at)`` signature must have been seen on the send path — a miss
+      is out-of-band injection straight into the network (forged traffic
+      from live senders that the crash-consistency net cannot see).
+
+    The signature deliberately omits the uid: in-band duplication (the
+    ``message-duplication`` chaos fault re-enqueues a copy under a fresh
+    uid) is delivery-layer noise the algorithms must tolerate, not
+    forgery, so it passes.
+    """
+
+    name = "traffic-provenance"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._stepping: Optional[int] = None
+        self._seen: set = set()
+
+    def on_schedule(self, t: int, pid: int) -> None:
+        self._stepping = pid
+
+    def on_send(self, t: int, msg) -> None:
+        if self._stepping is not None and msg.src != self._stepping:
+            self.fail(
+                f"identity forgery: pid {self._stepping} emitted a "
+                f"{msg.kind!r} message claiming src={msg.src}",
+                t=t, pid=self._stepping,
+            )
+        self._seen.add((msg.src, msg.dst, msg.kind, msg.sent_at))
+
+    def on_deliver(self, t: int, pid: int, inbox: Sequence) -> None:
+        for msg in inbox:
+            if (msg.src, msg.dst, msg.kind, msg.sent_at) not in self._seen:
+                self.fail(
+                    f"out-of-band message: delivered {msg.kind!r} "
+                    f"{msg.src}->{msg.dst} stamped sent_at={msg.sent_at} "
+                    "never passed through the send path",
+                    t=t, pid=msg.src,
+                )
+
+    def clone(self) -> "TrafficProvenanceInvariant":
+        dup = TrafficProvenanceInvariant()
+        dup._stepping = self._stepping
+        dup._seen = set(self._seen)
         return dup
 
 
@@ -329,9 +430,29 @@ class ConsensusInvariant(Invariant):
     process decides) and an ``estimate`` whose construction-time value is
     the process's initial value. Initial values are captured at the first
     step (before any message exchange can have changed an estimate).
+
+    Byzantine-aware: corrupt pids are exempt from the per-process state
+    checks (agreement/validity/irrevocability are honest-only claims),
+    and two wire-side nets arm on Ben-Or traffic for *all* senders:
+
+    - ``consensus-equivocation`` — one sender delivered two different
+      values for the same (phase, round), or two different decisions;
+    - ``consensus-integrity`` — a delivered vote or decision lies outside
+      the value universe (initial values ∪ {0, 1, ⊥}), i.e. tampered
+      state about to enter an honest process's vote table.
+
+    Honest Ben-Or never trips either net (one broadcast per phase per
+    round, values drawn from estimates and coins), so they double as a
+    zero-false-positive detector for Byzantine tampering/equivocation.
     """
 
     name = "consensus-agreement"
+
+    #: Ben-Or wire kinds the deliver-side nets understand (after any
+    #: ``byz:*`` provenance tag is stripped). String literals to keep the
+    #: substrate free of a consensus-layer import.
+    _VOTE_KIND = "ben-or"
+    _DECIDE_KIND = "ben-or-decide"
 
     def __init__(self) -> None:
         super().__init__()
@@ -339,15 +460,23 @@ class ConsensusInvariant(Invariant):
         self._initial_values: List[Any] = []
         self._decisions: Dict[int, Any] = {}
         self._stepped: List[int] = []
+        self._byz: frozenset = frozenset()
+        self._universe: List[Any] = []
+        self._vote_values: Dict[Any, Any] = {}
+        self._decide_values: Dict[int, Any] = {}
 
     def _prime(self) -> None:
         self._primed = True
+        self._byz = byzantine_pids(self.sim)
         for handle in self.sim.processes.values():
             algorithm = handle.algorithm
             if hasattr(algorithm, "estimate"):
                 self._initial_values.append(algorithm.estimate)
+        self._universe = list(self._initial_values) + [0, 1, None]
 
     def _check(self, pid: int, t: int) -> None:
+        if pid in self._byz:
+            return
         algorithm = self.sim.processes[pid].algorithm
         value = getattr(algorithm, "decided", None)
         if pid in self._decisions:
@@ -390,11 +519,71 @@ class ConsensusInvariant(Invariant):
             self._check(pid, t)
         self._stepped.clear()
 
+    # -- the wire-side nets -------------------------------------------- #
+
+    def _in_universe(self, value: Any) -> bool:
+        return any(value == allowed for allowed in self._universe)
+
+    def on_deliver(self, t: int, pid: int, inbox: Sequence) -> None:
+        for msg in inbox:
+            kind = base_kind(msg.kind)
+            tag = " (Byzantine-tagged)" if is_byzantine_kind(msg.kind) else ""
+            if kind == self._VOTE_KIND:
+                payload = msg.payload
+                if not (isinstance(payload, tuple) and len(payload) == 3):
+                    self.fail(
+                        f"malformed {msg.kind!r} vote payload "
+                        f"{payload!r}{tag}",
+                        name="consensus-integrity", t=t, pid=msg.src,
+                    )
+                phase, rnd, value = payload
+                if not self._in_universe(value):
+                    self.fail(
+                        f"vote value {value!r} for ({phase!r}, round "
+                        f"{rnd}) is outside the value universe{tag}",
+                        name="consensus-integrity", t=t, pid=msg.src,
+                    )
+                key = (msg.src, phase, rnd)
+                if key in self._vote_values:
+                    if self._vote_values[key] != value:
+                        self.fail(
+                            f"equivocation: voted both "
+                            f"{self._vote_values[key]!r} and {value!r} "
+                            f"for ({phase!r}, round {rnd}){tag}",
+                            name="consensus-equivocation", t=t,
+                            pid=msg.src,
+                        )
+                else:
+                    self._vote_values[key] = value
+            elif kind == self._DECIDE_KIND:
+                value = msg.payload
+                if not self._in_universe(value):
+                    self.fail(
+                        f"broadcast decision {value!r} is outside the "
+                        f"value universe{tag}",
+                        name="consensus-integrity", t=t, pid=msg.src,
+                    )
+                if msg.src in self._decide_values:
+                    if self._decide_values[msg.src] != value:
+                        self.fail(
+                            f"equivocation: broadcast decisions "
+                            f"{self._decide_values[msg.src]!r} and "
+                            f"{value!r}{tag}",
+                            name="consensus-equivocation", t=t,
+                            pid=msg.src,
+                        )
+                else:
+                    self._decide_values[msg.src] = value
+
     def clone(self) -> "ConsensusInvariant":
         dup = ConsensusInvariant()
         dup._primed = self._primed
         dup._initial_values = list(self._initial_values)
         dup._decisions = dict(self._decisions)
+        dup._byz = self._byz
+        dup._universe = list(self._universe)
+        dup._vote_values = dict(self._vote_values)
+        dup._decide_values = dict(self._decide_values)
         return dup
 
 
@@ -405,14 +594,20 @@ def default_invariants(kind: str = "gossip") -> List[Invariant]:
     builder; pass the list to ``Simulation(observers=...)`` directly for
     hand-built runs.
     """
+    # Order matters for attribution: crash-consistency is attached before
+    # traffic-provenance so forged traffic from a *crashed* sender keeps
+    # its historical violation name, while forgery from live senders
+    # falls through to the provenance net.
     if kind == "gossip":
         return [
             GossipValidityInvariant(),
             CrashConsistencyInvariant(),
+            TrafficProvenanceInvariant(),
             BoundConsistencyInvariant(),
         ]
     return [
         CrashConsistencyInvariant(),
+        TrafficProvenanceInvariant(),
         BoundConsistencyInvariant(),
         ConsensusInvariant(),
     ]

@@ -13,6 +13,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from .message import is_byzantine_kind
+
 #: Sentinel for "never scheduled" in :func:`trailing_gap`. The batch
 #: engine's columnar ``last_scheduled`` arrays use it directly; the scalar
 #: :class:`Metrics` maps its ``dict.get(pid) is None`` case onto it.
@@ -61,6 +63,10 @@ class Metrics:
     #: Estimated payload bits sent (populated only when the simulation has
     #: a bit meter attached; see repro.sim.bits).
     bits_sent: int = 0
+    #: Messages sent under a ``byz:*`` provenance tag (corrupt traffic a
+    #: Byzantine adversary injected or rewrote); honest message complexity
+    #: is ``messages_sent - byz_messages_sent``.
+    byz_messages_sent: int = 0
     steps_elapsed: int = 0
     local_steps_taken: int = 0
     crashes: int = 0
@@ -83,6 +89,8 @@ class Metrics:
         self.messages_sent += count
         self.messages_by_kind[kind] += count
         self.messages_by_sender[sender] += count
+        if is_byzantine_kind(kind):
+            self.byz_messages_sent += count
         if dst is not None:
             self.messages_by_pair[(sender, dst)] += count
         self.last_send_time = now
@@ -144,6 +152,7 @@ class Metrics:
             messages_by_sender=Counter(self.messages_by_sender),
             messages_by_pair=Counter(self.messages_by_pair),
             bits_sent=self.bits_sent,
+            byz_messages_sent=self.byz_messages_sent,
             steps_elapsed=self.steps_elapsed,
             local_steps_taken=self.local_steps_taken,
             crashes=self.crashes,
@@ -155,8 +164,26 @@ class Metrics:
             _last_scheduled=dict(self._last_scheduled),
         )
 
+    @property
+    def honest_messages_sent(self) -> int:
+        """Message complexity attributable to honest (untagged) traffic."""
+        return self.messages_sent - self.byz_messages_sent
+
     def snapshot(self) -> dict:
-        """Immutable summary used by results, benches and tests."""
+        """Immutable summary used by results, benches and tests.
+
+        The Byzantine counters appear only when corrupt traffic actually
+        flowed, so honest-run snapshots — and every seed pin taken from
+        them — are byte-identical to the pre-Byzantine format.
+        """
+        if self.byz_messages_sent:
+            base = self._snapshot_base()
+            base["byz_messages_sent"] = self.byz_messages_sent
+            base["honest_messages_sent"] = self.honest_messages_sent
+            return base
+        return self._snapshot_base()
+
+    def _snapshot_base(self) -> dict:
         return {
             "n": self.n,
             "messages_sent": self.messages_sent,

@@ -57,6 +57,12 @@ class GossipCompletionMonitor(CompletionMonitor):
     ``majority=True``: every live process knows a strict majority
     (``⌊n/2⌋ + 1``) of all rumors — the paper's *majority gossip* from
     Section 5.
+
+    Byzantine-aware: when the adversary owns a corrupt set, the gathering
+    requirement is scoped to honest processes — a silenced Byzantine
+    process's rumor can never spread, and a Byzantine process's own
+    gathering state is the adversary's business — while quiescence still
+    covers every live process (corrupt or not, the network must drain).
     """
 
     leap_safe = True
@@ -69,6 +75,9 @@ class GossipCompletionMonitor(CompletionMonitor):
 
     def gathered(self, sim) -> bool:
         alive = sim.alive_pids
+        byz = frozenset(getattr(sim.adversary, "byzantine_pids", ()) or ())
+        if byz:
+            alive = frozenset(pid for pid in alive if pid not in byz)
         if not alive:
             return True
         if self.majority:

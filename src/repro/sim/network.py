@@ -15,7 +15,7 @@ import heapq
 from typing import Dict, List, Optional
 
 from .errors import InvalidDelayError
-from .message import Message
+from .message import Message, is_byzantine_kind
 
 
 class Network:
@@ -28,6 +28,9 @@ class Network:
         self._pending: Dict[int, List] = {pid: [] for pid in range(n)}
         self._in_flight = 0
         self.total_enqueued = 0
+        #: Messages that entered the queues carrying a ``byz:*`` provenance
+        #: tag — corrupt traffic riding the normal delivery path.
+        self.byz_enqueued = 0
         self.max_delivered_delay = 0
 
     @property
@@ -46,6 +49,8 @@ class Network:
         )
         self._in_flight += 1
         self.total_enqueued += 1
+        if is_byzantine_kind(msg.kind):
+            self.byz_enqueued += 1
 
     def collect(self, pid: int, now: int) -> List[Message]:
         """Deliver every message to ``pid`` that is deliverable at ``now``.
@@ -93,6 +98,7 @@ class Network:
         dup._pending = {pid: list(heap) for pid, heap in self._pending.items()}
         dup._in_flight = self._in_flight
         dup.total_enqueued = self.total_enqueued
+        dup.byz_enqueued = self.byz_enqueued
         dup.max_delivered_delay = self.max_delivered_delay
         return dup
 

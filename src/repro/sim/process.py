@@ -138,7 +138,8 @@ class ProcessHandle:
     """Engine-side record for one process: algorithm + status + counters."""
 
     __slots__ = ("pid", "algorithm", "ctx", "status", "crashed_at",
-                 "steps_taken", "last_scheduled_at", "messages_sent")
+                 "steps_taken", "last_scheduled_at", "messages_sent",
+                 "byzantine")
 
     def __init__(self, pid: int, algorithm: Algorithm, ctx: Context) -> None:
         self.pid = pid
@@ -149,6 +150,11 @@ class ProcessHandle:
         self.steps_taken = 0
         self.last_scheduled_at: Optional[int] = None
         self.messages_sent = 0
+        #: Marked by a Byzantine adversary at attach time. The process
+        #: itself runs the honest algorithm either way (corruption happens
+        #: to its *traffic*); the mark lets monitors, metrics reporting
+        #: and campaign summaries scope claims to honest processes.
+        self.byzantine = False
 
     @property
     def alive(self) -> bool:
@@ -170,6 +176,7 @@ class ProcessHandle:
         dup.steps_taken = self.steps_taken
         dup.last_scheduled_at = self.last_scheduled_at
         dup.messages_sent = self.messages_sent
+        dup.byzantine = self.byzantine
         return dup
 
     def run_step(self, inbox: List[Message]) -> List[Message]:

@@ -28,6 +28,8 @@ from ..adversary.crash_plans import (
     staggered_halving,
     wave_crashes,
 )
+from ..adversary.byzantine import BEHAVIORS as BYZANTINE_BEHAVIORS
+from ..adversary.byzantine import ByzantineAdversary
 from ..adversary.gst import GstAdversary
 from ..adversary.oblivious import ObliviousAdversary
 from ..core.adaptive_fanout import AdaptiveFanoutGossip
@@ -171,10 +173,20 @@ def _gst_adversary(d, delta, seed, crashes, *, gst, pre_gst_delta=None):
     )
 
 
+def _byzantine_adversary(d, delta, seed, crashes, *, b=1,
+                         behaviors=BYZANTINE_BEHAVIORS,
+                         silence_mode="total"):
+    return ByzantineAdversary.uniform(
+        d, delta, b=b, behaviors=tuple(behaviors), seed=seed,
+        crashes=crashes, silence_mode=silence_mode,
+    )
+
+
 ADVERSARIES = Registry("adversary")
 ADVERSARIES.register("uniform", _uniform_adversary)
 ADVERSARIES.register("synchronous", _synchronous_adversary)
 ADVERSARIES.register("gst", _gst_adversary)
+ADVERSARIES.register("byzantine", _byzantine_adversary)
 
 
 # -- named crash plans ----------------------------------------------------- #

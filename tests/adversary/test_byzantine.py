@@ -1,0 +1,180 @@
+"""The Byzantine adversary: configuration, determinism and behaviors.
+
+The classification matrix itself (which behavior trips which detector on
+which algorithm) lives in tests/faults/test_byzantine_faults.py; this
+module covers the adversary object — its contract with the engine, its
+sealed RNG discipline, and the b=0 invisibility guarantee.
+"""
+
+import pytest
+
+from repro.adversary import ByzantineAdversary
+from repro.adversary.oblivious import ObliviousAdversary
+from repro.sim.errors import ConfigurationError, InvariantViolation
+from repro.spec import RunSpec, execute
+
+
+def _spec(kind, algorithm, *, seed=0, engine="auto", adversary=None, n=None):
+    if kind == "gossip":
+        return RunSpec(
+            kind="gossip", algorithm=algorithm, n=n or 16, f=(n or 16) // 4,
+            d=2, delta=2, seed=seed, engine=engine,
+            check_invariants=True, adversary=adversary,
+        )
+    return RunSpec(
+        kind="consensus", algorithm=algorithm, n=n or 9, seed=seed,
+        engine=engine, check_invariants=True, adversary=adversary,
+    )
+
+
+# -- configuration -------------------------------------------------------- #
+
+def test_unknown_behavior_rejected():
+    with pytest.raises(ConfigurationError):
+        ByzantineAdversary.uniform(2, 2, b=1, behaviors=("gaslight",))
+
+
+def test_bad_silence_mode_rejected():
+    with pytest.raises(ConfigurationError):
+        ByzantineAdversary.uniform(2, 2, b=1, silence_mode="sometimes")
+
+
+def test_negative_b_rejected():
+    with pytest.raises(ConfigurationError):
+        ByzantineAdversary.uniform(2, 2, b=-1)
+
+
+def test_b_exceeding_fault_budget_rejected_at_attach():
+    spec = _spec("gossip", "ears",
+                 adversary={"name": "byzantine", "b": 5})  # f = 4
+    with pytest.raises(ConfigurationError):
+        execute(spec)
+
+
+def test_behaviors_normalized_to_canonical_order():
+    adv = ByzantineAdversary.uniform(
+        2, 2, b=1, behaviors=("silence", "tamper"))
+    assert adv.behaviors == ("tamper", "silence")
+
+
+# -- engine contract ------------------------------------------------------ #
+
+def test_next_event_at_always_none():
+    # Regression: the inner plan knows its next scheduled step, but a
+    # Byzantine behavior can fire on *any* step a corrupt pid runs, so
+    # the leap engine must never skip a gap on this adversary's say-so.
+    adv = ByzantineAdversary.uniform(2, 2, b=1)
+    for t in (0, 1, 17, 1000):
+        assert adv.next_event_at(t) is None
+
+
+def test_corrupts_traffic_flag():
+    assert ByzantineAdversary.uniform(2, 2, b=1).corrupts_traffic is True
+    assert ObliviousAdversary.uniform(2, 2).corrupts_traffic is False
+
+
+def test_byzantine_set_is_pure_function_of_seed_n_b():
+    def run_set(seed):
+        spec = _spec("gossip", "ears", seed=seed,
+                     adversary={"name": "byzantine", "b": 3,
+                                "behaviors": ["silence"]}, n=16)
+        run = execute(spec)
+        return run.sim.adversary.byzantine_pids
+
+    first = run_set(7)
+    assert len(first) == 3
+    assert run_set(7) == first
+    assert run_set(8) != first or True  # different seed may differ
+
+
+def test_byzantine_pids_marked_on_processes():
+    spec = _spec("gossip", "ears",
+                 adversary={"name": "byzantine", "b": 2,
+                            "behaviors": ["silence"]})
+    run = execute(spec)
+    byz = run.sim.adversary.byzantine_pids
+    for pid, handle in run.sim.processes.items():
+        assert handle.byzantine == (pid in byz)
+
+
+def test_clone_into_preserves_corruption_state():
+    spec = _spec("gossip", "ears",
+                 adversary={"name": "byzantine", "b": 2,
+                            "behaviors": ["equivocate"]})
+    run = execute(spec)
+    sim = run.sim
+    fork = sim.fork()
+    assert fork.adversary is not sim.adversary
+    assert fork.adversary.byzantine_pids == sim.adversary.byzantine_pids
+    assert fork._corrupts is True
+
+
+# -- b = 0 invisibility --------------------------------------------------- #
+
+@pytest.mark.parametrize("engine", ["stepwise", "leap", "auto"])
+@pytest.mark.parametrize("kind,algorithm", [
+    ("gossip", "sears"),
+    ("consensus", "ben-or"),
+])
+def test_b0_bit_identical_to_plain_adversary(kind, algorithm, engine):
+    # With an empty Byzantine set the adversary consumes no randomness
+    # and rewrites nothing: runs must be bit-identical to the plain
+    # oblivious adversary, on every scalar engine.
+    plain = execute(_spec(kind, algorithm, engine=engine))
+    byz = execute(_spec(
+        kind, algorithm, engine=engine,
+        adversary={"name": "byzantine", "b": 0}))
+    assert byz.sim.metrics.snapshot() == plain.sim.metrics.snapshot()
+
+
+def test_b0_snapshot_has_no_byzantine_keys():
+    run = execute(_spec("gossip", "ears",
+                        adversary={"name": "byzantine", "b": 0}))
+    snap = run.sim.metrics.snapshot()
+    assert "byz_messages_sent" not in snap
+    assert "honest_messages_sent" not in snap
+
+
+# -- corrupt traffic accounting ------------------------------------------- #
+
+def test_corrupt_traffic_is_tagged_and_counted():
+    spec = _spec("gossip", "ears",
+                 adversary={"name": "byzantine", "b": 2,
+                            "behaviors": ["equivocate"]})
+    run = execute(spec)
+    sim = run.sim
+    assert sim.metrics.byz_messages_sent > 0
+    assert sim.network.byz_enqueued > 0
+    assert (sim.metrics.honest_messages_sent
+            == sim.metrics.messages_sent - sim.metrics.byz_messages_sent)
+    snap = sim.metrics.snapshot()
+    assert snap["byz_messages_sent"] == sim.metrics.byz_messages_sent
+    b, corrupted, _omitted = sim.adversary.summary()
+    assert b == 2 and corrupted > 0
+
+
+def test_silence_counts_omissions_without_tagging():
+    spec = _spec("gossip", "ears",
+                 adversary={"name": "byzantine", "b": 2,
+                            "behaviors": ["silence"]})
+    run = execute(spec)
+    assert run.sim.adversary.omitted > 0
+    assert run.sim.metrics.byz_messages_sent == 0
+
+
+def test_tamper_detected_with_offender_attribution():
+    spec = _spec("gossip", "ears",
+                 adversary={"name": "byzantine", "b": 2,
+                            "behaviors": ["tamper"]})
+    built_err = None
+    try:
+        from repro.spec.builder import build
+        built = build(spec)
+        built.sim.run(max_steps=2000, strict=True)
+    except InvariantViolation as exc:
+        built_err = exc
+    assert built_err is not None
+    assert built_err.invariant == "gossip-validity"
+    # Provenance: the failure message names the Byzantine delivery that
+    # poisoned the honest receiver.
+    assert "byz:" in str(built_err)

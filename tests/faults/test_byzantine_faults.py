@@ -1,0 +1,133 @@
+"""The Byzantine chaos matrix: classification, controls, and the grid.
+
+The acceptance bar for the third matrix: 100% correct classification of
+every behavior × algorithm cell (tolerated cells complete clean,
+detected cells name the right invariant), zero false positives from the
+b=0 controls, and an agreement grid whose b=0 column is the only one
+that keeps agreement under value attacks.
+"""
+
+import pytest
+
+from repro.faults import (
+    BYZANTINE_MATRIX,
+    ForgedMessageLiveFault,
+    byzantine_agreement_grid,
+    run_byzantine_campaign,
+    run_campaign,
+)
+from repro.faults.injectors import FAULTS
+
+
+def test_matrix_names_every_behavior_and_kind():
+    assert sorted(BYZANTINE_MATRIX) == [
+        "equivocate", "forge", "silence", "tamper"]
+    for behavior, buckets in BYZANTINE_MATRIX.items():
+        assert sorted(buckets) == ["consensus", "gossip"]
+
+
+def test_campaign_classifies_every_cell_correctly():
+    report = run_byzantine_campaign(seed=0, trials=1)
+    # 4 behaviors x (gossip, consensus), plus 4 clean controls.
+    assert len(report.cells) == 8
+    assert report.controls == 4
+    assert report.false_positives == []
+    assert report.missed == []
+    assert report.ok
+    assert report.detection_rate == 1.0
+    by_key = {(c.fault, c.kind): c for c in report.cells}
+    assert by_key[("byz-tamper", "gossip")].detected == "gossip-validity"
+    assert (by_key[("byz-tamper", "consensus")].detected
+            == "consensus-integrity")
+    assert (by_key[("byz-equivocate", "consensus")].detected
+            == "consensus-equivocation")
+    assert by_key[("byz-forge", "gossip")].detected == "traffic-provenance"
+    assert (by_key[("byz-forge", "consensus")].detected
+            == "traffic-provenance")
+    for behavior in ("equivocate", "silence"):
+        assert by_key[(f"byz-{behavior}", "gossip")].detected is None
+    assert by_key[("byz-silence", "consensus")].detected is None
+
+
+def test_detected_cells_name_offender_and_step():
+    report = run_byzantine_campaign(seed=0, trials=1,
+                                    behaviors=("tamper",))
+    detected = [c for c in report.cells if c.expected]
+    assert detected
+    for cell in detected:
+        assert "pid" in cell.message and "step" in cell.message
+
+
+def test_tolerated_cells_record_honest_metrics():
+    report = run_byzantine_campaign(seed=0, trials=1,
+                                    behaviors=("silence",))
+    for cell in report.cells:
+        assert cell.ok
+        assert "honest messages" in cell.message
+
+
+def test_unknown_behavior_rejected():
+    with pytest.raises(KeyError):
+        run_byzantine_campaign(behaviors=("gaslight",))
+
+
+def test_campaign_is_deterministic():
+    first = run_byzantine_campaign(seed=3, trials=1)
+    second = run_byzantine_campaign(seed=3, trials=1)
+    assert ([(c.fault, c.kind, c.detected, c.ok) for c in first.cells]
+            == [(c.fault, c.kind, c.detected, c.ok) for c in second.cells])
+
+
+# -- the (n, f, b) agreement grid ----------------------------------------- #
+
+def test_agreement_grid_boundary():
+    cells = byzantine_agreement_grid(seed=0, sizes=(9,))
+    assert {c.protocol for c in cells} == {"ben-or", "canetti-rabin"}
+    for cell in cells:
+        if cell.b == 0:
+            # No corrupt pids: both crash-tolerant protocols must agree.
+            assert cell.agreement, cell
+        else:
+            # Neither protocol authenticates values; any b > 0 loses
+            # agreement under value attacks — and the invariant net
+            # says how, rather than letting the run "complete".
+            assert not cell.agreement, cell
+            assert cell.outcome.startswith("violation:"), cell
+        assert cell.b <= cell.f
+
+
+# -- the generalized live-sender forgery injector ------------------------- #
+
+def test_forged_message_live_registered():
+    assert "forged-message-live" in FAULTS
+    fault = ForgedMessageLiveFault()
+    assert fault.kind == "any"
+    assert fault.expects == ("traffic-provenance",)
+
+
+def test_forged_message_live_detected_in_model_matrix():
+    report = run_campaign(seed=0, trials=1,
+                          faults=["forged-message-live"])
+    assert report.ok
+    assert {c.kind for c in report.cells} == {"gossip", "consensus"}
+    for cell in report.cells:
+        assert cell.detected == "traffic-provenance"
+
+
+# -- CLI surface ---------------------------------------------------------- #
+
+def test_cli_byzantine_quick_smoke(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--matrix", "byzantine", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "byz-tamper" in out
+    assert "false positive" in out
+
+
+def test_cli_unknown_matrix_exits_2_with_hint(capsys):
+    from repro.cli import main
+
+    assert main(["chaos", "--matrix", "byzantin"]) == 2
+    err = capsys.readouterr().err
+    assert "did you mean 'byzantine'" in err

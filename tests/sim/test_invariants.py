@@ -9,6 +9,7 @@ from repro.sim.invariants import (
     CrashConsistencyInvariant,
     GossipValidityInvariant,
     Invariant,
+    TrafficProvenanceInvariant,
     default_invariants,
     state_digest,
 )
@@ -222,10 +223,13 @@ class TestCatalog:
         gossip = default_invariants("gossip")
         assert {type(inv) for inv in gossip} == {
             GossipValidityInvariant, CrashConsistencyInvariant,
-            BoundConsistencyInvariant,
+            TrafficProvenanceInvariant, BoundConsistencyInvariant,
         }
         consensus = default_invariants("consensus")
         assert ConsensusInvariant in {type(inv) for inv in consensus}
+        assert TrafficProvenanceInvariant in {
+            type(inv) for inv in consensus
+        }
         assert GossipValidityInvariant not in {
             type(inv) for inv in consensus
         }

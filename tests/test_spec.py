@@ -140,7 +140,8 @@ class TestRegistries:
     def test_registries_are_mappings(self):
         assert "ears" in GOSSIP_ALGORITHMS
         assert sorted(TRANSPORTS) == ["all-to-all", "ears", "sears", "tears"]
-        assert set(ADVERSARIES) == {"uniform", "synchronous", "gst"}
+        assert set(ADVERSARIES) == {
+            "uniform", "synchronous", "gst", "byzantine"}
         assert "random-early" in CRASH_PLANS
 
     def test_unknown_name_suggests_close_match(self):
