@@ -39,7 +39,7 @@ from .core import Ears, Sears, Tears, TrivialGossip, UniformEpidemicGossip
 from .sim import RunResult, Simulation
 from .spec import RunSpec, build, execute
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Ears",

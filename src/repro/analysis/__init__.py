@@ -14,18 +14,21 @@ from .timeline import TimelineRecorder, crash_summary, render_timeline
 from .memory import StateFootprint, compare_state, measure_state
 from .fitting import (
     PowerLawFit,
+    SkippedFit,
     doubling_ratio,
     fit_power_law,
     fit_power_law_with_log,
+    safe_fit_power_law,
 )
 from .stats import Summary, success_rate, summarize, wilson_interval
-from .tables import format_cell, render_markdown, render_table
+from .tables import format_cell, format_fit, render_markdown, render_table
 
 __all__ = [
     "CoaReport",
     "DisseminationCurve",
     "PowerLawFit",
     "SCurveSampler",
+    "SkippedFit",
     "StateFootprint",
     "Summary",
     "TimelineRecorder",
@@ -42,6 +45,8 @@ __all__ = [
     "fit_power_law",
     "fit_power_law_with_log",
     "format_cell",
+    "format_fit",
+    "safe_fit_power_law",
     "render_markdown",
     "render_table",
     "success_rate",

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Sequence, Union
 
 
 @dataclass(frozen=True)
@@ -28,6 +28,36 @@ class PowerLawFit:
         if self.log_power:
             value *= math.log(max(2.0, x)) ** self.log_power
         return value
+
+
+@dataclass(frozen=True)
+class SkippedFit:
+    """A fit that could not be computed, as data instead of an exception.
+
+    Sweep drivers and report renderers hit degenerate inputs routinely —
+    a single-n sweep has one distinct x, a cell where nothing completed
+    has no positive ys.  :func:`fit_power_law` keeps raising (callers
+    that want the error still get it); :func:`safe_fit_power_law` returns
+    one of these instead so an analysis pipeline degrades to a "fit
+    skipped: <reason>" table row rather than crashing mid-report.
+
+    Mirrors the :class:`PowerLawFit` attribute surface with NaNs so
+    numeric consumers that forget to check :attr:`skipped` degrade to
+    NaN columns, not AttributeErrors.
+    """
+
+    reason: str
+    exponent: float = float("nan")
+    coefficient: float = float("nan")
+    r_squared: float = float("nan")
+    log_power: float = 0.0
+
+    @property
+    def skipped(self) -> bool:
+        return True
+
+    def predict(self, x: float) -> float:
+        return float("nan")
 
 
 def _least_squares_line(xs: Sequence[float], ys: Sequence[float]):
@@ -75,6 +105,41 @@ def fit_power_law_with_log(
         r_squared=base.r_squared,
         log_power=log_power,
     )
+
+
+def safe_fit_power_law(
+    xs: Sequence[float], ys: Sequence[float], log_power: float = 0.0
+) -> Union[PowerLawFit, SkippedFit]:
+    """As :func:`fit_power_law` (or, with ``log_power``,
+    :func:`fit_power_law_with_log`), but degenerate data returns a
+    :class:`SkippedFit` describing why instead of raising.
+
+    Degenerate shapes a sweep can legitimately produce: fewer than two
+    points (single-cell sweep), non-positive values (a cell where no
+    trial completed aggregates to NaN), and a single distinct x (one n
+    swept over many seeds).  Dispatch on ``fit.skipped`` — or let the
+    NaN attributes flow through numeric columns.
+    """
+    finite = [
+        (x, y) for x, y in zip(xs, ys)
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if len(xs) != len(ys):
+        return SkippedFit(reason="x/y length mismatch")
+    if len(finite) < 2:
+        return SkippedFit(
+            reason=f"need at least two finite points, have {len(finite)}"
+        )
+    fxs, fys = zip(*finite)
+    if any(x <= 0 for x in fxs) or any(y <= 0 for y in fys):
+        return SkippedFit(reason="non-positive data (log–log undefined)")
+    if len(set(fxs)) < 2:
+        return SkippedFit(
+            reason="all x values identical; exponent is unconstrained"
+        )
+    if log_power:
+        return fit_power_law_with_log(fxs, fys, log_power)
+    return fit_power_law(fxs, fys)
 
 
 def doubling_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -47,6 +47,7 @@ def run_gossip(
     measure_bits: bool = False,
     observers: Sequence[Observer] = (),
     engine: str = "auto",
+    topology: Union[None, str, dict] = None,
 ) -> GossipRun:
     """Run one gossip execution under a uniform oblivious (d, δ)-adversary.
 
@@ -74,6 +75,12 @@ def run_gossip(
         engine: execution strategy — ``auto`` (event-driven time-leap
             fast path with stepwise fallback, the default), ``stepwise``
             (the reference loop) or ``leap``; all bit-identical.
+        topology: communication graph — ``None``/``"complete"`` (the
+            paper's model, bit-identical to the pre-topology runs), a
+            registered family name (``"ring"``, ``"gnp"``,
+            ``"random-regular"``, ``"small-world"``) or ``{"name": ...,
+            **knobs}``. The graph is a pure function of
+            ``(topology, seed, n)``.
 
     Returns:
         A :class:`GossipRun` with completion status, the time and message
@@ -99,6 +106,7 @@ def run_gossip(
         check_interval=check_interval,
         max_steps=max_steps,
         engine=engine,
+        topology=topology,
     )
     return execute(
         spec,

@@ -123,6 +123,29 @@ def _add_checkpointing(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_topology(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology", default=None, metavar="NAME[:K=V,...]",
+        help="communication graph: 'complete' (the paper's model, the "
+             "default), 'ring', 'gnp', 'random-regular' or 'small-world', "
+             "with optional knobs after a colon (e.g. gnp:p=0.2 or "
+             "ring:k=2); the graph is a pure function of "
+             "(topology, seed, n)",
+    )
+
+
+def _parse_topology(args) -> "object":
+    """The parsed --topology config, exiting with code 2 on a bad value."""
+    from .sim.errors import ConfigurationError
+    from .sim.topology import parse_topology_arg
+
+    try:
+        return parse_topology_arg(getattr(args, "topology", None))
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-n", type=int, default=64, help="process count")
     parser.add_argument("-f", type=int, default=None,
@@ -158,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("gossip", help="run one gossip execution")
     _add_common(p)
+    _add_topology(p)
     p.add_argument("--algorithm", default="ears",
                    choices=sorted(GOSSIP_ALGORITHMS))
 
@@ -199,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--f-frac", type=float, default=0.25,
                    help="failure bound as a fraction of n")
     p.add_argument("--seeds", type=int, default=2)
+    _add_topology(p)
     p.add_argument("--name", default="cli-grid",
                    help="grid (and cache file) name")
     p.add_argument("--out-dir", default=None,
@@ -234,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seeds", type=int, default=3)
     p.add_argument("--crash", action="store_true",
                    help="crash the full failure budget")
+    _add_topology(p)
     p.add_argument("--processes", type=int, default=1,
                    help="worker processes (default: sequential)")
     p.add_argument("--engine", default="auto",
@@ -475,6 +501,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="artifact store; a stored spec hash is a "
                         "cache hit and runs no simulation")
     _add_backend(p)
+    _add_topology(p)
     p.add_argument("--json", action="store_true", dest="as_json",
                    help="print the full provenance record as JSON")
 
@@ -535,12 +562,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         run = run_gossip(
             args.algorithm, n=args.n, f=f, d=args.d, delta=args.delta,
             seed=args.seed, crashes=args.crashes, engine=args.engine,
+            topology=_parse_topology(args),
         )
+        reason = "" if run.completed else f" reason={run.reason}"
         print(
             f"{args.algorithm}: completed={run.completed} "
             f"time={run.completion_time} messages={run.messages} "
             f"realized(d={run.realized_d}, delta={run.realized_delta}) "
-            f"crashes={run.crashes}"
+            f"crashes={run.crashes}{reason}"
         )
         return 0 if run.completed else 1
 
@@ -608,11 +637,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         algorithms = [a.strip() for a in args.algorithms.split(",")
                       if a.strip()]
         ns = [int(x) for x in args.ns.split(",") if x.strip()]
+        grid = {"algorithm": algorithms, "n": ns, "d": [args.d],
+                "delta": [args.delta], "f_frac": [args.f_frac]}
+        topology = _parse_topology(args)
+        if topology is not None:
+            # Only a non-default topology enters the grid axes, so
+            # existing cell caches (keyed by the cell params) stay valid.
+            grid["topology"] = [topology]
         spec = GridSpec(
             name=args.name,
             recorder="gossip-frac",
-            grid={"algorithm": algorithms, "n": ns, "d": [args.d],
-                  "delta": [args.delta], "f_frac": [args.f_frac]},
+            grid=grid,
             seeds=list(range(args.seeds)),
         )
         if args.profile:
@@ -626,6 +661,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     f=int(cell["n"] * cell["f_frac"]),
                     d=cell["d"], delta=cell["delta"], seed=cell["seed"],
                     observers=(profiler,),
+                    topology=cell.get("topology"),
                 )
                 rows.append({
                     "algorithm": cell["algorithm"], "n": cell["n"],
@@ -694,6 +730,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             profile=profiler,
             trial_timeout=args.trial_timeout, retries=args.retries,
             engine=args.engine,
+            topology=_parse_topology(args),
         )
         ns = geometric_ns(args.min_n, args.max_n, args.factor)
         if args.resume:
@@ -1112,6 +1149,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
 
         spec = RunSpec.load(args.spec)
+        if getattr(args, "topology", None) is not None:
+            # CLI override beats the file's topology field (same spec
+            # precedence as runtime overrides in the builder).
+            spec = spec.replace(topology=_parse_topology(args))
         if args.store:
             record, hit = execute_cached(
                 spec, open_store(args.store, backend=args.backend)
@@ -1134,6 +1175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ADVERSARIES,
             CRASH_PLANS,
             SCENARIOS as SPEC_SCENARIOS,
+            TOPOLOGIES,
             TRANSPORTS,
             ensure_scenarios,
         )
@@ -1144,6 +1186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ("consensus transports", sorted(TRANSPORTS) + ["ben-or"]),
             ("adversaries", sorted(ADVERSARIES)),
             ("crash plans", sorted(CRASH_PLANS)),
+            ("topologies", sorted(TOPOLOGIES)),
             ("scenarios", sorted(SPEC_SCENARIOS)),
         ]
         for title, names in sections:

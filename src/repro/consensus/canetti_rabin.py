@@ -91,6 +91,15 @@ class _GossipContextShim:
     def local_step(self) -> int:
         return self._owner._ctx.local_step
 
+    @property
+    def isolated(self) -> bool:
+        # Consensus always runs on the complete graph (RunSpec rejects a
+        # topology for kind="consensus"), so no process is ever isolated.
+        return False
+
+    def peers(self):
+        return self._owner._ctx.peers()
+
     def random_peer(self) -> int:
         return self._owner._ctx.random_peer()
 

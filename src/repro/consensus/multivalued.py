@@ -73,6 +73,14 @@ class _InnerContextShim:
     def local_step(self) -> int:
         return self._owner._ctx.local_step
 
+    @property
+    def isolated(self) -> bool:
+        # Consensus is complete-graph only; nobody is ever isolated.
+        return False
+
+    def peers(self):
+        return self._owner._ctx.peers()
+
     def random_peer(self) -> int:
         return self._owner._ctx.random_peer()
 

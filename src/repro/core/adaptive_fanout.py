@@ -67,7 +67,7 @@ class AdaptiveFanoutGossip(GossipAlgorithm):
             self.fanout = max(self.min_fanout, self.fanout - 1)
             self.quiet_steps += 1
 
-        if self.quiet_steps < self.quiet_threshold:
+        if self.quiet_steps < self.quiet_threshold and not ctx.isolated:
             targets = {ctx.random_peer() for _ in range(self.fanout)}
             snapshot = self.rumors.snapshot()
             for dst in targets:

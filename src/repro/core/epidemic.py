@@ -114,12 +114,19 @@ class EpidemicGossip(GossipAlgorithm):
     # -- the Figure 2 main loop ------------------------------------------ #
 
     def _choose_targets(self, ctx: Context) -> List[int]:
-        """``fanout`` i.i.d. uniform draws from [n], deduplicated.
+        """``fanout`` i.i.d. uniform target draws, deduplicated.
+
+        On the complete graph the draws are uniform over [n] (the paper's
+        step); under a restricted topology :meth:`Context.random_peer`
+        samples the process's neighbors instead, and an isolated process
+        simply has nobody to gossip with.
 
         Deduplication only merges identical same-step sends (rare for
         fanout ≪ n) so at most ``fanout`` point-to-point messages leave per
         step, as the complexity accounting assumes.
         """
+        if ctx.isolated:
+            return []
         if self.fanout == 1:
             return [ctx.random_peer()]
         draws = [ctx.random_peer() for _ in range(self.fanout)]

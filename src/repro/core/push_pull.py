@@ -117,7 +117,7 @@ class PushPullGossip(GossipAlgorithm):
         else:
             self.sleep_cnt += 1
 
-        if self.sleep_cnt <= self.shutdown_sends:
+        if self.sleep_cnt <= self.shutdown_sends and not ctx.isolated:
             dst = ctx.random_peer()
             ctx.send(dst, self.rumors.mask, kind=KIND_DIGEST)
             # A digest transmits the rumor identities, which is the

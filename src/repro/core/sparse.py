@@ -47,7 +47,7 @@ class SparseGossip(GossipAlgorithm):
                 learned = True
         if learned and self.rearm:
             self._remaining = self.budget
-        if self._remaining > 0:
+        if self._remaining > 0 and not ctx.isolated:
             ctx.send(ctx.random_peer(), self.rumors.snapshot(), kind=self.KIND)
             self._remaining -= 1
 

@@ -74,14 +74,18 @@ class Tears(GossipAlgorithm):
 
         Drawn lazily at the first local step because the process RNG lives
         in the context; the draw is still independent of all communication.
+        Under a restricted topology the candidate pool is the process's
+        neighbor set rather than [n]∖{p} (on the complete graph the loop —
+        and its RNG draw sequence — is exactly the historical one).
         """
         prob = self.params.membership_probability(self.n)
+        candidates = ctx.peers()
         self.pi1 = [
-            q for q in range(self.n)
+            q for q in candidates
             if q != self.pid and ctx.rng.random() < prob
         ]
         self.pi2 = [
-            q for q in range(self.n)
+            q for q in candidates
             if q != self.pid and ctx.rng.random() < prob
         ]
 

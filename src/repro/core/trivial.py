@@ -34,7 +34,9 @@ class TrivialGossip(GossipAlgorithm):
             self.rumors.merge(mask, payloads)
         if not self._broadcast_done:
             snapshot = self.rumors.snapshot()
-            for dst in range(self.n):
+            # ctx.peers() is every other pid on the complete graph and the
+            # neighbor set under a restricted topology.
+            for dst in ctx.peers():
                 if dst != self.pid:
                     ctx.send(dst, snapshot, kind=self.KIND)
             self._broadcast_done = True

@@ -43,7 +43,8 @@ class UniformEpidemicGossip(GossipAlgorithm):
         for msg in inbox:
             mask, payloads = msg.payload
             self.rumors.merge(mask, payloads)
-        if self.stop_after_steps is None or self._steps < self.stop_after_steps:
+        if (self.stop_after_steps is None
+                or self._steps < self.stop_after_steps) and not ctx.isolated:
             ctx.send(ctx.random_peer(), self.rumors.snapshot(), kind=self.KIND)
         self._steps += 1
 

@@ -34,6 +34,7 @@ callers can rely on positional correspondence regardless of worker count.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -116,6 +117,7 @@ class TrialPool:
         self.processes = processes
         self.chunk_size = chunk_size
         self._pool = None
+        self._warned_no_introspection = False
 
     # -- lifecycle ------------------------------------------------------- #
 
@@ -155,12 +157,29 @@ class TrialPool:
         return self._pool
 
     def _worker_pids(self) -> frozenset:
-        """The live workers' pids (empty when no pool or introspection
-        fails — worker-loss recovery then simply never triggers)."""
-        try:
-            return frozenset(p.pid for p in self._pool._pool)
-        except Exception:
+        """The live workers' pids (empty when no pool, so worker-loss
+        recovery simply never triggers).
+
+        Reads ``multiprocessing.Pool``'s private ``_pool`` worker list.
+        Only the two shapes that attribute can legitimately take are
+        tolerated — no pool yet / already closed (``None``) and a CPython
+        version dropping the private attribute (``AttributeError``, with
+        a one-time warning since worker-loss recovery silently degrades).
+        Anything else propagates: a broad catch here masked real bugs as
+        "recovery never fires"."""
+        if self._pool is None:
             return frozenset()
+        try:
+            workers = self._pool._pool
+        except AttributeError:
+            if not self._warned_no_introspection:
+                self._warned_no_introspection = True
+                logging.getLogger(__name__).warning(
+                    "multiprocessing.Pool no longer exposes its worker "
+                    "list; worker-loss recovery is disabled"
+                )
+            return frozenset()
+        return frozenset(p.pid for p in workers)
 
     def _chunk(self, n_jobs: int) -> int:
         if self.chunk_size is not None:
@@ -303,6 +322,9 @@ class TrialPool:
                     try:
                         value = result.get()
                     except Exception as exc:
+                        # Broad by contract: any job exception becomes a
+                        # FAILED outcome carrying the error, never a lost
+                        # batch.
                         resolve_failure(index, FAILED, exc)
                     else:
                         outcomes[index] = TrialOutcome(

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..analysis.fitting import PowerLawFit, fit_power_law, fit_power_law_with_log
+from ..analysis.fitting import PowerLawFit, safe_fit_power_law
 from ..analysis.tables import render_table
 from ..core.params import SearsParams, TearsParams
 from ..workloads.sweeps import SweepPoint, geometric_ns, quarter, sweep_gossip
@@ -90,9 +90,12 @@ def run_message_scaling(
                 ns=list(ns),
                 messages=messages,
                 times=times,
-                raw_fit=fit_power_law(list(ns), messages),
-                deloged_fit=fit_power_law_with_log(
-                    list(ns), messages, shape["log_power"]
+                # Safe fits: a degenerate sweep (single n, or a cell
+                # where nothing completed) yields a SkippedFit whose NaN
+                # exponent flows through the report instead of raising.
+                raw_fit=safe_fit_power_law(list(ns), messages),
+                deloged_fit=safe_fit_power_law(
+                    list(ns), messages, log_power=shape["log_power"]
                 ),
                 predicted_exponent=shape["exponent"],
             )

@@ -80,6 +80,10 @@ def batch_ineligibility(spec) -> Optional[str]:
         # Ears/Sears constructor params are objects, not JSON mappings;
         # let the scalar path resolve (or reject) them unchanged.
         return "algorithm params override is per-trial only"
+    if getattr(spec, "topology", None) is not None:
+        # The vectorized loop samples targets uniformly over [n]; a
+        # restricted neighbor view would need per-process target tables.
+        return "non-complete topologies are per-trial only"
     return None
 
 

@@ -99,6 +99,7 @@ class Simulation(EngineCore):
         bit_meter=None,
         observers: Sequence[Observer] = (),
         engine: str = "auto",
+        topology=None,
     ) -> None:
         self._init_core(n, f, seed, monitor)
         if len(algorithms) != n:
@@ -111,6 +112,14 @@ class Simulation(EngineCore):
             )
         self.engine = engine
         self.check_interval = max(1, check_interval)
+        #: Communication topology (:class:`~repro.sim.topology.Topology`)
+        #: or ``None`` for the paper's complete graph. Immutable, so forks
+        #: share it.
+        if topology is not None and topology.n != n:
+            raise ConfigurationError(
+                f"topology is over {topology.n} pids, simulation has n={n}"
+            )
+        self.topology = topology
 
         self.network = Network(n)
         self.processes: Dict[int, ProcessHandle] = {}
@@ -138,8 +147,12 @@ class Simulation(EngineCore):
             self._bit_observer = BitMeterObserver(bit_meter)
             self.add_observer(self._bit_observer)
 
+        restricted = topology is not None and not topology.is_complete
         for pid in range(n):
-            ctx = Context(pid, n, f, derive_rng(seed, "proc", pid))
+            ctx = Context(
+                pid, n, f, derive_rng(seed, "proc", pid),
+                topology.neighbors(pid) if restricted else None,
+            )
             handle = ProcessHandle(pid, algorithms[pid], ctx)
             self.processes[pid] = handle
             handle.algorithm.on_start(ctx)
@@ -635,6 +648,8 @@ class Simulation(EngineCore):
         target.seed = self.seed
         target.engine = self.engine
         target.check_interval = self.check_interval
+        # Topologies are immutable; forks share the graph.
+        target.topology = self.topology
         # Monitors hold a little mutable state (e.g. gathering_time) with no
         # references into the simulation, so deepcopy is both correct and
         # cheap here.

@@ -17,7 +17,7 @@ import copy
 import enum
 import random
 from abc import ABC, abstractmethod
-from typing import Any, Iterable, List, Optional
+from typing import Any, Iterable, List, Optional, Sequence, Tuple, Union
 
 from .errors import AlgorithmError
 from .message import Message
@@ -38,17 +38,32 @@ class Context:
     its own pid, the system size ``n``, the failure bound ``f``, a private
     random stream, and the ability to send messages. Sends are buffered in
     :attr:`outbox` and drained by the engine after the step returns.
+
+    ``neighbors`` restricts the process to a communication topology: when
+    given (a sequence of adjacent pids, excluding ``pid`` itself), target
+    draws sample from it and sends outside it are rejected. The default
+    ``None`` is the paper's complete graph, where every pid — including
+    the process itself — is addressable; that path is bit-identical to
+    the pre-topology context (same RNG draws, same validation).
     """
 
-    __slots__ = ("pid", "n", "f", "rng", "outbox", "_local_step")
+    __slots__ = ("pid", "n", "f", "rng", "outbox", "_local_step",
+                 "neighbors", "_neighbor_set")
 
-    def __init__(self, pid: int, n: int, f: int, rng: random.Random) -> None:
+    def __init__(self, pid: int, n: int, f: int, rng: random.Random,
+                 neighbors: Optional[Sequence[int]] = None) -> None:
         self.pid = pid
         self.n = n
         self.f = f
         self.rng = rng
         self.outbox: List[Message] = []
         self._local_step = 0
+        if neighbors is None:
+            self.neighbors: Optional[Tuple[int, ...]] = None
+            self._neighbor_set: Optional[frozenset] = None
+        else:
+            self.neighbors = tuple(neighbors)
+            self._neighbor_set = frozenset(self.neighbors)
 
     @property
     def local_step(self) -> int:
@@ -59,10 +74,36 @@ class Context:
         """
         return self._local_step
 
+    @property
+    def isolated(self) -> bool:
+        """True when a restricted topology gives this process no neighbors.
+
+        An isolated process can neither spread nor gather anything; the
+        algorithms skip their target draw in that case (and the builder
+        reports such runs as ``topology-disconnected``).
+        """
+        return self.neighbors is not None and not self.neighbors
+
+    def peers(self) -> Union[range, Tuple[int, ...]]:
+        """Every pid this process may address.
+
+        The complete graph yields ``range(n)`` (including the process
+        itself, which the broadcast algorithms filter); a restricted
+        topology yields its neighbor tuple (which never contains self).
+        """
+        if self.neighbors is None:
+            return range(self.n)
+        return self.neighbors
+
     def send(self, dst: int, payload: Any, kind: str = "msg") -> Message:
         """Queue one point-to-point message to ``dst``."""
         if not 0 <= dst < self.n:
             raise AlgorithmError(f"send() to invalid pid {dst} (n={self.n})")
+        if self._neighbor_set is not None and dst not in self._neighbor_set:
+            raise AlgorithmError(
+                f"send() from {self.pid} to non-neighbor {dst} under a "
+                "restricted topology"
+            )
         msg = Message(src=self.pid, dst=dst, payload=payload, kind=kind)
         self.outbox.append(msg)
         return msg
@@ -76,21 +117,32 @@ class Context:
         return sent
 
     def random_peer(self) -> int:
-        """A pid chosen uniformly at random from ``[n]`` (may be self).
+        """A uniformly random gossip target.
 
-        This matches the paper's epidemic step "choose q uniformly at random
-        from [n]".
+        On the complete graph this is the paper's epidemic step "choose q
+        uniformly at random from [n]" (may be self) — one ``randrange(n)``
+        draw, exactly as before topologies existed. Under a restricted
+        topology the draw is uniform over this process's neighbors.
         """
-        return self.rng.randrange(self.n)
+        if self.neighbors is None:
+            return self.rng.randrange(self.n)
+        if not self.neighbors:
+            raise AlgorithmError(
+                f"process {self.pid} is isolated: no neighbor to gossip "
+                "with (guard with ctx.isolated)"
+            )
+        return self.neighbors[self.rng.randrange(len(self.neighbors))]
 
     def clone(self) -> "Context":
         """O(1) copy for simulation forking.
 
-        The RNG stream is duplicated at its current state; the outbox starts
+        The RNG stream is duplicated at its current state; the neighbor
+        view is shared (topologies are immutable); the outbox starts
         empty because the engine resets it at every ``run_step`` anyway (a
         fork between steps never observes a populated outbox).
         """
-        dup = Context(self.pid, self.n, self.f, clone_rng(self.rng))
+        dup = Context(self.pid, self.n, self.f, clone_rng(self.rng),
+                      self.neighbors)
         dup._local_step = self._local_step
         return dup
 

@@ -17,10 +17,12 @@ from .registry import (
     ADVERSARIES,
     BEN_OR,
     CRASH_PLANS,
+    GATHERING_ONLY_ALGORITHMS,
     GOSSIP_ALGORITHMS,
     MAJORITY_ALGORITHMS,
     Registry,
     SCENARIOS,
+    TOPOLOGIES,
     TRANSPORTS,
     UnknownNameError,
     ensure_scenarios,
@@ -41,6 +43,7 @@ __all__ = [
     "BEN_OR",
     "BuiltRun",
     "CRASH_PLANS",
+    "GATHERING_ONLY_ALGORITHMS",
     "GOSSIP_ALGORITHMS",
     "GossipRun",
     "MAJORITY_ALGORITHMS",
@@ -48,6 +51,7 @@ __all__ = [
     "RunSpec",
     "SCENARIOS",
     "SPEC_SCHEMA_VERSION",
+    "TOPOLOGIES",
     "TRANSPORTS",
     "UnknownNameError",
     "build",

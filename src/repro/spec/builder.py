@@ -30,10 +30,12 @@ from ..sim.engine import Simulation
 from ..sim.errors import ConfigurationError
 from ..sim.events import Observer
 from ..sim.monitor import GossipCompletionMonitor, PredicateMonitor
+from ..sim.topology import build_topology
 from .registry import (
     ADVERSARIES,
     BEN_OR,
     CRASH_PLANS,
+    GATHERING_ONLY_ALGORITHMS,
     GOSSIP_ALGORITHMS,
     MAJORITY_ALGORITHMS,
     ensure_scenarios,
@@ -279,14 +281,30 @@ def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
         majority = spec.algorithm in MAJORITY_ALGORITHMS
 
     monitor: Any
-    if spec.algorithm == "uniform" and not isinstance(params, dict):
-        # The naive epidemic never quiesces; completion = gathering only.
+    if (spec.algorithm in GATHERING_ONLY_ALGORITHMS
+            and not isinstance(params, dict)):
+        # No stopping rule, so these never quiesce; completion =
+        # gathering only. (The uniform baseline's stop_after_steps params
+        # override restores quiescence and the standard monitor.)
         monitor = PredicateMonitor(
             lambda sim: gathering_holds(sim), name="gathering-only",
             state_driven=True,
         )
     else:
         monitor = GossipCompletionMonitor(majority=majority)
+
+    topology = build_topology(spec.topology, n, seed)
+    incompleteness = None
+    if topology is not None and not topology.connected():
+        # Rumors travel only along edges, so completing (every live
+        # process gathering every live rumor) requires all live processes
+        # to share one component — i.e. everything outside one component
+        # must crash. When even the largest component leaves more
+        # survivors-to-kill than the failure budget allows, no execution
+        # can complete: run zero steps and report a structured reason
+        # instead of grinding the never-true monitor to the step limit.
+        if not majority and n - topology.largest_component_size() > f:
+            incompleteness = "topology-disconnected"
 
     kwargs: Dict[str, Any] = {}
     if params is not None and spec.algorithm != "trivial":
@@ -313,14 +331,19 @@ def _build_gossip(spec, observers, payloads, params, adversary) -> BuiltRun:
         bit_meter=bit_meter,
         observers=observers,
         engine=_scalar_engine(spec.engine),
+        topology=topology,
     )
     limit = (
         spec.max_steps if spec.max_steps is not None
         else default_step_limit(n, f, d, delta)
     )
+    extras: Dict[str, Any] = {"f": f}
+    if incompleteness is not None:
+        limit = 0
+        extras["incomplete_reason"] = incompleteness
     return BuiltRun(
         spec=spec, sim=sim, max_steps=limit, monitor=monitor,
-        extras={"f": f},
+        extras=extras,
     )
 
 
@@ -330,12 +353,15 @@ def _finish_gossip(built: BuiltRun) -> GossipRun:
     gathering_time = getattr(built.monitor, "gathering_time", None)
     if gathering_time is None and result.completed:
         gathering_time = result.completion_time
+    reason = result.reason
+    if not result.completed and "incomplete_reason" in built.extras:
+        reason = built.extras["incomplete_reason"]
     return GossipRun(
         algorithm=spec.algorithm,
         n=spec.n,
         f=built.extras["f"],
         completed=result.completed,
-        reason=result.reason,
+        reason=reason,
         completion_time=result.completion_time,
         gathering_time=gathering_time,
         messages=result.messages,

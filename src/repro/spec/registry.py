@@ -34,6 +34,7 @@ from ..adversary.gst import GstAdversary
 from ..adversary.oblivious import ObliviousAdversary
 from ..core.adaptive_fanout import AdaptiveFanoutGossip
 from ..core.ears import Ears
+from ..core.ps_push_pull import PanagiotouSpeidelPushPull
 from ..core.push_pull import PushPullGossip
 from ..core.sears import Sears
 from ..core.sparse import SparseGossip
@@ -45,10 +46,12 @@ from ..sim.errors import ConfigurationError
 __all__ = [
     "ADVERSARIES",
     "CRASH_PLANS",
+    "GATHERING_ONLY_ALGORITHMS",
     "GOSSIP_ALGORITHMS",
     "MAJORITY_ALGORITHMS",
     "Registry",
     "SCENARIOS",
+    "TOPOLOGIES",
     "TRANSPORTS",
     "UnknownNameError",
     "ensure_scenarios",
@@ -129,11 +132,20 @@ for _name, _cls in (
     ("adaptive-fanout", AdaptiveFanoutGossip),
     ("sparse", SparseGossip),
     ("push-pull", PushPullGossip),
+    ("ps-push-pull", PanagiotouSpeidelPushPull),
 ):
     GOSSIP_ALGORITHMS.register(_name, _cls)
 
 #: Algorithms that solve the weaker *majority gossip* problem (Section 5).
 MAJORITY_ALGORITHMS = frozenset({"tears"})
+
+#: Algorithms with no stopping rule: they never quiesce, so full
+#: completion (gathered ∧ quiescent ∧ empty network) is unsatisfiable and
+#: the builder pairs them with the gathering-only monitor instead. The
+#: ``uniform`` baseline keeps its historical caveat — a
+#: ``stop_after_steps`` params override makes it quiescent, in which case
+#: the standard monitor applies.
+GATHERING_ONLY_ALGORITHMS = frozenset({"uniform", "ps-push-pull"})
 
 
 # -- consensus get-core transports (formerly consensus.runner.TRANSPORTS) -- #
@@ -223,6 +235,20 @@ CRASH_PLANS.register("none", _none_plan)
 CRASH_PLANS.register("random-early", _random_early_plan)
 CRASH_PLANS.register("wave", _wave_plan)
 CRASH_PLANS.register("staggered-halving", _staggered_halving_plan)
+
+
+# -- communication topologies ---------------------------------------------- #
+#
+# The builder functions themselves live in :mod:`repro.sim.topology`
+# (``repro.sim`` must not import ``repro.spec``); this registry gives the
+# spec plane the same lookup-with-diagnostics surface as every other name
+# a RunSpec may mention.
+
+from ..sim.topology import TOPOLOGY_BUILDERS  # noqa: E402
+
+TOPOLOGIES = Registry("topology")
+for _name, _builder in sorted(TOPOLOGY_BUILDERS.items()):
+    TOPOLOGIES.register(_name, _builder)
 
 
 # -- named scenarios ------------------------------------------------------- #

@@ -24,6 +24,7 @@ from dataclasses import dataclass, fields
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
 from ..sim.errors import ConfigurationError
+from ..sim.topology import normalize_topology
 
 __all__ = ["RunSpec", "SPEC_SCHEMA_VERSION"]
 
@@ -66,6 +67,9 @@ class RunSpec:
             ``crashes`` is set explicitly, the crash workload.
         adversary: ``{"name": ..., **knobs}`` selecting a registered
             adversary family (default: the uniform oblivious adversary).
+        topology: communication graph restricting who may gossip with
+            whom — a registered family name or ``{"name": ..., **knobs}``
+            (default: the paper's complete graph; gossip only).
         values: consensus initial values (one per process).
         majority: override the gossip completion notion.
         measure_bits / check_interval / probe_interval / max_steps:
@@ -102,6 +106,15 @@ class RunSpec:
     probe_interval: Optional[int] = None
     max_steps: Optional[int] = None
     check_invariants: bool = False
+    #: Communication topology: ``None`` / ``"complete"`` (the paper's
+    #: model — both normalize to ``None``, so an explicit complete
+    #: topology hashes like the default and pre-topology spec hashes
+    #: never move), a registered family name (``"ring"``, ``"gnp"``,
+    #: ``"random-regular"``, ``"small-world"``) or ``{"name": ...,
+    #: **knobs}`` with family knobs (e.g. ``{"name": "gnp", "p": 0.2}``).
+    #: The graph is a pure function of ``(topology, seed, n)``. Gossip
+    #: only; consensus transports assume the complete graph.
+    topology: Optional[Union[str, Mapping[str, Any]]] = None
     #: Execution strategy: ``"auto"`` (time-leap fast path with stepwise
     #: fallback), ``"stepwise"`` (reference loop), ``"leap"``, or
     #: ``"batch"`` (the vectorized batched-trial engine, scalar fallback
@@ -138,6 +151,17 @@ class RunSpec:
             object.__setattr__(self, "crashes", dict(self.crashes))
         if self.values is not None:
             object.__setattr__(self, "values", tuple(self.values))
+        # Canonicalize at construction so "complete" (in any spelling)
+        # serializes — and hashes — exactly like the default, and unknown
+        # families fail here rather than at build time.
+        object.__setattr__(
+            self, "topology", normalize_topology(self.topology)
+        )
+        if self.topology is not None and self.kind == "consensus":
+            raise ConfigurationError(
+                "consensus runs assume the complete graph; topology is a "
+                "gossip-only field"
+            )
 
     # -- derived coordinates --------------------------------------------- #
 

@@ -1,4 +1,4 @@
-"""Workload generation: named scenarios and parameter sweep drivers."""
+"""Workload generation: named scenarios, sweep drivers, topology sweeps."""
 
 from .scenarios import SCENARIOS, Scenario, get_scenario
 from .sweeps import (
@@ -9,15 +9,29 @@ from .sweeps import (
     sweep_gossip,
     three_quarters,
 )
+from .topology import (
+    PREDICTED_EXPONENTS,
+    TopologyCurve,
+    format_topology_curves,
+    format_topology_matrix,
+    sweep_topology_gossip,
+    topology_scenario_matrix,
+)
 
 __all__ = [
+    "PREDICTED_EXPONENTS",
     "SCENARIOS",
     "Scenario",
     "SweepPoint",
+    "TopologyCurve",
+    "format_topology_curves",
+    "format_topology_matrix",
     "geometric_ns",
     "get_scenario",
     "near_half",
     "quarter",
     "sweep_gossip",
+    "sweep_topology_gossip",
     "three_quarters",
+    "topology_scenario_matrix",
 ]

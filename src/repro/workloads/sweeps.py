@@ -43,18 +43,20 @@ def _job_spec(args):
 
     Serializable knobs live in the spec; an algorithm parameter *object*
     (e.g. :class:`SearsParams`) cannot, so it rides as an override.
-    The optional trailing ``engine`` field keeps job tuples from
-    manifests written before the batch engine decodable (9 fields =
-    ``engine="auto"``).
+    The optional trailing ``engine``/``topology`` fields keep job tuples
+    from manifests written before those knobs decodable (9 fields =
+    ``engine="auto"``, 10 fields = complete topology).
     """
     algorithm, n, f, d, delta, seed, crashes, params, max_steps, *rest = (
         args
     )
     engine = rest[0] if rest else "auto"
+    topology = rest[1] if len(rest) > 1 else None
     spec = RunSpec(
         kind="gossip", algorithm=algorithm, n=n, f=f, d=d, delta=delta,
         seed=seed, params=params if isinstance(params, dict) else None,
         crashes=crashes, max_steps=max_steps, engine=engine,
+        topology=topology,
     )
     return spec, None if isinstance(params, dict) else params
 
@@ -98,6 +100,7 @@ def sweep_gossip(
     checkpoint_every: int = 8,
     shutdown: Optional[Callable[[], bool]] = None,
     engine: str = "auto",
+    topology: Any = None,
 ) -> List[SweepPoint]:
     """Run ``algorithm`` across a population sweep; aggregate per n.
 
@@ -131,6 +134,11 @@ def sweep_gossip(
     re-executing only the missing (n, seed) runs.  ``shutdown`` drains
     the sweep on a graceful-stop request and raises
     :class:`~repro.experiments.campaign.CampaignDrained`.
+
+    ``topology`` restricts every run to a communication graph (a family
+    name or ``{"name": ..., **knobs}``); ``None``/``"complete"`` is the
+    paper's model.  Non-complete topologies are batch-ineligible, so a
+    ``"batch"`` sweep over them transparently runs per-trial.
     """
     # Lazy import: repro.experiments.scaling imports this module, so a
     # top-level import of the pool would be circular.
@@ -143,7 +151,8 @@ def sweep_gossip(
         params = params_of_n(n) if params_of_n else None
         for seed in seeds:
             jobs.append((algorithm, n, f, d, delta, seed,
-                         f if crash else None, params, max_steps, engine))
+                         f if crash else None, params, max_steps, engine,
+                         topology))
 
     if profile is not None:
         outcomes = [
